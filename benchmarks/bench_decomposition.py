@@ -1,0 +1,54 @@
+"""Section II.B census + decomposition machinery cost.
+
+Reproduces the paper's parallel-degree arguments (few 1-D subdomains on
+the small case, thousands of same-color subdomains for multi-dimensional
+decompositions) and times the steps the paper amortizes into neighbor-list
+rebuilds ("the cost of spatial decomposition and coloring is very low").
+"""
+
+from conftest import write_result
+
+from repro.core.coloring import lattice_coloring, validate_coloring
+from repro.core.domain import decompose
+from repro.core.partition import build_pair_partition, build_partition
+from repro.core.schedule import build_schedule
+from repro.harness.cases import Case
+from repro.harness.census import census, render_census
+from repro.md.neighbor.verlet import build_neighbor_list
+
+
+def test_census_reproduction(benchmark, results_dir):
+    rows = benchmark(census)
+    write_result(results_dir, "census.txt", render_census(rows))
+    small_1d = next(r for r in rows if r.case_key == "small" and r.dims == 1)
+    assert small_1d.n_subdomains < 24  # the paper's observation
+    large_3d = next(r for r in rows if r.case_key == "large3" and r.dims == 3)
+    assert large_3d.per_color > 1000
+
+
+def test_decomposition_and_coloring_cost(benchmark):
+    """Steps 1-2 of SDC on a real 16k-atom system: must be cheap."""
+    atoms = Case(key="d", label="d", n_cells=16).build(perturbation=0.05, seed=1)
+    nlist = build_neighbor_list(atoms.positions, atoms.box, 3.6, skin=0.3)
+
+    def decompose_color_partition():
+        grid = decompose(atoms.box, 3.9, dims=3)
+        coloring = lattice_coloring(grid)
+        validate_coloring(grid, coloring)
+        partition = build_partition(nlist.reference_positions, grid)
+        pairs = build_pair_partition(partition, nlist)
+        return build_schedule(coloring), pairs
+
+    schedule, pairs = benchmark(decompose_color_partition)
+    assert schedule.n_colors == 8
+    assert pairs.n_pairs == nlist.n_pairs
+
+
+def test_neighbor_list_build_cost(benchmark):
+    """The O(N) cell-list neighbor build on 16k atoms."""
+    atoms = Case(key="n", label="n", n_cells=16).build(perturbation=0.05, seed=1)
+
+    nlist = benchmark(
+        build_neighbor_list, atoms.positions, atoms.box, 3.6, 0.3
+    )
+    assert nlist.n_pairs > 0

@@ -1,0 +1,37 @@
+"""Fig. 9 reproduction benchmark.
+
+Regenerates the four speedup-curve panels (2-D SDC vs CS vs SAP vs RC) and
+checks the paper's qualitative claims: SDC highest everywhere, CS lowest
+and not scalable, SAP winning below 8 cores then degrading, RC near-linear
+and ~1.7x below SDC on medium/large cases.
+"""
+
+from conftest import write_result
+
+from repro.harness.fig9 import PAPER_SDC_OVER_RC, reproduce_all_panels
+
+
+def test_fig9_reproduction(benchmark, runner, results_dir):
+    panels = benchmark(reproduce_all_panels, runner)
+
+    blocks = [panel.render() for panel in panels]
+    ratios = {
+        panel.case.key: panel.sdc_over_rc(16)
+        for panel in panels
+        if panel.case.key != "small"
+    }
+    blocks.append(
+        "SDC/RC performance ratio at 16 cores "
+        f"(paper: ~{PAPER_SDC_OVER_RC}): "
+        + ", ".join(f"{k}={v:.2f}" for k, v in ratios.items())
+    )
+    write_result(results_dir, "fig9.txt", "\n\n".join(blocks))
+
+    for panel in panels:
+        assert panel.sdc_wins_everywhere(), panel.case.key
+        assert panel.cs_is_lowest_at_scale(), panel.case.key
+        crossover = panel.rc_overtakes_sap()
+        assert crossover is not None and crossover > 8, panel.case.key
+    for key, ratio in ratios.items():
+        assert 1.4 < ratio < 2.2, (key, ratio)
+    benchmark.extra_info["sdc_over_rc"] = ratios

@@ -1,0 +1,74 @@
+"""The paper's two future-work directions, modeled and measured.
+
+Section V: *"Firstly, a detailed study of SDC method on NUMA memory
+architecture is needed ... Lastly, it will be promising to implement SDC
+method using mixed programming models such as MPI+OpenMP in multi-core
+cluster."*
+"""
+
+from conftest import write_result
+
+from repro.core.strategies import SDCStrategy, SerialStrategy
+from repro.harness.cases import case_by_key
+from repro.parallel.cluster import ClusterConfig, hybrid_scaling_study
+from repro.parallel.machine import paper_machine
+from repro.parallel.numa import NumaConfig, numa_study
+
+
+def test_numa_placement_study(benchmark, runner, results_dir):
+    """First-touch placement preserves SDC's scaling; naive placement
+    forfeits a large share of it."""
+    case = case_by_key("large3")
+    numa = NumaConfig()
+    stats = runner.sdc_stats(case, dims=2, n_threads=16)
+    sdc_plan = SDCStrategy(dims=2, n_threads=16).plan(stats, runner.machine, 16)
+    serial_plan = SerialStrategy().plan(runner.flat_stats(case), runner.machine, 1)
+
+    speedups = benchmark(
+        numa_study, sdc_plan, serial_plan, paper_machine(), numa, 16
+    )
+    lines = [
+        "SDC 2-D on a 4-socket NUMA machine — large case (3), 16 threads",
+        f"  remote/local penalty: {numa.remote_penalty}x",
+    ]
+    lines += [
+        f"  {placement:<12}: speedup {value:6.2f}"
+        for placement, value in speedups.items()
+    ]
+    write_result(results_dir, "future_numa.txt", "\n".join(lines))
+    assert speedups["first-touch"] > speedups["interleaved"]
+    assert speedups["first-touch"] > speedups["single-node"]
+    # owner-computes first-touch keeps most of the non-NUMA speedup
+    assert speedups["first-touch"] > 0.8 * 12.0
+
+
+def test_hybrid_mpi_openmp_scaling(benchmark, results_dir):
+    """MPI across nodes + SDC within each node, large case (4)."""
+    case = case_by_key("large4")
+    cluster = ClusterConfig(machine=paper_machine())
+
+    results = benchmark(
+        hybrid_scaling_study,
+        case.n_atoms,
+        case.box(),
+        [1, 2, 4, 8, 16],
+        16,
+        cluster,
+    )
+    lines = [
+        "Hybrid MPI+OpenMP — large case (4), 16 threads/node",
+        " nodes  grid        cores   speedup   efficiency   exchange/step",
+    ]
+    for r in results:
+        lines.append(
+            f"  {r.n_nodes:4d}  {str(r.node_grid):<10} {r.total_cores:5d} "
+            f"{r.speedup:9.1f} {r.speedup / r.total_cores:10.2%} "
+            f"{r.exchange_seconds * 1e3:10.3f} ms"
+        )
+    write_result(results_dir, "future_hybrid.txt", "\n".join(lines))
+
+    speedups = [r.speedup for r in results]
+    assert speedups == sorted(speedups)  # more nodes keep helping here
+    # but efficiency decays monotonically with node count
+    eff = [r.speedup / r.total_cores for r in results]
+    assert eff == sorted(eff, reverse=True)

@@ -1,0 +1,77 @@
+"""Sensitivity of the paper's conclusions to the simulated-machine knobs.
+
+The reproduction's headline orderings (SDC > RC > SAP@16 > CS; 2-D >= 3-D)
+must hold across a band of plausible machine parameters — otherwise the
+"reproduction" would just be curve fitting.  Each perturbation doubles or
+halves one cost family and re-checks the qualitative claims.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.harness.cases import case_by_key
+from repro.harness.runner import ExperimentRunner
+
+PERTURBATIONS = {
+    "baseline": {},
+    "2x-contention": {"mem_contention_coeff": 0.34},
+    "half-contention": {"mem_contention_coeff": 0.085},
+    "2x-sync": {
+        "fork_join_base_cycles": 2_600_000.0,
+        "phase_per_thread_cycles": 6_000.0,
+    },
+    "half-sync": {
+        "fork_join_base_cycles": 650_000.0,
+        "phase_per_thread_cycles": 1_500.0,
+    },
+    "2x-critical": {"critical_base_cycles": 60.0},
+    "2x-merge": {"cycles_array_merge": 6.0},
+    "bigger-caches": {
+        "cache_per_core_bytes": 4 * 1024 * 1024,
+        "llc_total_bytes": 64 * 1024 * 1024,
+    },
+}
+
+
+def orderings_hold(runner: ExperimentRunner) -> dict:
+    case = case_by_key("large3")
+    at16 = {
+        name: runner.strategy_speedup(case, name, 16).speedup
+        for name in (
+            "sdc-2d",
+            "sdc-3d",
+            "critical-section",
+            "array-privatization",
+            "redundant-computation",
+        )
+    }
+    return {
+        "sdc_beats_rc": at16["sdc-2d"] > at16["redundant-computation"],
+        "rc_beats_sap_at_16": at16["redundant-computation"]
+        > at16["array-privatization"],
+        "cs_is_last": all(
+            at16["critical-section"] <= v
+            for k, v in at16.items()
+            if k != "critical-section"
+        ),
+        "2d_not_worse_than_3d": at16["sdc-2d"] >= at16["sdc-3d"] - 1e-9,
+        "values": {k: round(v, 2) for k, v in at16.items()},
+    }
+
+
+@pytest.mark.parametrize("label", list(PERTURBATIONS))
+def test_conclusions_stable(benchmark, label, results_dir):
+    from repro.parallel.machine import paper_machine
+
+    machine = paper_machine().with_overrides(**PERTURBATIONS[label])
+    runner = ExperimentRunner(machine=machine)
+    outcome = benchmark(orderings_hold, runner)
+    write_result(
+        results_dir,
+        f"sensitivity_{label}.txt",
+        f"perturbation {label}: {outcome}",
+    )
+    assert outcome["sdc_beats_rc"], outcome
+    assert outcome["rc_beats_sap_at_16"], outcome
+    assert outcome["cs_is_last"], outcome
+    assert outcome["2d_not_worse_than_3d"], outcome

@@ -1,0 +1,48 @@
+"""Table I reproduction benchmark.
+
+Regenerates every cell of the paper's Table I (1-D/2-D/3-D SDC speedups on
+all four cases at 2-16 cores) on the simulated Xeon E7320 and writes the
+rendered table to ``benchmarks/results/table1.txt``.  The benchmark times
+the full regeneration; the assertions pin the agreement bands recorded in
+EXPERIMENTS.md.
+"""
+
+from conftest import write_result
+
+from repro.harness.report import format_table
+from repro.harness.runner import PAPER_THREADS
+from repro.harness.table1 import PAPER_TABLE1, reproduce_table1
+
+
+def test_table1_reproduction(benchmark, runner, results_dir):
+    result = benchmark(reproduce_table1, runner)
+
+    rendered = [result.render()]
+    # paper-vs-ours, row by row
+    rows = []
+    labels = []
+    for (case_key, dims), paper_values in sorted(PAPER_TABLE1.items()):
+        labels.append(f"{case_key} {dims}-D (paper)")
+        rows.append(paper_values)
+        labels.append(f"{case_key} {dims}-D (ours)")
+        rows.append(result.values(case_key, dims))
+    rendered.append(
+        format_table(
+            "Table I — paper vs reproduction",
+            labels,
+            [str(t) for t in PAPER_THREADS],
+            rows,
+            label_width=28,
+        )
+    )
+    rendered.append(
+        f"mean relative error: {result.mean_relative_error() * 100:.1f}%  "
+        f"max: {result.max_relative_error() * 100:.1f}%  "
+        f"blank pattern matches: {result.blank_pattern_matches()}"
+    )
+    write_result(results_dir, "table1.txt", "\n\n".join(rendered))
+
+    assert result.blank_pattern_matches()
+    assert result.mean_relative_error() < 0.05
+    benchmark.extra_info["mean_rel_err"] = result.mean_relative_error()
+    benchmark.extra_info["max_rel_err"] = result.max_relative_error()

@@ -1,0 +1,60 @@
+"""The complete irregular-reduction taxonomy on one case.
+
+Extends Fig. 9 with the two strategies the paper discusses but does not
+measure: hardware atomics (class 1's lock-free variant) and LOCALWRITE
+(class 3's owner-computes method, refs [19, 20]).  The expected total
+ordering at scale:
+
+    SDC  >  LOCALWRITE  >  RC  >  atomic ~ SAP  >  CS
+
+— SDC avoids both redundancy and synchronization; LOCALWRITE pays
+redundant *boundary* work only; RC pays it for every pair; atomics pay a
+coherence transaction per update; SAP collapses on merges and cache
+footprint; CS serializes outright.
+"""
+
+from conftest import write_result
+
+from repro.harness.cases import case_by_key
+from repro.harness.report import format_series
+from repro.harness.runner import PAPER_THREADS
+
+ALL_STRATEGIES = (
+    "sdc-2d",
+    "localwrite",
+    "redundant-computation",
+    "atomic",
+    "array-privatization",
+    "critical-section",
+)
+
+
+def test_full_taxonomy_panel(benchmark, runner, results_dir):
+    case = case_by_key("large3")
+
+    def sweep():
+        return {
+            name: [
+                runner.strategy_speedup(case, name, p).speedup
+                for p in PAPER_THREADS
+            ]
+            for name in ALL_STRATEGIES
+        }
+
+    series = benchmark(sweep)
+    write_result(
+        results_dir,
+        "taxonomy.txt",
+        format_series(
+            "Irregular-reduction taxonomy — large case (3), all strategies",
+            "cores",
+            list(PAPER_THREADS),
+            series,
+        ),
+    )
+    at16 = {name: series[name][-1] for name in ALL_STRATEGIES}
+    assert at16["sdc-2d"] > at16["localwrite"]
+    assert at16["localwrite"] > at16["redundant-computation"]
+    assert at16["redundant-computation"] > at16["array-privatization"]
+    assert at16["atomic"] > at16["critical-section"]
+    assert min(at16.values()) == at16["critical-section"]

@@ -1,0 +1,34 @@
+"""Benchmark fixtures: shared runner and a results directory.
+
+Every reproduction benchmark writes its rendered table/series to
+``benchmarks/results/`` so the regenerated rows survive pytest's output
+capture and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One paper-machine runner shared by all reproduction benchmarks."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one rendered artifact (also echoed for -s runs)."""
+    (results_dir / name).write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}]")

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The paper's future-work directions, explored.
+
+Section V names two: SDC on NUMA architectures, and hybrid MPI+OpenMP on
+multi-core clusters.  This example models both on top of the calibrated
+machine:
+
+1. **NUMA**: the same SDC plan timed under three page-placement policies
+   on a 4-socket machine with a 1.8x remote-access penalty;
+2. **Hybrid cluster**: classical spatial decomposition across nodes with
+   halo exchange, SDC inside each node, swept over node counts;
+3. **SDC beyond EAM**: the conclusion's "other potentials" claim, executed
+   for real — LJ dynamics through the SDC pair calculator.
+
+Run:  python examples/future_platforms.py
+"""
+
+import numpy as np
+
+from repro.core.strategies import SDCPairCalculator, SDCStrategy, SerialStrategy
+from repro.harness.cases import Case, case_by_key
+from repro.harness.runner import ExperimentRunner
+from repro.md.simulation import Simulation
+from repro.parallel.cluster import ClusterConfig, hybrid_scaling_study
+from repro.parallel.machine import paper_machine
+from repro.parallel.numa import NumaConfig, numa_study
+from repro.potentials.lj import LennardJones
+
+
+def numa_section(runner: ExperimentRunner) -> None:
+    print("=" * 72)
+    print("1. SDC on NUMA (future work #1)")
+    print("=" * 72)
+    case = case_by_key("large3")
+    numa = NumaConfig()
+    stats = runner.sdc_stats(case, dims=2, n_threads=16)
+    sdc_plan = SDCStrategy(dims=2, n_threads=16).plan(stats, runner.machine, 16)
+    serial_plan = SerialStrategy().plan(runner.flat_stats(case), runner.machine, 1)
+    speedups = numa_study(sdc_plan, serial_plan, paper_machine(), numa, 16)
+    print(
+        f"large case (3), 16 threads, {numa.n_sockets} sockets, "
+        f"remote penalty {numa.remote_penalty}x"
+    )
+    for placement, value in speedups.items():
+        print(f"  {placement:<12} speedup {value:6.2f}")
+    print(
+        "=> SDC's stable owner-computes structure makes first-touch "
+        "placement nearly free;\n   interleaved/naive placement forfeits "
+        f"{100 * (1 - speedups['interleaved'] / speedups['first-touch']):.0f}% "
+        "of the speedup."
+    )
+
+
+def hybrid_section() -> None:
+    print()
+    print("=" * 72)
+    print("2. hybrid MPI+OpenMP cluster (future work #2)")
+    print("=" * 72)
+    case = case_by_key("large4")
+    cluster = ClusterConfig(machine=paper_machine())
+    results = hybrid_scaling_study(
+        case.n_atoms, case.box(), [1, 2, 4, 8, 16, 32], 16, cluster
+    )
+    print(f"large case (4), {case.n_atoms:,} atoms, 16 threads per node")
+    print(" nodes  node grid   cores  speedup  efficiency  exchange/step")
+    for r in results:
+        print(
+            f"  {r.n_nodes:4d}  {str(r.node_grid):<10} {r.total_cores:5d} "
+            f"{r.speedup:8.1f} {r.speedup / r.total_cores:10.1%} "
+            f"{r.exchange_seconds * 1e3:9.3f} ms"
+        )
+
+
+def other_potentials_section() -> None:
+    print()
+    print("=" * 72)
+    print("3. SDC beyond EAM: Lennard-Jones through the same machinery")
+    print("=" * 72)
+    lj = LennardJones(epsilon=0.3, sigma=2.27, r_cut=3.6, r_switch=3.2)
+    case = Case(key="lj", label="lj", n_cells=8)
+    atoms = case.build(perturbation=0.03, temperature=60.0, seed=9)
+    sim = Simulation(
+        atoms, lj, calculator=SDCPairCalculator(dims=2, n_threads=2)
+    )
+    report = sim.run(40, sample_every=10)
+    energies = report.energies()
+    drift = abs(energies[-1] - energies[0]) / abs(energies[0])
+    print(
+        f"{atoms.n_atoms} LJ atoms, 40 NVE steps through SDCPairCalculator: "
+        f"relative energy drift {drift:.2e}"
+    )
+    print("=> the color-phase schedule is potential-agnostic, as claimed.")
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    numa_section(runner)
+    hybrid_section()
+    other_potentials_section()
+
+
+if __name__ == "__main__":
+    main()

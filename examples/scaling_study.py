@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation from the command line.
+
+Prints, in order:
+
+* the Section II.B subdomain census;
+* Table I (1-D/2-D/3-D SDC speedups, all four cases, 2-16 cores) with the
+  paper's published values alongside;
+* the four Fig. 9 panels (SDC vs CS vs SAP vs RC);
+* the Section II.D data-reordering gains.
+
+Everything runs on the simulated 16-core Xeon E7320 (see DESIGN.md for why
+the testbed is simulated) and completes in a few seconds.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.harness.census import census, render_census
+from repro.harness.fig9 import reproduce_all_panels
+from repro.harness.reordering import reproduce_reordering
+from repro.harness.report import format_table
+from repro.harness.runner import PAPER_THREADS, ExperimentRunner
+from repro.harness.table1 import PAPER_TABLE1, reproduce_table1
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+
+    print("=" * 76)
+    print("Section II.B — decomposition census")
+    print("=" * 76)
+    print(render_census(census()))
+
+    print()
+    print("=" * 76)
+    print("Table I — SDC speedups (ours vs paper)")
+    print("=" * 76)
+    table1 = reproduce_table1(runner)
+    rows, labels = [], []
+    for (case_key, dims), paper_values in sorted(PAPER_TABLE1.items()):
+        labels.append(f"{case_key} {dims}-D paper")
+        rows.append(paper_values)
+        labels.append(f"{case_key} {dims}-D ours")
+        rows.append(table1.values(case_key, dims))
+    print(
+        format_table(
+            "",
+            labels,
+            [str(t) for t in PAPER_THREADS],
+            rows,
+            label_width=24,
+        )
+    )
+    print(
+        f"\nmean relative error {table1.mean_relative_error() * 100:.1f}%, "
+        f"max {table1.max_relative_error() * 100:.1f}%, "
+        f"blank pattern matches: {table1.blank_pattern_matches()}"
+    )
+
+    print()
+    print("=" * 76)
+    print("Fig. 9 — strategy comparison panels")
+    print("=" * 76)
+    for panel in reproduce_all_panels(runner):
+        print()
+        print(panel.render())
+        if panel.case.key != "small":
+            print(
+                f"  SDC/RC at 16 cores: {panel.sdc_over_rc(16):.2f} "
+                "(paper: ~1.7)"
+            )
+
+    print()
+    print("=" * 76)
+    print("Section II.D — data reordering")
+    print("=" * 76)
+    print(reproduce_reordering(runner).render())
+
+
+if __name__ == "__main__":
+    main()

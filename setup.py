@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The container has no network access and no ``wheel`` package, so PEP-517
+editable installs (``pip install -e .``) cannot build. ``python setup.py
+develop`` achieves the same editable install using only setuptools; all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the reproduced artifacts so a user can regenerate any of
+them without writing code:
+
+* ``table1``     — Table I (SDC speedups by dimensionality).
+* ``fig9``       — the four strategy-comparison panels.
+* ``reordering`` — the Section II.D data-reordering gains.
+* ``census``     — the Section II.B subdomain census.
+* ``quickstart`` — a short real MD run through SDC.
+* ``hybrid``     — the future-work MPI+OpenMP scaling model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.harness.runner import ExperimentRunner
+    from repro.harness.table1 import reproduce_table1
+
+    result = reproduce_table1(ExperimentRunner())
+    print(result.render())
+    print(
+        f"\nmean relative error vs paper: "
+        f"{result.mean_relative_error() * 100:.1f}% "
+        f"(blank pattern matches: {result.blank_pattern_matches()})"
+    )
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.harness.fig9 import reproduce_all_panels
+    from repro.harness.runner import ExperimentRunner
+
+    for panel in reproduce_all_panels(ExperimentRunner()):
+        print(panel.render())
+        print()
+    return 0
+
+
+def _cmd_reordering(args: argparse.Namespace) -> int:
+    from repro.harness.reordering import reproduce_reordering
+    from repro.harness.runner import ExperimentRunner
+
+    print(reproduce_reordering(ExperimentRunner()).render())
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from repro.harness.census import census, render_census
+
+    print(render_census(census()))
+    return 0
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    import repro
+
+    atoms, report = repro.quickstart(
+        n_cells=args.cells, n_steps=args.steps
+    )
+    energies = report.energies()
+    drift = abs(energies[-1] - energies[0]) / abs(energies[0])
+    print(
+        f"{atoms.n_atoms} atoms, {report.n_steps} steps through SDC: "
+        f"relative energy drift {drift:.2e}"
+    )
+    return 0
+
+
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    from repro.harness.cases import case_by_key
+    from repro.parallel.cluster import ClusterConfig, hybrid_scaling_study
+    from repro.parallel.machine import paper_machine
+
+    case = case_by_key(args.case)
+    cluster = ClusterConfig(machine=paper_machine())
+    results = hybrid_scaling_study(
+        case.n_atoms, case.box(), args.nodes, args.threads, cluster
+    )
+    print(f"{case.label}: {case.n_atoms:,} atoms, {args.threads} threads/node")
+    print(" nodes   cores  speedup  efficiency")
+    for r in results:
+        print(
+            f"  {r.n_nodes:4d} {r.total_cores:7d} {r.speedup:8.1f} "
+            f"{r.speedup / r.total_cores:10.1%}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SDC-EAM paper reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="reproduce Table I").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("fig9", help="reproduce Fig. 9").set_defaults(func=_cmd_fig9)
+    sub.add_parser(
+        "reordering", help="reproduce the Section II.D gains"
+    ).set_defaults(func=_cmd_reordering)
+    sub.add_parser(
+        "census", help="Section II.B subdomain census"
+    ).set_defaults(func=_cmd_census)
+
+    quick = sub.add_parser("quickstart", help="run a short SDC MD trajectory")
+    quick.add_argument("--cells", type=int, default=6)
+    quick.add_argument("--steps", type=int, default=20)
+    quick.set_defaults(func=_cmd_quickstart)
+
+    hybrid = sub.add_parser(
+        "hybrid", help="future-work hybrid MPI+OpenMP scaling model"
+    )
+    hybrid.add_argument("--case", default="large4")
+    hybrid.add_argument("--threads", type=int, default=16)
+    hybrid.add_argument(
+        "--nodes", type=int, nargs="+", default=[1, 2, 4, 8]
+    )
+    hybrid.set_defaults(func=_cmd_hybrid)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

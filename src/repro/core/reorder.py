@@ -1,0 +1,168 @@
+"""Data-reordering optimizations (paper Section II.D).
+
+Three transformations the paper applies to both the serial and parallel
+codes:
+
+1. **Spatial atom sort** — atoms are renumbered in cell order, so the
+   irregular accesses ``rho[j]`` / ``force[j]`` of nearby atoms land on
+   nearby addresses.
+2. **Neighbor-row sort** — the ``j`` entries of each row are stored in
+   ascending order, turning the inner-loop gather into an almost-sequential
+   stream.
+3. **CSR regularization** — ``neighindex``/``neighlen`` become dense arrays
+   indexed directly by the loop counter (our CSR offsets already are; the
+   function exists so un-regularized inputs can be normalized and so the
+   locality metric can quantify the difference).
+
+The measured effect in the paper: 12 % faster serial, 39 % faster parallel
+on the large case (Eq. 3).  Here the effect is captured by
+:func:`locality_score`, which feeds the simulated machine's cache penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.md.neighbor.cells import build_cell_list
+from repro.md.neighbor.verlet import NeighborList
+from repro.utils.arrays import CSR, invert_permutation
+
+
+def spatial_sort_permutation(
+    positions: np.ndarray, box: Box, cell_size: float
+) -> np.ndarray:
+    """Permutation that orders atoms by cell id (stable within a cell).
+
+    Applying it with :meth:`repro.md.atoms.Atoms.reorder` gives new index
+    ``k`` to the atom previously at ``perm[k]``.
+    """
+    cells = build_cell_list(positions, box, cell_size)
+    return cells.order.copy()
+
+
+def reorder_atoms_spatially(
+    atoms: "object", cell_size: float
+) -> np.ndarray:
+    """Spatially sort an :class:`~repro.md.atoms.Atoms` object in place.
+
+    Returns the applied permutation so callers can remap any neighbor list
+    built against the old ordering (:func:`remap_neighbor_list`).
+    """
+    perm = spatial_sort_permutation(atoms.positions, atoms.box, cell_size)
+    atoms.reorder(perm)
+    return perm
+
+
+def remap_neighbor_list(nlist: NeighborList, perm: np.ndarray) -> NeighborList:
+    """Rewrite a neighbor list for atoms renumbered by ``perm``.
+
+    ``perm`` is the permutation passed to ``Atoms.reorder`` (new index k was
+    old ``perm[k]``).  Rows are permuted, ``j`` values remapped through the
+    inverse permutation, and the half-list ``i < j`` orientation restored by
+    flipping pairs the renumbering inverted.
+    """
+    inv = invert_permutation(perm)
+    old_i, old_j = nlist.pair_arrays()
+    new_i = inv[old_i]
+    new_j = inv[old_j]
+    if nlist.half:
+        flip = new_i > new_j
+        new_i[flip], new_j[flip] = new_j[flip], new_i[flip]
+    order = np.lexsort((new_j, new_i))
+    new_i, new_j = new_i[order], new_j[order]
+    lengths = np.bincount(new_i, minlength=nlist.n_atoms)
+    offsets = np.zeros(nlist.n_atoms + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return NeighborList(
+        csr=CSR(offsets=offsets, values=new_j),
+        cutoff=nlist.cutoff,
+        skin=nlist.skin,
+        half=nlist.half,
+        reference_positions=nlist.reference_positions[perm],
+        box=nlist.box,
+    )
+
+
+def sort_neighbor_rows(nlist: NeighborList) -> NeighborList:
+    """Sort each row's ``j`` entries ascending (paper optimization II.D-1).
+
+    The builders in this library already emit sorted rows; this exists to
+    normalize externally-constructed lists and to undo deliberate shuffling
+    in locality experiments.
+    """
+    values = nlist.csr.values.copy()
+    offsets = nlist.csr.offsets
+    for r in range(nlist.n_atoms):
+        lo, hi = offsets[r], offsets[r + 1]
+        values[lo:hi] = np.sort(values[lo:hi])
+    return NeighborList(
+        csr=CSR(offsets=offsets.copy(), values=values),
+        cutoff=nlist.cutoff,
+        skin=nlist.skin,
+        half=nlist.half,
+        reference_positions=nlist.reference_positions,
+        box=nlist.box,
+    )
+
+
+def shuffle_neighbor_structure(
+    nlist: NeighborList, rng: np.random.Generator
+) -> Tuple[NeighborList, np.ndarray]:
+    """Deliberately destroy locality (the *un*-optimized baseline).
+
+    Renumbers atoms with a random permutation — the memory layout a naive
+    input file ordering produces.  Returns the degraded list and the
+    permutation used (so tests can restore order).
+    """
+    perm = rng.permutation(nlist.n_atoms)
+    return remap_neighbor_list(nlist, perm), perm
+
+
+def regularize_csr(nlist: NeighborList) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense ``(neighindex, neighlen)`` arrays for a neighbor list.
+
+    Paper optimization II.D-2: the per-atom index/length metadata is stored
+    as two flat arrays scanned sequentially by the outer loop, instead of
+    being scattered behind a pointer per atom.
+    """
+    neighindex = nlist.csr.offsets[:-1].copy()
+    neighlen = nlist.csr.row_lengths().copy()
+    return neighindex, neighlen
+
+
+def locality_score(
+    nlist: NeighborList,
+    line_atoms: int = 8,
+    window_lines: int = 512,
+) -> float:
+    """Cache-friendliness of a neighbor list's access stream, in ``(0, 1]``.
+
+    Models the gather/scatter stream ``rho[j]`` of the density kernel: the
+    stream of ``j // line_atoms`` cache lines is split into windows of the
+    cache's capacity (``window_lines`` lines); the score is the fraction of
+    accesses per window that hit an already-touched line.  A perfectly
+    sorted bcc system scores near 1; a randomly renumbered one approaches
+    the compulsory-miss floor.
+
+    The simulated machine multiplies its memory-penalty term by
+    ``(1 - score)``, which is how the Section II.D reordering shows up in
+    reproduced timings.
+    """
+    if line_atoms < 1 or window_lines < 1:
+        raise ValueError("line_atoms and window_lines must be >= 1")
+    _, j_idx = nlist.pair_arrays()
+    if len(j_idx) == 0:
+        return 1.0
+    lines = j_idx // line_atoms
+    window = window_lines * 4  # accesses per window (several per line expected)
+    n = len(lines)
+    misses = 0
+    for start in range(0, n, window):
+        chunk = lines[start : start + window]
+        distinct = len(np.unique(chunk))
+        misses += min(distinct, window_lines) + max(distinct - window_lines, 0)
+    hit_fraction = 1.0 - misses / n
+    return float(max(hit_fraction, 1e-6))

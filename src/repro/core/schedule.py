@@ -1,0 +1,113 @@
+"""Color-phase scheduling — step 3 of the SDC method.
+
+For each color in turn, the subdomains of that color form one parallel
+phase: an OpenMP ``for`` loop whose iterations are distributed among
+threads with static scheduling, terminated by the loop's implicit barrier.
+This module builds those phases and computes the load-balance numbers the
+paper's discussion section reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.coloring import Coloring
+
+
+def static_assignment(n_items: int, n_threads: int) -> List[np.ndarray]:
+    """OpenMP static schedule: near-equal contiguous chunks per thread.
+
+    Matches ``#pragma omp for schedule(static)``: the first
+    ``n_items % n_threads`` threads receive one extra iteration.  Threads
+    beyond ``n_items`` receive empty chunks (the idle-core situation of 1-D
+    SDC on the small case).
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    if n_items < 0:
+        raise ValueError("n_items must be >= 0")
+    base = n_items // n_threads
+    extra = n_items % n_threads
+    chunks: List[np.ndarray] = []
+    start = 0
+    for t in range(n_threads):
+        size = base + (1 if t < extra else 0)
+        chunks.append(np.arange(start, start + size, dtype=np.int64))
+        start += size
+    return chunks
+
+
+@dataclass(frozen=True)
+class ColorSchedule:
+    """Execution order for one force phase under SDC.
+
+    Attributes
+    ----------
+    phases:
+        one array of subdomain ids per color, executed serially in color
+        order; within a phase the subdomains run in parallel.
+    """
+
+    coloring: Coloring
+    phases: List[np.ndarray]
+
+    @property
+    def n_colors(self) -> int:
+        """Number of serial color phases."""
+        return len(self.phases)
+
+    def thread_assignment(
+        self, color: int, n_threads: int
+    ) -> List[np.ndarray]:
+        """Subdomain ids per thread for one color phase (static schedule)."""
+        members = self.phases[color]
+        chunks = static_assignment(len(members), n_threads)
+        return [members[chunk] for chunk in chunks]
+
+    def max_parallelism(self) -> int:
+        """Largest thread count any phase can keep busy."""
+        return max((len(p) for p in self.phases), default=0)
+
+    def min_parallelism(self) -> int:
+        """Smallest per-phase subdomain count (the binding constraint)."""
+        return min((len(p) for p in self.phases), default=0)
+
+
+def build_schedule(coloring: Coloring) -> ColorSchedule:
+    """Group subdomains into per-color phases, ascending ids within each."""
+    phases = [coloring.members(c) for c in range(coloring.n_colors)]
+    return ColorSchedule(coloring=coloring, phases=phases)
+
+
+def phase_makespan(work: np.ndarray, n_threads: int) -> float:
+    """Simulated makespan of one parallel phase under static scheduling.
+
+    ``work[k]`` is the cost of the phase's ``k``-th subdomain; the phase
+    finishes when its slowest thread finishes.  This is where SDC's load
+    imbalance (the paper's acknowledged disadvantage) enters the model.
+    """
+    work = np.asarray(work, dtype=np.float64)
+    if np.any(work < 0):
+        raise ValueError("work must be non-negative")
+    chunks = static_assignment(len(work), n_threads)
+    if not len(work):
+        return 0.0
+    return max(float(work[chunk].sum()) for chunk in chunks)
+
+
+def load_imbalance(work: np.ndarray, n_threads: int) -> float:
+    """Makespan / ideal ratio (1.0 = perfectly balanced).
+
+    Ideal is ``sum(work) / n_threads``; returns ``inf`` when there is work
+    but the makespan-bearing thread count exceeds the subdomain count so
+    much that some threads idle an entire phase.
+    """
+    work = np.asarray(work, dtype=np.float64)
+    total = float(work.sum())
+    if total == 0.0:
+        return 1.0
+    ideal = total / n_threads
+    return phase_makespan(work, n_threads) / ideal

@@ -1,0 +1,119 @@
+"""Strategy interface and shared kernel plumbing.
+
+A :class:`ReductionStrategy` does two things:
+
+* :meth:`compute` — actually evaluate the 3-phase EAM computation on a
+  real system, organizing the irregular reductions the way the strategy
+  prescribes (this is what the equivalence tests compare against the
+  serial kernels);
+* :meth:`plan` — describe that organization as a
+  :class:`~repro.parallel.plan.SimPlan` so the simulated machine can time
+  it at any core count (this is what regenerates the paper's tables).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Optional
+
+import numpy as np
+
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import NeighborList
+from repro.parallel.machine import MachineConfig
+from repro.parallel.plan import SimPlan
+from repro.parallel.workload import WorkloadStats
+from repro.potentials.base import EAMPotential
+from repro.potentials.eam import EAMComputation, pair_geometry
+
+
+class ReductionStrategy(ABC):
+    """One way of parallelizing the EAM irregular reductions."""
+
+    #: registry key, e.g. ``"sdc"`` or ``"critical-section"``
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def compute(
+        self,
+        potential: EAMPotential,
+        atoms: Atoms,
+        nlist: NeighborList,
+    ) -> EAMComputation:
+        """Evaluate densities, embedding and forces; update ``atoms``."""
+
+    @abstractmethod
+    def plan(
+        self,
+        stats: WorkloadStats,
+        machine: MachineConfig,
+        n_threads: int,
+    ) -> SimPlan:
+        """Build the execution plan the simulator times."""
+
+    # --- shared helpers -------------------------------------------------------
+
+    @staticmethod
+    def _total_pair_energy(
+        potential: EAMPotential,
+        atoms: Atoms,
+        nlist: NeighborList,
+    ) -> float:
+        """Pair-energy sum (not part of the timed kernels; shared by all)."""
+        i_idx, j_idx = nlist.pair_arrays()
+        if len(i_idx) == 0:
+            return 0.0
+        _, r = pair_geometry(atoms.positions, atoms.box, i_idx, j_idx)
+        v = potential.pair_energy(r)
+        return float(np.sum(v)) * (1.0 if nlist.half else 0.5)
+
+    @staticmethod
+    def _finalize(
+        potential: EAMPotential,
+        atoms: Atoms,
+        nlist: NeighborList,
+        rho: np.ndarray,
+        fp: np.ndarray,
+        forces: np.ndarray,
+        embedding_energy: float,
+        pair_energy: float,
+    ) -> EAMComputation:
+        """Store results into ``atoms`` and wrap them up."""
+        atoms.rho[:] = rho
+        atoms.fp[:] = fp
+        atoms.forces[:] = forces
+        return EAMComputation(
+            pair_energy=pair_energy,
+            embedding_energy=embedding_energy,
+            rho=rho,
+            fp=fp,
+            forces=forces,
+        )
+
+
+def atom_chunks(n_atoms: int, n_chunks: int) -> list[np.ndarray]:
+    """Contiguous near-equal atom-row chunks (OpenMP static over atoms)."""
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    base = n_atoms // n_chunks
+    extra = n_atoms % n_chunks
+    out = []
+    start = 0
+    for k in range(n_chunks):
+        size = base + (1 if k < extra else 0)
+        out.append(np.arange(start, start + size, dtype=np.int64))
+        start += size
+    return out
+
+
+def rows_pair_slice(
+    nlist: NeighborList, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat ``(i, j)`` pair arrays for the rows of a chunk of atoms."""
+    offsets = nlist.csr.offsets
+    lengths = nlist.csr.row_lengths()
+    from repro.md.neighbor.cells import concat_ranges
+
+    slots = concat_ranges(offsets[rows], lengths[rows])
+    i_idx = np.repeat(rows, lengths[rows])
+    return i_idx, nlist.csr.values[slots]

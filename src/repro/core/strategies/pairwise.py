@@ -1,0 +1,174 @@
+"""SDC applied to plain pair potentials.
+
+The paper's conclusion: "it is obvious that our method can be applied in
+MD simulations with other potentials."  This module demonstrates that: the
+same decomposition/coloring/partition machinery parallelizes the
+*single-phase* force computation of a pair-wise potential (one irregular
+reduction instead of EAM's two).
+
+Both calculators satisfy the :class:`~repro.md.simulation.ForceCalculator`
+protocol, so the MD driver runs LJ dynamics through SDC unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.coloring import lattice_coloring, validate_coloring
+from repro.core.domain import decompose, decompose_balanced
+from repro.core.partition import build_pair_partition, build_partition
+from repro.core.schedule import build_schedule
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import NeighborList
+from repro.parallel.backends.base import ExecutionBackend
+from repro.parallel.backends.serial import SerialBackend
+from repro.potentials.base import PairPotential
+from repro.potentials.eam import EAMComputation, pair_geometry
+from repro.utils.arrays import segment_sum
+
+
+def _pair_forces(
+    potential: PairPotential,
+    positions: np.ndarray,
+    box,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+) -> np.ndarray:
+    """Per-pair force vectors ``-V'(r)/r * delta`` for a pair slice."""
+    delta, r = pair_geometry(positions, box, i_idx, j_idx)
+    coeff = -potential.pair_energy_deriv(r) / np.maximum(r, 1e-12)
+    return coeff[:, None] * delta
+
+
+class SerialPairCalculator:
+    """Single-phase serial force computation for a pair potential.
+
+    Returns an :class:`EAMComputation` with zero density/embedding fields
+    so the MD driver's bookkeeping stays uniform.
+    """
+
+    name = "pair-serial"
+
+    def compute(
+        self, potential: PairPotential, atoms: Atoms, nlist: NeighborList
+    ) -> EAMComputation:
+        n = atoms.n_atoms
+        i_idx, j_idx = nlist.pair_arrays()
+        forces = np.zeros((n, 3))
+        pair_energy = 0.0
+        if len(i_idx):
+            pf = _pair_forces(potential, atoms.positions, atoms.box, i_idx, j_idx)
+            forces += segment_sum(pf, i_idx, n)
+            if nlist.half:
+                forces -= segment_sum(pf, j_idx, n)
+            _, r = pair_geometry(atoms.positions, atoms.box, i_idx, j_idx)
+            pair_energy = float(np.sum(potential.pair_energy(r))) * (
+                1.0 if nlist.half else 0.5
+            )
+        atoms.forces[:] = forces
+        atoms.rho[:] = 0.0
+        atoms.fp[:] = 0.0
+        return EAMComputation(
+            pair_energy=pair_energy,
+            embedding_energy=0.0,
+            rho=np.zeros(n),
+            fp=np.zeros(n),
+            forces=forces,
+        )
+
+
+class SDCPairCalculator:
+    """SDC-parallelized single-phase pair-potential forces.
+
+    One color loop instead of EAM's two: for each color, all subdomains of
+    that color scatter their pairs' forces into the shared array without
+    locks (same disjoint-write argument as the EAM case, verified by the
+    same conflict checker).
+    """
+
+    name = "pair-sdc"
+
+    def __init__(
+        self,
+        dims: int = 2,
+        n_threads: int = 1,
+        backend: Optional[ExecutionBackend] = None,
+        axes: Optional[Sequence[int]] = None,
+        adaptive: bool = True,
+    ) -> None:
+        if dims not in (1, 2, 3):
+            raise ValueError(f"dims must be 1, 2 or 3, got {dims}")
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.dims = dims
+        self.n_threads = n_threads
+        self.backend = backend or SerialBackend()
+        self.axes = list(axes) if axes is not None else None
+        self.adaptive = adaptive
+        self._cached_nlist_id: Optional[int] = None
+        self._pairs = None
+        self._schedule = None
+
+    def _prepare(self, atoms: Atoms, nlist: NeighborList) -> None:
+        if self._cached_nlist_id == id(nlist) and self._pairs is not None:
+            return
+        reach = nlist.cutoff + nlist.skin
+        if self.adaptive:
+            grid = decompose_balanced(
+                atoms.box, reach, self.dims, self.n_threads, axes=self.axes
+            )
+        else:
+            grid = decompose(atoms.box, reach, self.dims, axes=self.axes)
+        coloring = lattice_coloring(grid)
+        validate_coloring(grid, coloring)
+        partition = build_partition(nlist.reference_positions, grid)
+        self._pairs = build_pair_partition(partition, nlist)
+        self._schedule = build_schedule(coloring)
+        self._cached_nlist_id = id(nlist)
+
+    def compute(
+        self, potential: PairPotential, atoms: Atoms, nlist: NeighborList
+    ) -> EAMComputation:
+        if not nlist.half:
+            raise ValueError("SDC pair calculator consumes half lists")
+        self._prepare(atoms, nlist)
+        assert self._pairs is not None and self._schedule is not None
+        pairs = self._pairs
+        positions = atoms.positions
+        box = atoms.box
+        n = atoms.n_atoms
+        forces = np.zeros((n, 3))
+
+        def task(subdomain: int):
+            def run() -> None:
+                i_idx, j_idx = pairs.pairs_of(subdomain)
+                if len(i_idx) == 0:
+                    return
+                pf = _pair_forces(potential, positions, box, i_idx, j_idx)
+                for axis in range(3):
+                    np.add.at(forces[:, axis], i_idx, pf[:, axis])
+                    np.subtract.at(forces[:, axis], j_idx, pf[:, axis])
+
+            return run
+
+        for members in self._schedule.phases:
+            self.backend.run_phase([task(int(s)) for s in members])
+
+        i_idx, j_idx = nlist.pair_arrays()
+        if len(i_idx):
+            _, r = pair_geometry(positions, box, i_idx, j_idx)
+            pair_energy = float(np.sum(potential.pair_energy(r)))
+        else:
+            pair_energy = 0.0
+        atoms.forces[:] = forces
+        atoms.rho[:] = 0.0
+        atoms.fp[:] = 0.0
+        return EAMComputation(
+            pair_energy=pair_energy,
+            embedding_energy=0.0,
+            rho=np.zeros(n),
+            fp=np.zeros(n),
+            forces=forces,
+        )

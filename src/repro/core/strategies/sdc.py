@@ -1,0 +1,278 @@
+"""Spatial Decomposition Coloring — the paper's method (Section II.B-C).
+
+Execution structure per force evaluation (paper Figs. 7-8):
+
+* **density region**: for each color, all subdomains of that color run in
+  parallel; each subdomain task evaluates phi over its owned half-list
+  pairs and scatters into both endpoints.  No locks — same-color write
+  sets are disjoint by construction.  Implicit barrier between colors.
+* **embedding region**: a plain parallel-for over atoms (no dependences).
+* **force region**: same color structure with the Eq. 2 scatter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.coloring import lattice_coloring, validate_coloring
+from repro.core.conflict import check_schedule_conflicts
+from repro.core.domain import SubdomainGrid, decompose, decompose_balanced
+from repro.core.partition import (
+    PairPartition,
+    build_pair_partition,
+    build_partition,
+)
+from repro.core.schedule import ColorSchedule, build_schedule
+from repro.core.strategies.base import ReductionStrategy, atom_chunks
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import NeighborList
+from repro.parallel.backends.base import ExecutionBackend
+from repro.parallel.backends.serial import SerialBackend
+from repro.parallel.machine import MachineConfig
+from repro.parallel.plan import SimPhase, SimPlan, uniform_phase
+from repro.parallel.workload import BYTES_PER_ATOM, WorkloadStats
+from repro.potentials.base import EAMPotential
+from repro.potentials.eam import (
+    EAMComputation,
+    force_pair_coefficients,
+    pair_geometry,
+)
+
+
+class SDCStrategy(ReductionStrategy):
+    """The Spatial Decomposition Coloring strategy.
+
+    Parameters
+    ----------
+    dims:
+        1, 2 or 3 — the decomposition dimensionality (2 is the paper's
+        best performer).
+    n_threads:
+        thread count used for the embedding chunking, for balanced
+        decomposition selection, and as the default plan width.
+    backend:
+        how task closures execute (:class:`SerialBackend` by default;
+        :class:`~repro.parallel.backends.threads.ThreadBackend` for real
+        concurrency).
+    adaptive:
+        choose per-axis subdomain counts that divide evenly over
+        ``n_threads`` (the paper's load-balance discussion); when False the
+        constraint-maximal counts are used.
+    validate_conflicts:
+        run the conflict checker on every new decomposition and raise if a
+        same-color write overlap exists (a correctness tripwire; cheap
+        relative to forces, but off by default).
+    """
+
+    name = "sdc"
+
+    def __init__(
+        self,
+        dims: int = 2,
+        n_threads: int = 1,
+        backend: Optional[ExecutionBackend] = None,
+        axes: Optional[Sequence[int]] = None,
+        adaptive: bool = True,
+        validate_conflicts: bool = False,
+        max_per_axis: Optional[int] = None,
+    ) -> None:
+        if dims not in (1, 2, 3):
+            raise ValueError(f"dims must be 1, 2 or 3, got {dims}")
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.dims = dims
+        self.n_threads = n_threads
+        self.backend = backend or SerialBackend()
+        self.axes = list(axes) if axes is not None else None
+        self.adaptive = adaptive
+        self.validate_conflicts = validate_conflicts
+        self.max_per_axis = max_per_axis
+        self._cached_nlist_id: Optional[int] = None
+        self._grid: Optional[SubdomainGrid] = None
+        self._pairs: Optional[PairPartition] = None
+        self._schedule: Optional[ColorSchedule] = None
+
+    # --- decomposition ---------------------------------------------------------
+
+    def _prepare(self, atoms: Atoms, nlist: NeighborList) -> None:
+        """(Re)build grid/partition/coloring when the neighbor list changed.
+
+        Matches the paper: "steps 1 and 2 will be done when the neighbor
+        list is created or updated".
+        """
+        if self._cached_nlist_id == id(nlist) and self._pairs is not None:
+            return
+        reach = nlist.cutoff + nlist.skin
+        if self.adaptive:
+            grid = decompose_balanced(
+                atoms.box, reach, self.dims, self.n_threads, axes=self.axes
+            )
+        else:
+            grid = decompose(
+                atoms.box,
+                reach,
+                self.dims,
+                axes=self.axes,
+                max_per_axis=self.max_per_axis,
+            )
+        coloring = lattice_coloring(grid)
+        validate_coloring(grid, coloring)
+        partition = build_partition(nlist.reference_positions, grid)
+        pairs = build_pair_partition(partition, nlist)
+        schedule = build_schedule(coloring)
+        if self.validate_conflicts:
+            report = check_schedule_conflicts(pairs, schedule)
+            if not report.ok:
+                raise RuntimeError(
+                    f"SDC schedule has {report.n_conflicting_atoms} write "
+                    f"conflicts; first: {report.conflicts[:3]}"
+                )
+        self._grid = grid
+        self._pairs = pairs
+        self._schedule = schedule
+        self._cached_nlist_id = id(nlist)
+
+    @property
+    def grid(self) -> Optional[SubdomainGrid]:
+        """The current decomposition (None before the first compute)."""
+        return self._grid
+
+    # --- physics -----------------------------------------------------------------
+
+    def compute(
+        self,
+        potential: EAMPotential,
+        atoms: Atoms,
+        nlist: NeighborList,
+    ) -> EAMComputation:
+        if not nlist.half:
+            raise ValueError("SDC consumes half neighbor lists")
+        self._prepare(atoms, nlist)
+        assert self._pairs is not None and self._schedule is not None
+        pairs = self._pairs
+        schedule = self._schedule
+        positions = atoms.positions
+        box = atoms.box
+        n = atoms.n_atoms
+
+        # phase 1: densities, color by color
+        rho = np.zeros(n)
+
+        def density_task(subdomain: int):
+            def run() -> None:
+                i_idx, j_idx = pairs.pairs_of(subdomain)
+                if len(i_idx) == 0:
+                    return
+                _, r = pair_geometry(positions, box, i_idx, j_idx)
+                phi = potential.density(r)
+                np.add.at(rho, i_idx, phi)
+                np.add.at(rho, j_idx, phi)
+
+            return run
+
+        for members in schedule.phases:
+            self.backend.run_phase([density_task(int(s)) for s in members])
+
+        # phase 2: embedding, plain parallel for
+        fp = np.empty(n)
+        emb_parts = np.zeros(self.n_threads)
+
+        def embed_task(k: int, rows: np.ndarray):
+            def run() -> None:
+                emb_parts[k] = float(np.sum(potential.embed(rho[rows])))
+                fp[rows] = potential.embed_deriv(rho[rows])
+
+            return run
+
+        chunks = atom_chunks(n, self.n_threads)
+        self.backend.run_phase(
+            [embed_task(k, rows) for k, rows in enumerate(chunks)]
+        )
+        embedding_energy = float(np.sum(emb_parts))
+
+        # phase 3: forces, color by color
+        forces = np.zeros((n, 3))
+
+        def force_task(subdomain: int):
+            def run() -> None:
+                i_idx, j_idx = pairs.pairs_of(subdomain)
+                if len(i_idx) == 0:
+                    return
+                delta, r = pair_geometry(positions, box, i_idx, j_idx)
+                coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+                pair_forces = coeff[:, None] * delta
+                for axis in range(3):
+                    np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
+                    np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
+
+            return run
+
+        for members in schedule.phases:
+            self.backend.run_phase([force_task(int(s)) for s in members])
+
+        pair_energy = self._total_pair_energy(potential, atoms, nlist)
+        return self._finalize(
+            potential, atoms, nlist, rho, fp, forces, embedding_energy, pair_energy
+        )
+
+    # --- timing plan ----------------------------------------------------------------
+
+    def plan(
+        self,
+        stats: WorkloadStats,
+        machine: MachineConfig,
+        n_threads: int,
+    ) -> SimPlan:
+        """SDC plan: per-color subdomain task phases + embedding.
+
+        ``stats`` must carry subdomain statistics built against *this*
+        strategy's decomposition dimensionality (the harness pairs them).
+        """
+        if stats.sub is None or stats.n_colors == 0:
+            raise ValueError("SDC plan needs subdomain statistics")
+        sub = stats.sub
+        phases: List[SimPhase] = []
+
+        def scatter_phases(kind: str, c_compute: float, c_memory: float) -> None:
+            for color, members in enumerate(stats.color_members):
+                pairs = sub.pairs[members].astype(float)
+                ws = sub.write_atoms[members].astype(float) * BYTES_PER_ATOM
+                phases.append(
+                    SimPhase.make(
+                        name=f"{kind}:color{color}",
+                        n_tasks=len(members),
+                        compute=pairs * c_compute,
+                        memory=pairs * c_memory,
+                        working_set=ws,
+                        barrier=True,
+                        locality=stats.locality,
+                    )
+                )
+
+        scatter_phases(
+            "density",
+            machine.cycles_pair_density_compute,
+            machine.cycles_pair_density_memory,
+        )
+        per_chunk = stats.n_atoms / max(n_threads, 1)
+        phases.append(
+            uniform_phase(
+                "embedding",
+                n_tasks=n_threads,
+                compute_per_task=per_chunk * machine.cycles_atom_embed_compute,
+                memory_per_task=per_chunk * machine.cycles_atom_embed_memory,
+                locality=stats.locality,
+            )
+        )
+        scatter_phases(
+            "force",
+            machine.cycles_pair_force_compute,
+            machine.cycles_pair_force_memory,
+        )
+        return SimPlan(
+            name=f"{self.name}-{self.dims}d",
+            phases=phases,
+            n_parallel_regions=3,
+        )

@@ -1,0 +1,22 @@
+"""Simulation geometry: periodic boxes, crystal lattices, spatial regions."""
+
+from repro.geometry.box import Box
+from repro.geometry.lattice import (
+    bcc_lattice,
+    fcc_lattice,
+    sc_lattice,
+    perturb_positions,
+)
+from repro.geometry.region import BoxRegion, Region, SlabRegion, SphereRegion
+
+__all__ = [
+    "Box",
+    "bcc_lattice",
+    "fcc_lattice",
+    "sc_lattice",
+    "perturb_positions",
+    "Region",
+    "SphereRegion",
+    "SlabRegion",
+    "BoxRegion",
+]

@@ -1,0 +1,117 @@
+"""Spatial region selections.
+
+Example applications (micro-deformation of pure Fe, the paper's motivating
+workload) need to address subsets of atoms geometrically: clamp a boundary
+slab, displace a spherical indenter region, etc.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.box import Box
+
+
+class Region(ABC):
+    """A geometric predicate over positions."""
+
+    @abstractmethod
+    def contains(self, positions: np.ndarray, box: Box) -> np.ndarray:
+        """Boolean mask of positions inside the region (minimum-image aware)."""
+
+    def select(self, positions: np.ndarray, box: Box) -> np.ndarray:
+        """Indices of atoms inside the region."""
+        return np.flatnonzero(self.contains(positions, box))
+
+    def __invert__(self) -> "Region":
+        return _Complement(self)
+
+    def __and__(self, other: "Region") -> "Region":
+        return _Intersection(self, other)
+
+    def __or__(self, other: "Region") -> "Region":
+        return _Union(self, other)
+
+
+@dataclass(frozen=True)
+class SphereRegion(Region):
+    """Atoms within ``radius`` of ``center`` (periodic distance)."""
+
+    center: Sequence[float]
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"radius must be >= 0, got {self.radius}")
+
+    def contains(self, positions: np.ndarray, box: Box) -> np.ndarray:
+        center = np.asarray(self.center, dtype=np.float64)
+        return box.distance(positions, center) <= self.radius
+
+
+@dataclass(frozen=True)
+class SlabRegion(Region):
+    """Atoms whose coordinate along ``axis`` lies in ``[lo, hi)``."""
+
+    axis: int
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {self.axis}")
+        if self.hi < self.lo:
+            raise ValueError(f"slab needs hi >= lo, got [{self.lo}, {self.hi})")
+
+    def contains(self, positions: np.ndarray, box: Box) -> np.ndarray:
+        coord = np.asarray(positions)[..., self.axis]
+        return (coord >= self.lo) & (coord < self.hi)
+
+
+@dataclass(frozen=True)
+class BoxRegion(Region):
+    """Axis-aligned sub-box ``[lo, hi)`` in all three axes."""
+
+    lo: Sequence[float]
+    hi: Sequence[float]
+
+    def contains(self, positions: np.ndarray, box: Box) -> np.ndarray:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        positions = np.asarray(positions)
+        mask = np.ones(positions.shape[:-1], dtype=bool)
+        for axis in range(3):
+            mask &= (positions[..., axis] >= lo[axis]) & (
+                positions[..., axis] < hi[axis]
+            )
+        return mask
+
+
+@dataclass(frozen=True)
+class _Complement(Region):
+    inner: Region
+
+    def contains(self, positions: np.ndarray, box: Box) -> np.ndarray:
+        return ~self.inner.contains(positions, box)
+
+
+@dataclass(frozen=True)
+class _Intersection(Region):
+    left: Region
+    right: Region
+
+    def contains(self, positions: np.ndarray, box: Box) -> np.ndarray:
+        return self.left.contains(positions, box) & self.right.contains(positions, box)
+
+
+@dataclass(frozen=True)
+class _Union(Region):
+    left: Region
+    right: Region
+
+    def contains(self, positions: np.ndarray, box: Box) -> np.ndarray:
+        return self.left.contains(positions, box) | self.right.contains(positions, box)

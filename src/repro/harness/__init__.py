@@ -1,0 +1,46 @@
+"""Experiment harness: the paper's test cases, runner, and reproductions.
+
+* :mod:`repro.harness.cases` — the four bcc-Fe test cases of Section III.B
+  (plus scaled-down variants for correctness-speed runs).
+* :mod:`repro.harness.runner` — builds workloads + plans and produces the
+  paper's speedup numbers on the simulated machine.
+* :mod:`repro.harness.table1` — Table I (1-D/2-D/3-D SDC speedups).
+* :mod:`repro.harness.fig9` — Fig. 9 (SDC vs CS vs SAP vs RC curves).
+* :mod:`repro.harness.reordering` — Section II.D's 12 %/39 % data-
+  reordering gains.
+* :mod:`repro.harness.report` — plain-text table/series formatting.
+"""
+
+from repro.harness.cases import PAPER_CASES, TEST_CASES, Case, case_by_key
+from repro.harness.census import census, render_census
+from repro.harness.fig9 import reproduce_all_panels, reproduce_fig9
+from repro.harness.reordering import reproduce_reordering
+from repro.harness.runner import ExperimentRunner, SpeedupCell
+from repro.harness.table1 import reproduce_table1
+from repro.harness.workloads import (
+    crystal_slab,
+    crystal_with_void,
+    density_gradient_gas,
+    nanoparticle,
+    uniform_crystal,
+)
+
+__all__ = [
+    "PAPER_CASES",
+    "TEST_CASES",
+    "Case",
+    "case_by_key",
+    "census",
+    "render_census",
+    "reproduce_all_panels",
+    "reproduce_fig9",
+    "reproduce_reordering",
+    "ExperimentRunner",
+    "SpeedupCell",
+    "reproduce_table1",
+    "crystal_slab",
+    "crystal_with_void",
+    "density_gradient_gas",
+    "nanoparticle",
+    "uniform_crystal",
+]

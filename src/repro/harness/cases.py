@@ -1,0 +1,136 @@
+"""The paper's experimental cases (Section III.B).
+
+All four cases are bcc iron supercells under periodic boundary conditions;
+the published atom counts factor exactly as ``2 * n^3`` conventional cells:
+
+=========  =======  ===========
+case       n cells  atoms
+=========  =======  ===========
+small (1)     30       54 000
+medium (2)    51      265 302
+large (3)     81    1 062 882
+large (4)    120    3 456 000
+=========  =======  ===========
+
+Cases can be *materialized* (build every atom — used at correctness scale)
+or used *analytically* (atom/pair counts from geometry — how the harness
+reproduces the timing tables without allocating 3.4 M atoms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.geometry.box import Box
+from repro.geometry.lattice import (
+    bcc_lattice,
+    neighbors_within_cutoff_bcc,
+    perturb_positions,
+)
+from repro.md.atoms import Atoms
+from repro.utils.rng import default_rng, velocity_from_temperature
+
+
+@dataclass(frozen=True)
+class Case:
+    """One experimental system: a cubic bcc-Fe supercell.
+
+    Attributes
+    ----------
+    key:
+        short identifier ("small", "medium", ...).
+    n_cells:
+        conventional cells per axis.
+    """
+
+    key: str
+    label: str
+    n_cells: int
+    lattice_a: float = units.FE_BCC_LATTICE_A
+
+    @property
+    def n_atoms(self) -> int:
+        """Exact atom count (2 per conventional bcc cell)."""
+        return 2 * self.n_cells**3
+
+    def box(self) -> Box:
+        """The periodic box of the case (no materialization)."""
+        edge = self.n_cells * self.lattice_a
+        return Box((edge, edge, edge))
+
+    def pairs_per_atom(self, reach: float) -> float:
+        """Half-list pairs per atom for the perfect crystal at ``reach``."""
+        return neighbors_within_cutoff_bcc(self.lattice_a, reach) / 2.0
+
+    def build(
+        self,
+        perturbation: float = 0.05,
+        temperature: Optional[float] = None,
+        seed: int = 0,
+    ) -> Atoms:
+        """Materialize the case as an :class:`Atoms` object.
+
+        ``perturbation`` jitters atoms off perfect lattice sites (non-zero
+        forces); ``temperature`` draws Maxwell-Boltzmann velocities.
+        Intended for the small/scaled cases — the 3.4 M-atom case is legal
+        but slow to build.
+        """
+        rng = default_rng(seed)
+        positions, box = bcc_lattice(
+            self.lattice_a, (self.n_cells, self.n_cells, self.n_cells)
+        )
+        if perturbation > 0:
+            positions = perturb_positions(positions, box, perturbation, rng)
+        atoms = Atoms(box=box, positions=positions)
+        if temperature is not None:
+            atoms.velocities = velocity_from_temperature(
+                rng,
+                atoms.n_atoms,
+                units.FE_MASS_AMU,
+                temperature,
+                units.MVV_TO_EV,
+                units.KB_EV_PER_K,
+            )
+        return atoms
+
+
+#: the paper's four measured cases, in publication order
+PAPER_CASES: Tuple[Case, ...] = (
+    Case(key="small", label="Small-scale case (1)", n_cells=30),
+    Case(key="medium", label="Medium-scale case (2)", n_cells=51),
+    Case(key="large3", label="Large-scale case (3)", n_cells=81),
+    Case(key="large4", label="Large-scale case (4)", n_cells=120),
+)
+
+#: scaled-down variants for correctness-speed runs (same structure)
+TEST_CASES: Tuple[Case, ...] = (
+    Case(key="tiny", label="Tiny correctness case", n_cells=6),
+    Case(key="mini", label="Mini correctness case", n_cells=10),
+    Case(key="demo", label="Demo case", n_cells=16),
+)
+
+_ALL: Dict[str, Case] = {c.key: c for c in PAPER_CASES + TEST_CASES}
+
+
+def case_by_key(key: str) -> Case:
+    """Look up any known case by key; raises ``KeyError`` with choices."""
+    try:
+        return _ALL[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown case {key!r}; choices: {sorted(_ALL)}"
+        ) from None
+
+
+def paper_atom_counts() -> Dict[str, int]:
+    """The published atom counts, as a sanity map used in tests."""
+    return {
+        "small": 54_000,
+        "medium": 265_302,
+        "large3": 1_062_882,
+        "large4": 3_456_000,
+    }

@@ -1,0 +1,130 @@
+"""Reproduction of Fig. 9: SDC vs CS vs SAP vs RC speedup curves.
+
+The paper's figure shows, for each of the four test cases, the
+speedup-vs-cores curves of the two-dimensional SDC method against the
+Critical Section, Shared Array Privatization and Redundant Computations
+strategies.  The figure's published claims (Section IV):
+
+* SDC achieves near-linear speedup and is the highest everywhere;
+* CS achieves the lowest efficiency ("not feasible");
+* SAP beats CS and RC below 8 cores, then degrades (merge critical section
+  + cache competition);
+* RC is nearly linear, overtakes SAP past 8 cores, and lands ~1.7x below
+  SDC on the medium/large cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.cases import PAPER_CASES, Case
+from repro.harness.report import format_series
+from repro.harness.runner import PAPER_THREADS, ExperimentRunner, SpeedupCell
+
+#: strategies of the paper's figure, in legend order
+FIG9_STRATEGIES: Sequence[str] = (
+    "sdc-2d",
+    "critical-section",
+    "array-privatization",
+    "redundant-computation",
+)
+
+#: the headline ratio the discussion quotes for medium/large cases
+PAPER_SDC_OVER_RC: float = 1.7
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """All reproduced curves of one case panel."""
+
+    case: Case
+    thread_counts: Sequence[int]
+    curves: Dict[str, List[SpeedupCell]]
+
+    def series(self) -> Dict[str, List[Optional[float]]]:
+        """Plain float series keyed by strategy."""
+        return {
+            name: [None if c.blank else c.speedup for c in cells]
+            for name, cells in self.curves.items()
+        }
+
+    def render(self) -> str:
+        """The panel as a text table."""
+        return format_series(
+            f"Fig. 9 panel — {self.case.label} ({self.case.n_atoms:,} atoms)",
+            "cores",
+            list(self.thread_counts),
+            self.series(),
+        )
+
+    def sdc_over_rc(self, n_threads: int = 16) -> float:
+        """SDC/RC performance ratio at ``n_threads`` (paper quotes ~1.7)."""
+        idx = list(self.thread_counts).index(n_threads)
+        sdc = self.curves["sdc-2d"][idx].speedup
+        rc = self.curves["redundant-computation"][idx].speedup
+        if sdc is None or rc is None or rc == 0:
+            raise ValueError("ratio undefined for blank cells")
+        return sdc / rc
+
+    # --- qualitative claims (used by tests and EXPERIMENTS.md) ---------------
+
+    def sdc_wins_everywhere(self) -> bool:
+        """SDC >= every other curve at every core count."""
+        series = self.series()
+        for idx in range(len(self.thread_counts)):
+            sdc = series["sdc-2d"][idx]
+            for name in FIG9_STRATEGIES[1:]:
+                other = series[name][idx]
+                if sdc is not None and other is not None and other > sdc:
+                    return False
+        return True
+
+    def cs_is_lowest_at_scale(self, min_threads: int = 8) -> bool:
+        """CS is the slowest strategy at >= ``min_threads`` cores."""
+        series = self.series()
+        for idx, p in enumerate(self.thread_counts):
+            if p < min_threads:
+                continue
+            cs = series["critical-section"][idx]
+            for name in FIG9_STRATEGIES:
+                if name == "critical-section":
+                    continue
+                other = series[name][idx]
+                if cs is not None and other is not None and other < cs:
+                    return False
+        return True
+
+    def rc_overtakes_sap(self) -> Optional[int]:
+        """Smallest core count where RC > SAP (the paper's >8 crossover)."""
+        series = self.series()
+        for idx, p in enumerate(self.thread_counts):
+            rc = series["redundant-computation"][idx]
+            sap = series["array-privatization"][idx]
+            if rc is not None and sap is not None and rc > sap:
+                return p
+        return None
+
+
+def reproduce_fig9(
+    case: Case,
+    runner: Optional[ExperimentRunner] = None,
+    thread_counts: Sequence[int] = PAPER_THREADS,
+    strategies: Sequence[str] = FIG9_STRATEGIES,
+) -> Fig9Result:
+    """Regenerate one Fig. 9 panel."""
+    runner = runner or ExperimentRunner()
+    curves = {
+        name: runner.speedup_series(case, name, thread_counts)
+        for name in strategies
+    }
+    return Fig9Result(case=case, thread_counts=thread_counts, curves=curves)
+
+
+def reproduce_all_panels(
+    runner: Optional[ExperimentRunner] = None,
+    cases: Sequence[Case] = PAPER_CASES,
+) -> List[Fig9Result]:
+    """All four panels of the figure."""
+    runner = runner or ExperimentRunner()
+    return [reproduce_fig9(case, runner) for case in cases]

@@ -1,0 +1,77 @@
+"""Plain-text rendering of reproduced tables and figures.
+
+The benchmarks print these so a ``pytest benchmarks/ --benchmark-only`` run
+leaves the paper's rows/series in the captured output, and EXPERIMENTS.md
+embeds them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_cell(value: Optional[float], width: int = 6) -> str:
+    """One numeric table cell; ``None`` renders as the paper's blank."""
+    if value is None:
+        return " " * (width - 1) + "-"
+    return f"{value:{width}.2f}"
+
+
+def format_table(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    rows: Sequence[Sequence[Optional[float]]],
+    label_width: int = 24,
+) -> str:
+    """Fixed-width table with a title line (Table I style)."""
+    if len(rows) != len(row_labels):
+        raise ValueError("rows and row_labels must align")
+    lines = [title]
+    header = " " * label_width + "".join(f"{c:>7}" for c in col_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, row in zip(row_labels, rows):
+        if len(row) != len(col_labels):
+            raise ValueError(f"row {label!r} has {len(row)} cells")
+        cells = "".join(" " + format_cell(v) for v in row)
+        lines.append(f"{label:<{label_width}}{cells}")
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[int],
+    series: Dict[str, Sequence[Optional[float]]],
+) -> str:
+    """Multi-series table (Fig. 9 style: one column per x, one row per curve)."""
+    labels = list(series)
+    width = max([len(x_label)] + [len(label) for label in labels]) + 2
+    lines = [title]
+    lines.append(
+        f"{x_label:<{width}}" + "".join(f"{x:>7}" for x in x_values)
+    )
+    lines.append("-" * (width + 7 * len(x_values)))
+    for label in labels:
+        values = series[label]
+        if len(values) != len(x_values):
+            raise ValueError(f"series {label!r} has {len(values)} points")
+        cells = "".join(" " + format_cell(v) for v in values)
+        lines.append(f"{label:<{width}}{cells}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    title: str,
+    rows: List[tuple[str, float, float]],
+    left: str = "paper",
+    right: str = "ours",
+) -> str:
+    """Side-by-side paper-vs-measured listing for scalar claims."""
+    width = max([10] + [len(r[0]) for r in rows]) + 2
+    lines = [title, f"{'quantity':<{width}}{left:>10}{right:>10}"]
+    lines.append("-" * (width + 20))
+    for name, paper_value, ours in rows:
+        lines.append(f"{name:<{width}}{paper_value:>10.2f}{ours:>10.2f}")
+    return "\n".join(lines)

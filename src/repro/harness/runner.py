@@ -1,0 +1,246 @@
+"""The speedup runner: cases x strategies x thread counts -> Table/Figure data.
+
+Reproduces the paper's measurement definition: *"The speedup equals
+runtimes of serial programs on one core divided by runtimes of parallel
+programs on multiple cores"*, where the runtime covers the electron-density
+and force calculations only (which is exactly what the strategy plans
+describe — neighbor-list construction is outside them, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.coloring import lattice_coloring
+from repro.core.domain import DecompositionError, decompose_balanced
+from repro.core.strategies import (
+    ArrayPrivatizationStrategy,
+    AtomicStrategy,
+    CriticalSectionStrategy,
+    RedundantComputationStrategy,
+    SDCStrategy,
+    SerialStrategy,
+)
+from repro.harness.cases import Case
+from repro.parallel.machine import MachineConfig, paper_machine
+from repro.parallel.sim_exec import SimResult, simulate
+from repro.parallel.workload import WorkloadStats, analytic_workload, flat_workload
+
+#: layout score of the Section II.D-optimized code (spatially sorted atoms,
+#: sorted neighbor rows) — all Table I / Fig. 9 runs use the optimized code
+OPTIMIZED_LOCALITY = 0.95
+#: layout score without the reordering optimizations (random input order)
+UNOPTIMIZED_LOCALITY = 0.45
+
+#: thread counts of the paper's tables
+PAPER_THREADS: Sequence[int] = (2, 3, 4, 8, 12, 16)
+
+#: a decomposition is considered usable when at least this fraction of the
+#: requested threads can be kept busy per color phase; below it the cell is
+#: left blank, reproducing Table I's dashes ("the degree of parallelism is
+#: less than the number of cores of machine")
+MIN_PARALLEL_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class SpeedupCell:
+    """One table cell: a speedup, or a blank (insufficient parallelism)."""
+
+    case_key: str
+    strategy: str
+    n_threads: int
+    speedup: Optional[float]
+    serial_seconds: float = 0.0
+    parallel_seconds: float = 0.0
+
+    @property
+    def blank(self) -> bool:
+        """True for the paper's dashes (1-D SDC without enough subdomains)."""
+        return self.speedup is None
+
+
+class ExperimentRunner:
+    """Builds workloads/plans and times them on the simulated machine.
+
+    Parameters
+    ----------
+    machine:
+        the simulated host; defaults to the paper's 16-core Xeon E7320.
+    cutoff, skin:
+        potential cutoff and Verlet skin; ``reach = cutoff + skin`` drives
+        both the pair counts and the decomposition constraint.
+    locality:
+        data-layout score for all runs (the paper always measures with the
+        Section II.D optimizations on; pass
+        :data:`UNOPTIMIZED_LOCALITY` for the reordering experiment).
+    steps:
+        timesteps per measurement (cost scales linearly; kept for
+        readable absolute seconds — the paper uses 1000).
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineConfig] = None,
+        cutoff: float = 3.6,
+        skin: float = 0.3,
+        locality: float = OPTIMIZED_LOCALITY,
+        steps: int = 1000,
+    ) -> None:
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        self.machine = machine or paper_machine()
+        self.cutoff = cutoff
+        self.skin = skin
+        self.reach = cutoff + skin
+        self.locality = locality
+        self.steps = steps
+
+    # --- workload construction -------------------------------------------------
+
+    def flat_stats(self, case: Case, locality: Optional[float] = None) -> WorkloadStats:
+        """Workload with no decomposition (serial/CS/SAP/RC plans)."""
+        return flat_workload(
+            n_atoms=case.n_atoms,
+            pairs_per_atom=case.pairs_per_atom(self.reach),
+            locality=self.locality if locality is None else locality,
+        )
+
+    def sdc_stats(
+        self,
+        case: Case,
+        dims: int,
+        n_threads: int,
+        locality: Optional[float] = None,
+    ) -> WorkloadStats:
+        """Decomposition-aware workload for SDC at a given thread count.
+
+        Raises :class:`DecompositionError` when the case's box cannot host
+        a valid decomposition.
+        """
+        grid = decompose_balanced(case.box(), self.reach, dims, n_threads)
+        coloring = lattice_coloring(grid)
+        return analytic_workload(
+            n_atoms=case.n_atoms,
+            grid=grid,
+            coloring=coloring,
+            pairs_per_atom=case.pairs_per_atom(self.reach),
+            locality=self.locality if locality is None else locality,
+        )
+
+    # --- timing -----------------------------------------------------------------
+
+    def serial_time(self, case: Case, locality: Optional[float] = None) -> SimResult:
+        """Simulated serial baseline runtime for a case."""
+        stats = self.flat_stats(case, locality)
+        plan = SerialStrategy().plan(stats, self.machine, 1)
+        return simulate(plan, self.machine, 1)
+
+    def _seconds(self, result: SimResult) -> float:
+        return result.seconds * self.steps
+
+    def sdc_speedup(
+        self,
+        case: Case,
+        dims: int,
+        n_threads: int,
+        locality: Optional[float] = None,
+    ) -> SpeedupCell:
+        """One Table I cell: SDC speedup, or blank.
+
+        Blank when the decomposition is impossible or produces fewer
+        same-color subdomains than threads — the condition under which the
+        paper "didn't use one-dimensional SDC method".
+        """
+        strategy_name = f"sdc-{dims}d"
+        serial = self.serial_time(case, locality)
+        try:
+            stats = self.sdc_stats(case, dims, n_threads, locality)
+        except DecompositionError:
+            return SpeedupCell(case.key, strategy_name, n_threads, None)
+        per_color = min(len(m) for m in stats.color_members)
+        if per_color < MIN_PARALLEL_FRACTION * n_threads:
+            return SpeedupCell(case.key, strategy_name, n_threads, None)
+        plan = SDCStrategy(dims=dims, n_threads=n_threads).plan(
+            stats, self.machine, n_threads
+        )
+        parallel = simulate(plan, self.machine, n_threads)
+        return SpeedupCell(
+            case.key,
+            strategy_name,
+            n_threads,
+            serial.total_cycles / parallel.total_cycles,
+            serial_seconds=self._seconds(serial),
+            parallel_seconds=self._seconds(parallel),
+        )
+
+    def strategy_speedup(
+        self,
+        case: Case,
+        strategy_name: str,
+        n_threads: int,
+        locality: Optional[float] = None,
+    ) -> SpeedupCell:
+        """Speedup for any strategy (Fig. 9's curves).
+
+        ``strategy_name`` is one of ``sdc-1d``/``sdc-2d``/``sdc-3d``,
+        ``critical-section``, ``array-privatization``,
+        ``redundant-computation``, ``atomic``.
+        """
+        if strategy_name.startswith("sdc-"):
+            dims = int(strategy_name[4])
+            return self.sdc_speedup(case, dims, n_threads, locality)
+        if strategy_name == "localwrite":
+            from repro.core.strategies import LocalWriteStrategy
+
+            serial = self.serial_time(case, locality)
+            try:
+                stats = self.sdc_stats(case, 3, n_threads, locality)
+            except DecompositionError:
+                return SpeedupCell(case.key, strategy_name, n_threads, None)
+            plan = LocalWriteStrategy(dims=3, n_threads=n_threads).plan(
+                stats, self.machine, n_threads
+            )
+            parallel = simulate(plan, self.machine, n_threads)
+            return SpeedupCell(
+                case.key,
+                strategy_name,
+                n_threads,
+                serial.total_cycles / parallel.total_cycles,
+                serial_seconds=self._seconds(serial),
+                parallel_seconds=self._seconds(parallel),
+            )
+        factories = {
+            "critical-section": CriticalSectionStrategy,
+            "array-privatization": ArrayPrivatizationStrategy,
+            "redundant-computation": RedundantComputationStrategy,
+            "atomic": AtomicStrategy,
+        }
+        if strategy_name not in factories:
+            raise ValueError(f"unknown strategy {strategy_name!r}")
+        serial = self.serial_time(case, locality)
+        stats = self.flat_stats(case, locality)
+        strategy = factories[strategy_name](n_threads=n_threads)
+        plan = strategy.plan(stats, self.machine, n_threads)
+        parallel = simulate(plan, self.machine, n_threads)
+        return SpeedupCell(
+            case.key,
+            strategy_name,
+            n_threads,
+            serial.total_cycles / parallel.total_cycles,
+            serial_seconds=self._seconds(serial),
+            parallel_seconds=self._seconds(parallel),
+        )
+
+    def speedup_series(
+        self,
+        case: Case,
+        strategy_name: str,
+        thread_counts: Sequence[int] = PAPER_THREADS,
+        locality: Optional[float] = None,
+    ) -> List[SpeedupCell]:
+        """A full speedup-vs-threads curve for one case and strategy."""
+        return [
+            self.strategy_speedup(case, strategy_name, p, locality)
+            for p in thread_counts
+        ]

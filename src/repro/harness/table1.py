@@ -1,0 +1,112 @@
+"""Reproduction of Table I: SDC speedups by decomposition dimensionality.
+
+The paper's Table I reports the speedups of one/two/three-dimensional SDC
+on all four cases at 2, 3, 4, 8, 12 and 16 cores, with blanks where 1-D
+SDC cannot supply enough parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.cases import PAPER_CASES, Case
+from repro.harness.report import format_table
+from repro.harness.runner import PAPER_THREADS, ExperimentRunner, SpeedupCell
+
+#: the published Table I, for paper-vs-measured comparison
+#: keys: (case_key, dims); values aligned with PAPER_THREADS
+PAPER_TABLE1: Dict[Tuple[str, int], List[Optional[float]]] = {
+    ("small", 1): [1.71, 2.46, 3.07, 4.17, None, None],
+    ("small", 2): [1.70, 2.46, 3.07, 4.74, 5.90, 6.43],
+    ("small", 3): [1.66, 2.40, 2.99, 4.61, 5.74, 6.30],
+    ("medium", 1): [1.84, 2.64, 3.37, 6.24, 6.33, None],
+    ("medium", 2): [1.84, 2.65, 3.39, 6.20, 8.89, 10.90],
+    ("medium", 3): [1.82, 2.65, 3.36, 6.16, 8.76, 10.78],
+    ("large3", 1): [1.86, 2.76, 3.67, 6.82, 9.76, 9.59],
+    ("large3", 2): [1.87, 2.78, 3.64, 6.74, 9.73, 12.31],
+    ("large3", 3): [1.86, 2.75, 3.64, 6.64, 9.65, 12.29],
+    ("large4", 1): [1.88, 2.79, 3.66, 6.30, 9.97, 9.82],
+    ("large4", 2): [1.87, 2.80, 3.65, 6.77, 9.84, 12.42],
+    ("large4", 3): [1.87, 2.80, 3.67, 6.74, 9.82, 12.34],
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """All reproduced Table I cells plus rendering helpers."""
+
+    cells: Dict[Tuple[str, int], List[SpeedupCell]]
+    thread_counts: Sequence[int]
+
+    def values(self, case_key: str, dims: int) -> List[Optional[float]]:
+        """Speedups (or None for blanks) for one row."""
+        return [
+            None if c.blank else c.speedup for c in self.cells[(case_key, dims)]
+        ]
+
+    def render(self, cases: Sequence[Case] = PAPER_CASES) -> str:
+        """The full table in the paper's layout (rows = dims, per case)."""
+        blocks = []
+        for case in cases:
+            rows = [self.values(case.key, d) for d in (1, 2, 3)]
+            labels = [f"SDC ({d}-dimensional)" for d in (1, 2, 3)]
+            blocks.append(
+                format_table(
+                    f"{case.label} — {case.n_atoms:,} atoms "
+                    f"(cores: {list(self.thread_counts)})",
+                    labels,
+                    [str(t) for t in self.thread_counts],
+                    rows,
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def max_relative_error(self) -> float:
+        """Worst |ours - paper| / paper over non-blank matching cells."""
+        worst = 0.0
+        for key, targets in PAPER_TABLE1.items():
+            ours = self.values(*key)
+            for target, value in zip(targets, ours):
+                if target is not None and value is not None:
+                    worst = max(worst, abs(value - target) / target)
+        return worst
+
+    def mean_relative_error(self) -> float:
+        """Mean relative error over comparable cells; blank mismatches
+        count as 100 % error."""
+        total, n = 0.0, 0
+        for key, targets in PAPER_TABLE1.items():
+            ours = self.values(*key)
+            for target, value in zip(targets, ours):
+                n += 1
+                if (target is None) != (value is None):
+                    total += 1.0
+                elif target is not None:
+                    total += abs(value - target) / target
+        return total / n if n else 0.0
+
+    def blank_pattern_matches(self) -> bool:
+        """Whether every blank cell coincides with the paper's dashes."""
+        for key, targets in PAPER_TABLE1.items():
+            ours = self.values(*key)
+            for target, value in zip(targets, ours):
+                if (target is None) != (value is None):
+                    return False
+        return True
+
+
+def reproduce_table1(
+    runner: Optional[ExperimentRunner] = None,
+    cases: Sequence[Case] = PAPER_CASES,
+    thread_counts: Sequence[int] = PAPER_THREADS,
+) -> Table1Result:
+    """Regenerate every Table I cell on the simulated machine."""
+    runner = runner or ExperimentRunner()
+    cells: Dict[Tuple[str, int], List[SpeedupCell]] = {}
+    for case in cases:
+        for dims in (1, 2, 3):
+            cells[(case.key, dims)] = [
+                runner.sdc_speedup(case, dims, p) for p in thread_counts
+            ]
+    return Table1Result(cells=cells, thread_counts=thread_counts)

@@ -1,0 +1,143 @@
+"""Synthetic workload generators beyond the paper's uniform crystals.
+
+The paper's balance argument holds "under condition of simulation system
+has uniformity of density"; these generators produce the systems where it
+does not — voids, slabs, clusters, density gradients — so the imbalance
+benchmarks can chart how SDC degrades and the conflict machinery can be
+exercised off the happy path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.geometry.lattice import bcc_lattice, perturb_positions
+from repro.geometry.region import SphereRegion
+from repro.md.atoms import Atoms
+from repro.utils.rng import default_rng
+
+
+def uniform_crystal(
+    n_cells: int,
+    perturbation: float = 0.05,
+    seed: int = 0,
+    lattice_a: float = 2.8665,
+) -> Atoms:
+    """The paper's workload: a perturbed periodic bcc crystal."""
+    positions, box = bcc_lattice(lattice_a, (n_cells,) * 3)
+    rng = default_rng(seed)
+    positions = perturb_positions(positions, box, perturbation, rng)
+    return Atoms(box=box, positions=positions)
+
+
+def crystal_with_void(
+    n_cells: int,
+    void_fraction: float,
+    perturbation: float = 0.05,
+    seed: int = 0,
+    lattice_a: float = 2.8665,
+) -> Atoms:
+    """A crystal with a spherical void removing ~``void_fraction`` of atoms.
+
+    The void radius is solved from the target fraction; actual removal
+    counts depend on which lattice sites fall inside.
+    """
+    if not 0.0 <= void_fraction < 1.0:
+        raise ValueError("void_fraction must be in [0, 1)")
+    atoms = uniform_crystal(n_cells, perturbation, seed, lattice_a)
+    if void_fraction == 0.0:
+        return atoms
+    box = atoms.box
+    target_volume = void_fraction * box.volume
+    radius = (3.0 * target_volume / (4.0 * np.pi)) ** (1.0 / 3.0)
+    void = SphereRegion(center=tuple(box.lengths / 2.0), radius=radius)
+    keep = ~void.contains(atoms.positions, box)
+    return Atoms(box=box, positions=atoms.positions[keep])
+
+
+def crystal_slab(
+    n_cells_xy: int,
+    n_cells_z: int,
+    vacuum_factor: float = 3.0,
+    perturbation: float = 0.03,
+    seed: int = 0,
+    lattice_a: float = 2.8665,
+) -> Atoms:
+    """A free-standing film: crystal slab centered in a taller box.
+
+    ``vacuum_factor`` is total-box-height over slab-height (> 1).
+    """
+    if vacuum_factor <= 1.0:
+        raise ValueError("vacuum_factor must exceed 1")
+    positions, solid_box = bcc_lattice(
+        lattice_a, (n_cells_xy, n_cells_xy, n_cells_z)
+    )
+    lz = solid_box.lengths[2]
+    box = Box(
+        (solid_box.lengths[0], solid_box.lengths[1], vacuum_factor * lz)
+    )
+    offset = (vacuum_factor - 1.0) * lz / 2.0
+    positions = positions + np.array([0.0, 0.0, offset])
+    rng = default_rng(seed)
+    positions = perturb_positions(positions, box, perturbation, rng)
+    return Atoms(box=box, positions=positions)
+
+
+def density_gradient_gas(
+    n_atoms: int,
+    box_lengths: Tuple[float, float, float],
+    gradient_strength: float = 2.0,
+    seed: int = 0,
+) -> Atoms:
+    """A gas whose density rises linearly along x.
+
+    ``gradient_strength`` is the density ratio between the dense and
+    dilute ends (1.0 = uniform).
+    """
+    if n_atoms < 1:
+        raise ValueError("n_atoms must be >= 1")
+    if gradient_strength < 1.0:
+        raise ValueError("gradient_strength must be >= 1")
+    rng = default_rng(seed)
+    box = Box(box_lengths)
+    # inverse-CDF sampling of p(x) ~ 1 + (g-1) x/L
+    u = rng.uniform(0.0, 1.0, size=n_atoms)
+    g = gradient_strength
+    if g == 1.0:
+        x_frac = u
+    else:
+        a = (g - 1.0) / 2.0
+        x_frac = (-1.0 + np.sqrt(1.0 + 4.0 * a * (1.0 + a) * u)) / (2.0 * a)
+    positions = np.column_stack(
+        [
+            x_frac * box.lengths[0],
+            rng.uniform(0, box.lengths[1], n_atoms),
+            rng.uniform(0, box.lengths[2], n_atoms),
+        ]
+    )
+    return Atoms(box=box, positions=positions)
+
+
+def nanoparticle(
+    radius_cells: float,
+    vacuum_cells: float = 2.0,
+    perturbation: float = 0.03,
+    seed: int = 0,
+    lattice_a: float = 2.8665,
+) -> Atoms:
+    """A spherical bcc cluster floating in vacuum (open-cluster workload)."""
+    if radius_cells <= 0:
+        raise ValueError("radius_cells must be positive")
+    n_cells = int(np.ceil(2 * (radius_cells + vacuum_cells)))
+    positions, box = bcc_lattice(lattice_a, (n_cells,) * 3)
+    center = box.lengths / 2.0
+    keep = SphereRegion(
+        center=tuple(center), radius=radius_cells * lattice_a
+    ).contains(positions, box)
+    atoms = Atoms(box=box, positions=positions[keep])
+    rng = default_rng(seed)
+    atoms.positions = perturb_positions(atoms.positions, box, perturbation, rng)
+    return atoms

@@ -1,0 +1,82 @@
+"""Trajectory I/O in extended-XYZ format.
+
+Minimal, dependency-free writer/reader so the example applications can
+persist snapshots that standard visualization tools (OVITO, ASE) open.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.md.atoms import Atoms
+
+
+def write_xyz(
+    atoms: Atoms,
+    path: Union[str, Path],
+    symbols: Sequence[str] = ("Fe",),
+    append: bool = False,
+    comment: str = "",
+) -> None:
+    """Append one extended-XYZ frame to ``path``.
+
+    The lattice is recorded in the comment line so the box round-trips.
+    """
+    path = Path(path)
+    lx, ly, lz = atoms.box.lengths
+    lattice = f'Lattice="{lx} 0 0 0 {ly} 0 0 0 {lz}"'
+    header = f"{lattice} Properties=species:S:1:pos:R:3 {comment}".strip()
+    lines = [str(atoms.n_atoms), header]
+    type_symbols = [symbols[t] if t < len(symbols) else "X" for t in atoms.types]
+    for sym, (x, y, z) in zip(type_symbols, atoms.positions):
+        lines.append(f"{sym} {x:.10f} {y:.10f} {z:.10f}")
+    mode = "a" if append else "w"
+    with path.open(mode) as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def read_xyz(
+    path: Union[str, Path],
+    symbols: Sequence[str] = ("Fe",),
+) -> List[Tuple[np.ndarray, Optional[Box]]]:
+    """Read all frames from an (extended-)XYZ file.
+
+    Returns a list of ``(positions, box-or-None)`` tuples; the box is
+    parsed from a ``Lattice="..."`` token when present (diagonal only).
+    """
+    lines = Path(path).read_text().splitlines()
+    frames: List[Tuple[np.ndarray, Optional[Box]]] = []
+    cursor = 0
+    while cursor < len(lines):
+        stripped = lines[cursor].strip()
+        if not stripped:
+            cursor += 1
+            continue
+        n = int(stripped)
+        comment = lines[cursor + 1]
+        box = _parse_lattice(comment)
+        rows = lines[cursor + 2 : cursor + 2 + n]
+        if len(rows) < n:
+            raise ValueError(f"truncated frame at line {cursor}")
+        positions = np.array(
+            [[float(v) for v in row.split()[1:4]] for row in rows]
+        )
+        frames.append((positions, box))
+        cursor += 2 + n
+    return frames
+
+
+def _parse_lattice(comment: str) -> Optional[Box]:
+    marker = 'Lattice="'
+    start = comment.find(marker)
+    if start < 0:
+        return None
+    end = comment.find('"', start + len(marker))
+    values = [float(v) for v in comment[start + len(marker) : end].split()]
+    if len(values) != 9:
+        return None
+    return Box((values[0], values[4], values[8]))

@@ -1,0 +1,86 @@
+"""Time integrators.
+
+The engine's default is velocity Verlet — the standard symplectic
+integrator classical MD codes (including XMD) use.  Integrators operate on
+:class:`~repro.md.atoms.Atoms` in place and know nothing about forces; the
+:class:`~repro.md.simulation.Simulation` driver interleaves them with the
+force strategy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro import units
+from repro.md.atoms import Atoms
+
+
+class Integrator(ABC):
+    """Two-half-step integrator interface (velocity-Verlet style).
+
+    A step is ``first_half`` (uses current forces, advances positions) ->
+    force evaluation -> ``second_half`` (finishes the velocity update).
+    """
+
+    def __init__(self, timestep: float) -> None:
+        if timestep <= 0:
+            raise ValueError(f"timestep must be positive, got {timestep}")
+        self.timestep = timestep
+
+    @abstractmethod
+    def first_half(self, atoms: Atoms) -> None:
+        """Advance velocities half a step and positions a full step."""
+
+    @abstractmethod
+    def second_half(self, atoms: Atoms) -> None:
+        """Finish the velocity update with the new forces."""
+
+
+class VelocityVerlet(Integrator):
+    """Velocity Verlet in metal units (Å, ps, eV, amu).
+
+    ``v(t+dt/2) = v(t) + (dt/2) F(t)/m``;
+    ``x(t+dt)   = x(t) + dt v(t+dt/2)``;
+    ``v(t+dt)   = v(t+dt/2) + (dt/2) F(t+dt)/m``.
+    """
+
+    def _half_kick(self, atoms: Atoms) -> None:
+        inv_mass = 1.0 / atoms.mass_per_atom()
+        accel = atoms.forces * (inv_mass[:, None] * units.EVA_TO_AMU_APS2)
+        atoms.velocities += 0.5 * self.timestep * accel
+
+    def first_half(self, atoms: Atoms) -> None:
+        self._half_kick(atoms)
+        atoms.positions += self.timestep * atoms.velocities
+        atoms.wrap()
+
+    def second_half(self, atoms: Atoms) -> None:
+        self._half_kick(atoms)
+
+
+class Euler(Integrator):
+    """Forward Euler — intentionally crude, used in tests to show the
+    driver is integrator-agnostic and in docs to contrast energy drift."""
+
+    def first_half(self, atoms: Atoms) -> None:
+        inv_mass = 1.0 / atoms.mass_per_atom()
+        accel = atoms.forces * (inv_mass[:, None] * units.EVA_TO_AMU_APS2)
+        atoms.positions += self.timestep * atoms.velocities
+        atoms.velocities += self.timestep * accel
+        atoms.wrap()
+
+    def second_half(self, atoms: Atoms) -> None:
+        # Euler does everything in the first half
+        return None
+
+
+def remove_drift(atoms: Atoms) -> None:
+    """Zero the center-of-mass momentum (mass-weighted)."""
+    masses = atoms.mass_per_atom()
+    total = float(masses.sum())
+    if total == 0.0 or len(atoms) == 0:
+        return
+    momentum = (masses[:, None] * atoms.velocities).sum(axis=0)
+    atoms.velocities -= momentum[None, :] / total

@@ -1,0 +1,164 @@
+"""Energy minimization: steepest descent and FIRE.
+
+The micro-deformation workloads start from configurations that should be
+relaxed before dynamics; these minimizers drive the max force norm below a
+tolerance using the same force calculators (serial or SDC) the dynamics
+use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import NeighborList, build_neighbor_list
+from repro.md.observables import force_max_norm
+from repro.md.simulation import ForceCalculator, SerialCalculator
+from repro.potentials.base import EAMPotential
+
+
+@dataclass
+class MinimizationReport:
+    """Convergence record of one minimization run."""
+
+    converged: bool
+    n_iterations: int
+    final_fmax: float
+    energy_history: List[float] = field(default_factory=list)
+
+
+class _Relaxer:
+    """Shared plumbing: neighbor management + force evaluation."""
+
+    def __init__(
+        self,
+        atoms: Atoms,
+        potential: EAMPotential,
+        calculator: Optional[ForceCalculator] = None,
+        skin: float = 0.3,
+    ) -> None:
+        self.atoms = atoms
+        self.potential = potential
+        self.calculator = calculator or SerialCalculator()
+        self.skin = skin
+        self._nlist: Optional[NeighborList] = None
+
+    def forces_and_energy(self) -> float:
+        if self._nlist is None or self._nlist.needs_rebuild(
+            self.atoms.positions
+        ):
+            self._nlist = build_neighbor_list(
+                self.atoms.positions,
+                self.atoms.box,
+                cutoff=self.potential.cutoff,
+                skin=self.skin,
+                half=True,
+            )
+        result = self.calculator.compute(
+            self.potential, self.atoms, self._nlist
+        )
+        return result.potential_energy
+
+
+def steepest_descent(
+    atoms: Atoms,
+    potential: EAMPotential,
+    calculator: Optional[ForceCalculator] = None,
+    fmax: float = 1e-3,
+    max_iterations: int = 500,
+    step: float = 0.05,
+    max_displacement: float = 0.1,
+) -> MinimizationReport:
+    """Gradient descent with backtracking on energy increases.
+
+    ``step`` multiplies forces (Å per eV/Å); displacements are clipped to
+    ``max_displacement`` per component per iteration so the line search
+    cannot tunnel through neighbors.
+    """
+    if fmax <= 0 or step <= 0 or max_displacement <= 0:
+        raise ValueError("fmax, step and max_displacement must be positive")
+    relaxer = _Relaxer(atoms, potential, calculator)
+    energy = relaxer.forces_and_energy()
+    history = [energy]
+    current_step = step
+    for iteration in range(max_iterations):
+        norm = force_max_norm(atoms)
+        if norm < fmax:
+            return MinimizationReport(True, iteration, norm, history)
+        move = np.clip(
+            current_step * atoms.forces, -max_displacement, max_displacement
+        )
+        previous_positions = atoms.positions.copy()
+        atoms.positions = atoms.box.wrap(atoms.positions + move)
+        new_energy = relaxer.forces_and_energy()
+        if new_energy > energy + 1e-12:
+            # backtrack: undo the move, halve the step
+            atoms.positions = previous_positions
+            current_step *= 0.5
+            relaxer.forces_and_energy()
+            if current_step < 1e-8:
+                return MinimizationReport(
+                    False, iteration + 1, force_max_norm(atoms), history
+                )
+        else:
+            energy = new_energy
+            history.append(energy)
+            current_step = min(current_step * 1.1, step * 4)
+    return MinimizationReport(False, max_iterations, force_max_norm(atoms), history)
+
+
+def fire(
+    atoms: Atoms,
+    potential: EAMPotential,
+    calculator: Optional[ForceCalculator] = None,
+    fmax: float = 1e-3,
+    max_iterations: int = 1000,
+    dt_start: float = 1e-3,
+    dt_max: float = 1e-2,
+) -> MinimizationReport:
+    """FIRE (Fast Inertial Relaxation Engine) minimizer.
+
+    Bitzek et al. (2006): MD steps with velocity mixing toward the force
+    direction, accelerating while the power ``F.v`` stays positive and
+    quenching when it turns negative.
+    """
+    if fmax <= 0 or dt_start <= 0 or dt_max < dt_start:
+        raise ValueError("need fmax > 0 and 0 < dt_start <= dt_max")
+    n_min, f_inc, f_dec, alpha_start, f_alpha = 5, 1.1, 0.5, 0.1, 0.99
+    relaxer = _Relaxer(atoms, potential, calculator)
+    energy = relaxer.forces_and_energy()
+    history = [energy]
+    velocities = np.zeros_like(atoms.positions)
+    dt = dt_start
+    alpha = alpha_start
+    steps_since_negative = 0
+    for iteration in range(max_iterations):
+        norm = force_max_norm(atoms)
+        if norm < fmax:
+            return MinimizationReport(True, iteration, norm, history)
+        forces = atoms.forces
+        power = float(np.sum(forces * velocities))
+        if power > 0:
+            f_norm = np.linalg.norm(forces)
+            v_norm = np.linalg.norm(velocities)
+            if f_norm > 0:
+                velocities = (1.0 - alpha) * velocities + alpha * (
+                    v_norm / f_norm
+                ) * forces
+            steps_since_negative += 1
+            if steps_since_negative > n_min:
+                dt = min(dt * f_inc, dt_max)
+                alpha *= f_alpha
+        else:
+            velocities[:] = 0.0
+            dt *= f_dec
+            alpha = alpha_start
+            steps_since_negative = 0
+        velocities = velocities + dt * forces
+        atoms.positions = atoms.box.wrap(atoms.positions + dt * velocities)
+        energy = relaxer.forces_and_energy()
+        history.append(energy)
+    return MinimizationReport(False, max_iterations, force_max_norm(atoms), history)

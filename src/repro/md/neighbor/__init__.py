@@ -1,0 +1,25 @@
+"""Neighbor-list construction: O(N) cell binning + Verlet lists.
+
+The lists use the paper's exact CSR layout (``neighindex``/``neighlen``/
+``neighlist``) via :class:`repro.utils.arrays.CSR`.
+"""
+
+from repro.md.neighbor.cells import CellList, build_cell_list, concat_ranges
+from repro.md.neighbor.verlet import (
+    NeighborList,
+    build_neighbor_list,
+    brute_force_neighbor_list,
+    full_from_half,
+    half_from_full,
+)
+
+__all__ = [
+    "CellList",
+    "build_cell_list",
+    "concat_ranges",
+    "NeighborList",
+    "build_neighbor_list",
+    "brute_force_neighbor_list",
+    "full_from_half",
+    "half_from_full",
+]

@@ -1,0 +1,50 @@
+"""Physical observables computed from the atom state."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.md.atoms import Atoms
+
+
+def kinetic_energy(atoms: Atoms) -> float:
+    """Total kinetic energy in eV."""
+    masses = atoms.mass_per_atom()
+    v2 = np.sum(atoms.velocities * atoms.velocities, axis=1)
+    return 0.5 * units.MVV_TO_EV * float(np.sum(masses * v2))
+
+
+def temperature(atoms: Atoms) -> float:
+    """Instantaneous kinetic temperature in K (3N degrees of freedom)."""
+    if len(atoms) == 0:
+        return 0.0
+    return units.kinetic_energy_to_temperature(kinetic_energy(atoms), len(atoms))
+
+
+def total_momentum(atoms: Atoms) -> np.ndarray:
+    """Total momentum vector (amu * Å/ps)."""
+    masses = atoms.mass_per_atom()
+    return (masses[:, None] * atoms.velocities).sum(axis=0)
+
+
+def virial_pressure(
+    atoms: Atoms,
+    pair_virial: float,
+) -> float:
+    """Isotropic virial pressure in bar.
+
+    ``P = (2 K / 3 + W / 3) / V`` with ``W`` the pair virial
+    ``sum_pairs f_ij . r_ij`` supplied by the force computation.
+    """
+    volume = atoms.box.volume
+    kinetic = kinetic_energy(atoms)
+    p_ev_a3 = (2.0 * kinetic / 3.0 + pair_virial / 3.0) / volume
+    return p_ev_a3 * units.EV_PER_A3_TO_BAR
+
+
+def force_max_norm(atoms: Atoms) -> float:
+    """Largest per-atom force magnitude (eV/Å) — a relaxation criterion."""
+    if len(atoms) == 0:
+        return 0.0
+    return float(np.sqrt(np.max(np.sum(atoms.forces**2, axis=1))))

@@ -1,0 +1,66 @@
+"""Thermostats for temperature control.
+
+The paper's micro-deformation workloads start from a lattice with assigned
+initial energy; the example applications use these thermostats to
+equilibrate before measurement.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro import units
+from repro.md.atoms import Atoms
+from repro.md.observables import kinetic_energy, temperature
+
+
+class Thermostat(ABC):
+    """Velocity-modifying temperature controller, applied once per step."""
+
+    def __init__(self, target_temperature: float) -> None:
+        if target_temperature < 0:
+            raise ValueError("target temperature must be >= 0")
+        self.target_temperature = target_temperature
+
+    @abstractmethod
+    def apply(self, atoms: Atoms, timestep: float) -> None:
+        """Rescale/adjust velocities toward the target temperature."""
+
+
+class VelocityRescaleThermostat(Thermostat):
+    """Hard rescale: sets the instantaneous temperature to the target.
+
+    Simple and aggressive; fine for initial equilibration.
+    """
+
+    def apply(self, atoms: Atoms, timestep: float) -> None:
+        current = temperature(atoms)
+        if current <= 0.0:
+            return
+        factor = np.sqrt(self.target_temperature / current)
+        atoms.velocities *= factor
+
+
+class BerendsenThermostat(Thermostat):
+    """Berendsen weak-coupling thermostat.
+
+    Velocities are scaled by ``sqrt(1 + (dt/tau)(T0/T - 1))`` each step,
+    relaxing the temperature exponentially with time constant ``tau`` (ps).
+    """
+
+    def __init__(self, target_temperature: float, tau: float = 0.1) -> None:
+        super().__init__(target_temperature)
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.tau = tau
+
+    def apply(self, atoms: Atoms, timestep: float) -> None:
+        current = temperature(atoms)
+        if current <= 0.0:
+            return
+        arg = 1.0 + (timestep / self.tau) * (
+            self.target_temperature / current - 1.0
+        )
+        atoms.velocities *= np.sqrt(max(arg, 0.0))

@@ -1,0 +1,114 @@
+"""Virial computation for pressure/stress reporting.
+
+The EAM virial has the same pair structure as the force (every
+contribution acts along a pair separation), so
+``W = sum_pairs f_ij . r_ij`` with the Eq. 2 pair coefficient covers both
+the pair and embedding terms.  The full 3x3 stress tensor version is also
+provided for the deformation workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro import units
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import NeighborList
+from repro.potentials.base import EAMPotential
+from repro.potentials.eam import (
+    eam_density_phase,
+    eam_embedding_phase,
+    force_pair_coefficients,
+    pair_geometry,
+)
+
+
+def pair_virial(
+    potential: EAMPotential,
+    atoms: Atoms,
+    nlist: NeighborList,
+) -> float:
+    """Scalar virial ``W = sum_pairs f_ij . r_ij`` in eV.
+
+    Positive for net repulsion (pushes the box outward).  Consumes half or
+    full lists; the full-list double count is compensated.
+    """
+    return float(np.trace(virial_tensor(potential, atoms, nlist)))
+
+
+def virial_tensor(
+    potential: EAMPotential,
+    atoms: Atoms,
+    nlist: NeighborList,
+) -> np.ndarray:
+    """The 3x3 virial tensor ``W_ab = sum_pairs f_a r_b`` in eV."""
+    i_idx, j_idx = nlist.pair_arrays()
+    if len(i_idx) == 0:
+        return np.zeros((3, 3))
+    positions = atoms.positions
+    box = atoms.box
+    rho = eam_density_phase(potential, positions, box, nlist)
+    _, fp = eam_embedding_phase(potential, rho)
+    delta, r = pair_geometry(positions, box, i_idx, j_idx)
+    coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+    pair_forces = coeff[:, None] * delta
+    tensor = pair_forces.T @ delta
+    if not nlist.half:
+        tensor = 0.5 * tensor
+    return tensor
+
+
+def stress_tensor_bar(
+    potential: EAMPotential,
+    atoms: Atoms,
+    nlist: NeighborList,
+) -> np.ndarray:
+    """Full instantaneous stress tensor in bar (virial + kinetic parts).
+
+    Sign convention: positive diagonal = the system pushes outward
+    (compressive internal pressure).
+    """
+    volume = atoms.box.volume
+    w = virial_tensor(potential, atoms, nlist)
+    masses = atoms.mass_per_atom()
+    v = atoms.velocities
+    kinetic = units.MVV_TO_EV * (v * masses[:, None]).T @ v
+    return (w + kinetic) / volume * units.EV_PER_A3_TO_BAR
+
+
+def pressure_bar(
+    potential: EAMPotential,
+    atoms: Atoms,
+    nlist: NeighborList,
+) -> float:
+    """Isotropic pressure: trace of the stress tensor over 3."""
+    return float(np.trace(stress_tensor_bar(potential, atoms, nlist))) / 3.0
+
+
+def finite_difference_pressure(
+    potential: EAMPotential,
+    atoms: Atoms,
+    strain: float = 1e-5,
+) -> Tuple[float, float]:
+    """Reference pressure from -dE/dV (validates the virial path).
+
+    Returns ``(pressure_bar, volume)``; builds its own neighbor lists.
+    """
+    from repro.md.neighbor.verlet import build_neighbor_list
+    from repro.potentials.eam import compute_eam_energy
+
+    def energy_at(scale: float) -> Tuple[float, float]:
+        scaled = atoms.copy()
+        scaled.box = atoms.box.scaled(scale)
+        scaled.positions = scaled.box.wrap(atoms.positions * scale)
+        nl = build_neighbor_list(
+            scaled.positions, scaled.box, potential.cutoff, skin=0.0
+        )
+        return compute_eam_energy(potential, scaled, nl), scaled.box.volume
+
+    up, v_up = energy_at(1.0 + strain)
+    down, v_down = energy_at(1.0 - strain)
+    p_ev_a3 = -(up - down) / (v_up - v_down)
+    return p_ev_a3 * units.EV_PER_A3_TO_BAR, atoms.box.volume

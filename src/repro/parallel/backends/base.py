@@ -1,0 +1,35 @@
+"""Backend interface: phase-at-a-time execution of task closures.
+
+A *phase* is a list of closures whose write sets the caller guarantees to
+be disjoint (SDC color phases) or internally synchronized (CS locks, SAP
+private arrays).  ``run_phase`` returns only when every closure has
+finished — the OpenMP implicit barrier.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+TaskClosure = Callable[[], None]
+
+
+class ExecutionBackend(ABC):
+    """Executes phases of closures with barrier semantics."""
+
+    @abstractmethod
+    def run_phase(self, closures: Sequence[TaskClosure]) -> None:
+        """Run all closures; return after the last one completes.
+
+        Exceptions raised by closures propagate to the caller (after all
+        submitted work has settled).
+        """
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

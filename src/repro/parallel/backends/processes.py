@@ -1,0 +1,218 @@
+"""Process-parallel SDC: fork workers + shared-memory arrays.
+
+Python's GIL caps what :class:`~repro.parallel.backends.threads.ThreadBackend`
+can demonstrate; this module runs the SDC color phases across *processes*,
+the closest Python analog of the paper's OpenMP threads:
+
+* the reduction arrays (rho, embedding derivatives, forces) live in
+  POSIX shared memory, writable by every worker;
+* read-only inputs (positions, the pair partition) are inherited
+  copy-on-write through ``fork``;
+* within a color phase, workers scatter concurrently **without any
+  locks** — legal for exactly the reason the paper gives: same-color
+  subdomains have disjoint write sets (different array elements, no torn
+  updates);
+* the pool joins between colors — the implicit barrier.
+
+This is a correctness demonstrator for real multi-core execution, not the
+timing vehicle (DESIGN.md): per-``compute`` fork cost dominates at demo
+sizes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.coloring import lattice_coloring, validate_coloring
+from repro.core.domain import decompose, decompose_balanced
+from repro.core.partition import build_pair_partition, build_partition
+from repro.core.schedule import build_schedule, static_assignment
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import NeighborList
+from repro.potentials.base import EAMPotential
+from repro.potentials.eam import (
+    EAMComputation,
+    force_pair_coefficients,
+    pair_geometry,
+)
+
+# state inherited by workers at fork time (read-only in workers)
+_FORK_STATE: dict = {}
+
+
+def _open_array(name: str, shape: Tuple[int, ...]) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
+    segment = shared_memory.SharedMemory(name=name)
+    return np.ndarray(shape, dtype=np.float64, buffer=segment.buf), segment
+
+
+def _density_worker(subdomains: Sequence[int]) -> None:
+    state = _FORK_STATE
+    rho, segment = _open_array(state["rho_name"], (state["n_atoms"],))
+    try:
+        potential = state["potential"]
+        positions = state["positions"]
+        box = state["box"]
+        pairs = state["pairs"]
+        for s in subdomains:
+            i_idx, j_idx = pairs.pairs_of(int(s))
+            if len(i_idx) == 0:
+                continue
+            _, r = pair_geometry(positions, box, i_idx, j_idx)
+            phi = potential.density(r)
+            np.add.at(rho, i_idx, phi)
+            np.add.at(rho, j_idx, phi)
+    finally:
+        del rho
+        segment.close()
+
+
+def _force_worker(subdomains: Sequence[int]) -> None:
+    state = _FORK_STATE
+    forces, fseg = _open_array(state["forces_name"], (state["n_atoms"], 3))
+    fp, pseg = _open_array(state["fp_name"], (state["n_atoms"],))
+    try:
+        potential = state["potential"]
+        positions = state["positions"]
+        box = state["box"]
+        pairs = state["pairs"]
+        for s in subdomains:
+            i_idx, j_idx = pairs.pairs_of(int(s))
+            if len(i_idx) == 0:
+                continue
+            delta, r = pair_geometry(positions, box, i_idx, j_idx)
+            coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+            pair_forces = coeff[:, None] * delta
+            for axis in range(3):
+                np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
+                np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
+    finally:
+        del forces, fp
+        fseg.close()
+        pseg.close()
+
+
+class ProcessSDCCalculator:
+    """SDC force computation on forked worker processes.
+
+    Satisfies the :class:`~repro.md.simulation.ForceCalculator` protocol.
+    Requires a platform with the ``fork`` start method (Linux).
+    """
+
+    name = "sdc-processes"
+
+    def __init__(
+        self,
+        dims: int = 2,
+        n_workers: int = 2,
+        axes: Optional[Sequence[int]] = None,
+        adaptive: bool = True,
+    ) -> None:
+        if dims not in (1, 2, 3):
+            raise ValueError(f"dims must be 1, 2 or 3, got {dims}")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError("ProcessSDCCalculator requires fork support")
+        self.dims = dims
+        self.n_workers = n_workers
+        self.axes = list(axes) if axes is not None else None
+        self.adaptive = adaptive
+
+    def _decompose(self, atoms: Atoms, nlist: NeighborList):
+        reach = nlist.cutoff + nlist.skin
+        if self.adaptive:
+            grid = decompose_balanced(
+                atoms.box, reach, self.dims, self.n_workers, axes=self.axes
+            )
+        else:
+            grid = decompose(atoms.box, reach, self.dims, axes=self.axes)
+        coloring = lattice_coloring(grid)
+        validate_coloring(grid, coloring)
+        partition = build_partition(nlist.reference_positions, grid)
+        pairs = build_pair_partition(partition, nlist)
+        return pairs, build_schedule(coloring)
+
+    def compute(
+        self,
+        potential: EAMPotential,
+        atoms: Atoms,
+        nlist: NeighborList,
+    ) -> EAMComputation:
+        if not nlist.half:
+            raise ValueError("SDC consumes half neighbor lists")
+        n = atoms.n_atoms
+        pairs, schedule = self._decompose(atoms, nlist)
+
+        rho_seg = shared_memory.SharedMemory(create=True, size=max(n, 1) * 8)
+        fp_seg = shared_memory.SharedMemory(create=True, size=max(n, 1) * 8)
+        forces_seg = shared_memory.SharedMemory(
+            create=True, size=max(n, 1) * 24
+        )
+        try:
+            rho = np.ndarray((n,), dtype=np.float64, buffer=rho_seg.buf)
+            fp = np.ndarray((n,), dtype=np.float64, buffer=fp_seg.buf)
+            forces = np.ndarray((n, 3), dtype=np.float64, buffer=forces_seg.buf)
+            rho[:] = 0.0
+            fp[:] = 0.0
+            forces[:] = 0.0
+
+            _FORK_STATE.clear()
+            _FORK_STATE.update(
+                potential=potential,
+                positions=atoms.positions.copy(),
+                box=atoms.box,
+                pairs=pairs,
+                n_atoms=n,
+                rho_name=rho_seg.name,
+                fp_name=fp_seg.name,
+                forces_name=forces_seg.name,
+            )
+            ctx = mp.get_context("fork")
+            with ctx.Pool(self.n_workers) as pool:
+                # phase 1: densities, color by color (pool.map = barrier)
+                for members in schedule.phases:
+                    chunks = [
+                        members[c].tolist()
+                        for c in static_assignment(len(members), self.n_workers)
+                        if len(c)
+                    ]
+                    pool.map(_density_worker, chunks)
+                # phase 2: embedding in the parent (no dependences)
+                embedding_energy = float(np.sum(potential.embed(rho)))
+                fp[:] = potential.embed_deriv(rho)
+                # phase 3: forces, color by color
+                for members in schedule.phases:
+                    chunks = [
+                        members[c].tolist()
+                        for c in static_assignment(len(members), self.n_workers)
+                        if len(c)
+                    ]
+                    pool.map(_force_worker, chunks)
+
+            i_idx, j_idx = nlist.pair_arrays()
+            if len(i_idx):
+                _, r = pair_geometry(atoms.positions, atoms.box, i_idx, j_idx)
+                pair_energy = float(np.sum(potential.pair_energy(r)))
+            else:
+                pair_energy = 0.0
+
+            result = EAMComputation(
+                pair_energy=pair_energy,
+                embedding_energy=embedding_energy,
+                rho=rho.copy(),
+                fp=fp.copy(),
+                forces=forces.copy(),
+            )
+            atoms.rho[:] = result.rho
+            atoms.fp[:] = result.fp
+            atoms.forces[:] = result.forces
+            return result
+        finally:
+            _FORK_STATE.clear()
+            for segment in (rho_seg, fp_seg, forces_seg):
+                segment.close()
+                segment.unlink()

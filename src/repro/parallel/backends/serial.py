@@ -1,0 +1,22 @@
+"""In-order serial backend — the default for correctness runs.
+
+Executes each phase's closures sequentially in submission order, giving
+deterministic floating-point accumulation.  Because SDC's color phases are
+conflict-free, running them serially produces results identical to any
+parallel interleaving — which is exactly what the equivalence tests rely
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.parallel.backends.base import ExecutionBackend, TaskClosure
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every closure in the calling thread, in order."""
+
+    def run_phase(self, closures: Sequence[TaskClosure]) -> None:
+        for closure in closures:
+            closure()

@@ -1,0 +1,213 @@
+"""Hybrid MPI+OpenMP modeling — the paper's second future-work direction.
+
+"Lastly, it will be promising to implement SDC method using mixed
+programming models such as MPI+OpenMP in multi-core cluster."
+
+The model composes two levels:
+
+* **inter-node**: classical spatial decomposition (Nakano-style) splits
+  the box into one subvolume per node; each step exchanges halo shells of
+  width ``reach`` with the 2·d face neighbors over the interconnect
+  (latency + volume/bandwidth per message, both directions overlapped to
+  the slowest link);
+* **intra-node**: each node runs SDC over its subvolume on the simulated
+  multicore machine — the paper's method, unchanged, on the node's share
+  of the atoms.
+
+Per-step hybrid time = max over nodes of (SDC time on the node's
+workload) + halo-exchange time.  With a uniform crystal all nodes are
+identical, so one representative node suffices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.coloring import lattice_coloring
+from repro.core.domain import DecompositionError, decompose_balanced
+from repro.core.strategies.sdc import SDCStrategy
+from repro.core.strategies.serial import SerialStrategy
+from repro.geometry.box import Box
+from repro.parallel.machine import MachineConfig, paper_machine
+from repro.parallel.sim_exec import simulate
+from repro.parallel.workload import BYTES_PER_ATOM, analytic_workload, flat_workload
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A homogeneous cluster of simulated multicore nodes.
+
+    Interconnect defaults resemble paper-era DDR InfiniBand (~1.5 us
+    latency, ~1.5 GB/s effective per link).
+    """
+
+    machine: MachineConfig
+    link_latency_s: float = 1.5e-6
+    link_bandwidth_bytes_per_s: float = 1.5e9
+
+    def __post_init__(self) -> None:
+        if self.link_latency_s < 0:
+            raise ValueError("link_latency_s must be >= 0")
+        if self.link_bandwidth_bytes_per_s <= 0:
+            raise ValueError("link_bandwidth must be positive")
+
+
+def node_grid(n_nodes: int) -> Tuple[int, int, int]:
+    """Near-cubic factorization of ``n_nodes`` into a 3-D node grid."""
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    best = (n_nodes, 1, 1)
+    best_surface = float("inf")
+    for nx in range(1, n_nodes + 1):
+        if n_nodes % nx:
+            continue
+        rest = n_nodes // nx
+        for ny in range(1, rest + 1):
+            if rest % ny:
+                continue
+            nz = rest // ny
+            surface = nx * ny + ny * nz + nx * nz
+            if surface < best_surface:
+                best_surface = surface
+                best = (nx, ny, nz)
+    return best
+
+
+def halo_exchange_seconds(
+    cluster: ClusterConfig,
+    node_box: Box,
+    density: float,
+    reach: float,
+    grid: Tuple[int, int, int],
+) -> float:
+    """Per-step halo-exchange time for one node.
+
+    Each decomposed axis exchanges two face shells of thickness ``reach``;
+    sends along different axes serialize (conservative), the two
+    directions of one axis overlap.
+    """
+    total = 0.0
+    lengths = node_box.lengths
+    for axis in range(3):
+        if grid[axis] == 1:
+            continue  # periodic with itself: no network traffic
+        face_area = float(np.prod(np.delete(lengths, axis)))
+        shell_atoms = density * face_area * reach
+        message_bytes = shell_atoms * BYTES_PER_ATOM
+        total += cluster.link_latency_s + message_bytes / (
+            cluster.link_bandwidth_bytes_per_s
+        )
+    return total
+
+
+@dataclass(frozen=True)
+class HybridResult:
+    """Timing of one hybrid configuration."""
+
+    n_nodes: int
+    threads_per_node: int
+    node_grid: Tuple[int, int, int]
+    compute_seconds: float
+    exchange_seconds: float
+    serial_seconds: float
+
+    @property
+    def step_seconds(self) -> float:
+        """Per-step hybrid wall time."""
+        return self.compute_seconds + self.exchange_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Against one core of one node running the whole system."""
+        return self.serial_seconds / self.step_seconds
+
+    @property
+    def total_cores(self) -> int:
+        """Cores engaged across the cluster."""
+        return self.n_nodes * self.threads_per_node
+
+
+def simulate_hybrid(
+    n_atoms: int,
+    box: Box,
+    n_nodes: int,
+    threads_per_node: int,
+    cluster: ClusterConfig | None = None,
+    reach: float = 3.9,
+    pairs_per_atom: float = 7.0,
+    sdc_dims: int = 2,
+    locality: float = 0.95,
+) -> HybridResult:
+    """Time one MPI+OpenMP configuration on a uniform crystal.
+
+    Raises :class:`DecompositionError` when a node's subvolume cannot host
+    a valid SDC grid (too many nodes for the box).
+    """
+    cluster = cluster or ClusterConfig(machine=paper_machine())
+    machine = cluster.machine
+    if threads_per_node > machine.n_cores:
+        raise ValueError("threads_per_node exceeds node cores")
+    grid = node_grid(n_nodes)
+    node_lengths = box.lengths / np.asarray(grid, dtype=np.float64)
+    # a node's subvolume is periodic only along undivided axes; for the
+    # SDC grid inside it we treat it as periodic (halo cells stand in for
+    # the neighbors) — the constraint math is identical
+    node_box = Box(tuple(node_lengths))
+    node_atoms = int(round(n_atoms / n_nodes))
+    density = n_atoms / box.volume
+
+    # intra-node SDC
+    sdc_grid = decompose_balanced(node_box, reach, sdc_dims, threads_per_node)
+    coloring = lattice_coloring(sdc_grid)
+    stats = analytic_workload(
+        node_atoms, sdc_grid, coloring, pairs_per_atom, locality=locality
+    )
+    plan = SDCStrategy(dims=sdc_dims, n_threads=threads_per_node).plan(
+        stats, machine, threads_per_node
+    )
+    compute = simulate(plan, machine, threads_per_node).seconds
+
+    # whole-system serial baseline on one core
+    serial_stats = flat_workload(n_atoms, pairs_per_atom, locality=locality)
+    serial_plan = SerialStrategy().plan(serial_stats, machine, 1)
+    serial = simulate(serial_plan, machine, 1).seconds
+
+    exchange = (
+        halo_exchange_seconds(cluster, node_box, density, reach, grid)
+        if n_nodes > 1
+        else 0.0
+    )
+    return HybridResult(
+        n_nodes=n_nodes,
+        threads_per_node=threads_per_node,
+        node_grid=grid,
+        compute_seconds=compute,
+        exchange_seconds=exchange,
+        serial_seconds=serial,
+    )
+
+
+def hybrid_scaling_study(
+    n_atoms: int,
+    box: Box,
+    node_counts: Sequence[int],
+    threads_per_node: int = 16,
+    cluster: ClusterConfig | None = None,
+    **kwargs,
+) -> List[HybridResult]:
+    """Hybrid speedups over a sweep of node counts (skips infeasible ones)."""
+    out: List[HybridResult] = []
+    for n_nodes in node_counts:
+        try:
+            out.append(
+                simulate_hybrid(
+                    n_atoms, box, n_nodes, threads_per_node, cluster, **kwargs
+                )
+            )
+        except DecompositionError:
+            continue
+    return out

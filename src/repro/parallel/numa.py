@@ -1,0 +1,149 @@
+"""NUMA modeling — the paper's first future-work direction.
+
+"Firstly, a detailed study of SDC method on NUMA memory architecture is
+needed.  How to achieve better performance under multi-core and
+multi-socket shared memory system is of particular interest."
+
+The E7320 testbed is a front-side-bus SMP; this module models the NUMA
+machines that replaced it: per-socket memory controllers where a remote
+access costs ``remote_penalty`` times a local one.  What fraction of a
+strategy's traffic is local depends on *page placement*:
+
+* ``first-touch`` — pages live on the socket whose thread first wrote
+  them.  With SDC's stable owner-computes structure (static schedules over
+  a persistent partition), almost everything except the halo is local.
+* ``interleaved`` — pages round-robin across sockets: exactly
+  ``1/n_sockets`` of accesses are local regardless of strategy.
+* ``single-node`` — everything on socket 0 (the naive serial-init
+  pattern): remote for every thread but socket 0's.
+
+The study applies the resulting memory multiplier to a strategy's plan
+and re-times it on the simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.parallel.machine import MachineConfig
+from repro.parallel.plan import SimPhase, SimPlan
+from repro.parallel.sim_exec import SimResult, simulate
+
+PLACEMENTS = ("first-touch", "interleaved", "single-node")
+
+
+@dataclass(frozen=True)
+class NumaConfig:
+    """NUMA geometry and penalty.
+
+    ``remote_penalty`` is the ratio of remote to local memory latency/
+    bandwidth cost (1.4-2.2 on real two-to-four-socket machines).
+    """
+
+    n_sockets: int = 4
+    remote_penalty: float = 1.8
+    #: halo fraction of SDC traffic that is inherently remote even under
+    #: first-touch (neighbor-region atoms live on other sockets' pages)
+    sdc_halo_remote_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise ValueError("n_sockets must be >= 1")
+        if self.remote_penalty < 1.0:
+            raise ValueError("remote_penalty must be >= 1")
+        if not 0.0 <= self.sdc_halo_remote_fraction <= 1.0:
+            raise ValueError("sdc_halo_remote_fraction must be in [0, 1]")
+
+
+def local_fraction(
+    numa: NumaConfig,
+    placement: str,
+    owner_computes: bool,
+    n_threads: int,
+) -> float:
+    """Fraction of memory accesses served from the local socket.
+
+    ``owner_computes`` is true for strategies whose data-to-thread mapping
+    is stable across steps (SDC with static schedules, RC/CS/SAP flat
+    chunking) so first-touch placement aligns pages with their workers.
+    """
+    if placement not in PLACEMENTS:
+        raise ValueError(f"placement must be one of {PLACEMENTS}")
+    sockets_used = min(numa.n_sockets, max(n_threads, 1))
+    if placement == "interleaved":
+        return 1.0 / sockets_used
+    if placement == "single-node":
+        # only threads on socket 0 hit local memory
+        threads_on_socket0 = max(
+            1, n_threads // sockets_used + (1 if n_threads % sockets_used else 0)
+        )
+        return min(1.0, threads_on_socket0 / max(n_threads, 1))
+    # first-touch
+    if owner_computes:
+        return 1.0 - numa.sdc_halo_remote_fraction * (
+            0.0 if sockets_used == 1 else 1.0
+        )
+    return 1.0 / sockets_used  # migrating data defeats first-touch
+
+
+def memory_multiplier(numa: NumaConfig, local: float) -> float:
+    """Average memory-cost multiplier for a given local-access fraction."""
+    if not 0.0 <= local <= 1.0:
+        raise ValueError("local fraction must be in [0, 1]")
+    return local + (1.0 - local) * numa.remote_penalty
+
+
+def numa_adjusted_plan(plan: SimPlan, multiplier: float) -> SimPlan:
+    """Scale every phase's memory cycles by a NUMA multiplier."""
+    if multiplier < 1.0:
+        raise ValueError("multiplier must be >= 1")
+    phases: List[SimPhase] = [
+        replace(phase, memory=phase.memory * multiplier) for phase in plan.phases
+    ]
+    return SimPlan(
+        name=f"{plan.name}@numa{multiplier:.2f}",
+        phases=phases,
+        n_parallel_regions=plan.n_parallel_regions,
+        serial_overheads=plan.serial_overheads,
+    )
+
+
+def simulate_on_numa(
+    plan: SimPlan,
+    machine: MachineConfig,
+    numa: NumaConfig,
+    n_threads: int,
+    placement: str,
+    owner_computes: bool = True,
+) -> SimResult:
+    """Time a plan on the machine with NUMA placement effects applied."""
+    local = local_fraction(numa, placement, owner_computes, n_threads)
+    adjusted = numa_adjusted_plan(plan, memory_multiplier(numa, local))
+    return simulate(adjusted, machine, n_threads)
+
+
+def numa_study(
+    plan: SimPlan,
+    serial_plan: SimPlan,
+    machine: MachineConfig,
+    numa: NumaConfig,
+    n_threads: int,
+    owner_computes: bool = True,
+    placements: Sequence[str] = PLACEMENTS,
+) -> Dict[str, float]:
+    """Speedup of one plan under each placement policy.
+
+    The serial baseline runs with all data local (single-socket serial
+    execution pays no NUMA penalty).
+    """
+    t_serial = simulate(serial_plan, machine, 1).total_cycles
+    out: Dict[str, float] = {}
+    for placement in placements:
+        result = simulate_on_numa(
+            plan, machine, numa, n_threads, placement, owner_computes
+        )
+        out[placement] = t_serial / result.total_cycles
+    return out

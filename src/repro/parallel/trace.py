@@ -1,0 +1,142 @@
+"""Execution timelines from simulation results.
+
+Turns a :class:`~repro.parallel.sim_exec.SimResult` into per-thread Gantt
+rows — useful for eyeballing where barriers, critical sections, and load
+imbalance eat the speedup (the ``examples/strategy_comparison.py`` script
+prints these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.parallel.sim_exec import SimResult
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One phase's span on one thread's timeline (cycles)."""
+
+    phase: str
+    thread: int
+    start: float
+    busy: float
+    idle: float
+
+    @property
+    def end(self) -> float:
+        """When the phase's barrier releases this thread."""
+        return self.start + self.busy + self.idle
+
+
+def build_timeline(result: SimResult) -> List[TimelineSegment]:
+    """Expand a simulation result into per-thread phase segments.
+
+    Every phase is a synchronized span: all threads enter together (the
+    previous barrier) and leave together (this phase's barrier + critical
+    drain); ``idle`` is each thread's wait at the barrier.
+    """
+    segments: List[TimelineSegment] = []
+    cursor = result.fork_join_cycles
+    for phase in result.phase_results:
+        busy = phase.busy_cycles_per_thread
+        span = phase.total_cycles
+        for thread, b in enumerate(busy):
+            segments.append(
+                TimelineSegment(
+                    phase=phase.name,
+                    thread=thread,
+                    start=cursor,
+                    busy=float(b),
+                    idle=max(span - float(b), 0.0),
+                )
+            )
+        cursor += span
+    return segments
+
+
+def utilization(result: SimResult) -> float:
+    """Fraction of total thread-time spent busy (1.0 = no idling)."""
+    total_busy = sum(
+        float(np.sum(p.busy_cycles_per_thread)) for p in result.phase_results
+    )
+    wall = result.total_cycles
+    if wall <= 0:
+        return 1.0
+    return total_busy / (wall * result.n_threads)
+
+
+def render_gantt(
+    result: SimResult,
+    width: int = 72,
+    max_threads: int = 16,
+) -> str:
+    """ASCII Gantt chart: one row per thread, ``#`` busy, ``.`` barrier wait.
+
+    Phases are separated by ``|``; column width is proportional to phase
+    duration.  Useful for eyeballing where SDC's color barriers or SAP's
+    serialized merges sit on the timeline.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    segments = build_timeline(result)
+    if not segments:
+        return "(empty timeline)"
+    n_threads = min(result.n_threads, max_threads)
+    total = result.total_cycles - result.fork_join_cycles
+    if total <= 0:
+        return "(no phase time)"
+    by_phase: dict[str, List[TimelineSegment]] = {}
+    order: List[str] = []
+    for segment in segments:
+        if segment.phase not in by_phase:
+            order.append(segment.phase)
+            by_phase[segment.phase] = []
+        by_phase[segment.phase].append(segment)
+    # column budget per phase (at least 1)
+    spans = {
+        name: max(s.busy + s.idle for s in by_phase[name]) for name in order
+    }
+    span_total = sum(spans.values())
+    cols = {
+        name: max(1, int(round(width * spans[name] / span_total)))
+        for name in order
+    }
+    lines = [f"timeline of {result.plan_name!r} on {result.n_threads} threads"]
+    for t in range(n_threads):
+        row = [f"t{t:<2} "]
+        for name in order:
+            seg = next(s for s in by_phase[name] if s.thread == t)
+            n = cols[name]
+            span = seg.busy + seg.idle
+            busy_cols = 0 if span <= 0 else int(round(n * seg.busy / span))
+            row.append("#" * busy_cols + "." * (n - busy_cols) + "|")
+        lines.append("".join(row))
+    legend = "    " + "".join(
+        (name[: cols[name]].ljust(cols[name]) + "|") for name in order
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_phase_summary(result: SimResult, top: int = 12) -> str:
+    """Text summary of the costliest phases."""
+    breakdown = sorted(
+        result.phase_breakdown().items(), key=lambda kv: kv[1], reverse=True
+    )
+    lines = [
+        f"plan {result.plan_name!r} on {result.n_threads} threads: "
+        f"{result.total_cycles:,.0f} cycles "
+        f"({result.seconds * 1e3:.3f} ms), utilization "
+        f"{utilization(result) * 100:.1f}%"
+    ]
+    for name, cycles in breakdown[:top]:
+        lines.append(f"  {name:<24} {cycles:>16,.0f} cycles")
+    if result.fork_join_cycles:
+        lines.append(
+            f"  {'(fork-join)':<24} {result.fork_join_cycles:>16,.0f} cycles"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Interatomic potentials: EAM formalism (the paper's workload) and baselines."""
+
+from repro.potentials.alloy import (
+    AlloyEAM,
+    compute_alloy_eam_energy,
+    compute_alloy_eam_forces,
+)
+from repro.potentials.base import EAMPotential, PairPotential
+from repro.potentials.eam import (
+    EAMComputation,
+    compute_eam_energy,
+    compute_eam_forces_serial,
+    eam_density_phase,
+    eam_embedding_phase,
+    eam_force_phase,
+)
+from repro.potentials.johnson_fe import JohnsonFePotential, fe_potential
+from repro.potentials.lj import LennardJones
+from repro.potentials.spline import CubicSpline
+from repro.potentials.tables import TabulatedEAM, tabulate, write_setfl, read_setfl
+
+__all__ = [
+    "AlloyEAM",
+    "compute_alloy_eam_energy",
+    "compute_alloy_eam_forces",
+    "EAMPotential",
+    "PairPotential",
+    "EAMComputation",
+    "compute_eam_energy",
+    "compute_eam_forces_serial",
+    "eam_density_phase",
+    "eam_embedding_phase",
+    "eam_force_phase",
+    "JohnsonFePotential",
+    "fe_potential",
+    "LennardJones",
+    "CubicSpline",
+    "TabulatedEAM",
+    "tabulate",
+    "write_setfl",
+    "read_setfl",
+]

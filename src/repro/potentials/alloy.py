@@ -1,0 +1,267 @@
+"""Multi-element (alloy) EAM.
+
+The paper simulates pure Fe, but EAM's original purpose (Daw & Baskes) is
+metals *and alloys*; a production-quality EAM engine must handle multiple
+species.  The alloy formalism generalizes Eqs. (1)-(2):
+
+* ``rho_i = sum_j phi_{t_j}(r_ij)`` — the density an atom feels is the sum
+  of its neighbors' species-specific contribution functions;
+* ``E = sum_pairs V_{t_i t_j}(r_ij) + sum_i F_{t_i}(rho_i)``;
+* ``F_i = -sum_j (V'_{t_i t_j} + F'_{t_i}(rho_i) phi'_{t_j}(r)
+  + F'_{t_j}(rho_j) phi'_{t_i}(r)) r_hat_ij``.
+
+Note the asymmetry the single-element code can ignore: atom i's density
+derivative couples to *j's* contribution function and vice versa.  The
+half-list optimization still works — the pair's two force contributions
+are equal and opposite — but the density scatter adds ``phi_{t_j}`` to
+``rho_i`` and ``phi_{t_i}`` to ``rho_j``, two *different* values per pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import NeighborList
+from repro.potentials.base import EAMPotential
+from repro.potentials.eam import EAMComputation, pair_geometry
+from repro.utils.arrays import segment_sum
+
+
+@dataclass(frozen=True)
+class AlloyEAM:
+    """A multi-element EAM potential assembled from per-species parts.
+
+    Parameters
+    ----------
+    elements:
+        species labels, index-aligned with ``Atoms.types``.
+    species:
+        one single-element :class:`EAMPotential` per species, providing
+        that species' density contribution ``phi_t`` and embedding
+        ``F_t``.
+    pair_matrix:
+        ``pair_matrix[a][b]`` is the pair interaction ``V_ab``; must be
+        symmetric (``V_ab is V_ba`` up to numerics).  When omitted, the
+        Johnson mixing rule is not applied — the diagonal potentials'
+        pair terms are combined as ``V_ab = (V_aa + V_bb) / 2``.
+    """
+
+    elements: Sequence[str]
+    species: Sequence[EAMPotential]
+    pair_matrix: Optional[Sequence[Sequence[EAMPotential]]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.elements) != len(self.species):
+            raise ValueError("elements and species must align")
+        if len(self.elements) == 0:
+            raise ValueError("need at least one species")
+        if self.pair_matrix is not None:
+            n = len(self.elements)
+            if len(self.pair_matrix) != n or any(
+                len(row) != n for row in self.pair_matrix
+            ):
+                raise ValueError("pair_matrix must be n_species x n_species")
+
+    @property
+    def n_species(self) -> int:
+        """Number of species."""
+        return len(self.elements)
+
+    @property
+    def cutoff(self) -> float:
+        """Global cutoff: the largest of any component function."""
+        cut = max(p.cutoff for p in self.species)
+        if self.pair_matrix is not None:
+            cut = max(
+                cut, max(p.cutoff for row in self.pair_matrix for p in row)
+            )
+        return cut
+
+    # --- typed component evaluation ----------------------------------------
+
+    def density_of(self, t: np.ndarray, r: np.ndarray) -> np.ndarray:
+        """phi_{t}(r) for per-pair species array ``t``."""
+        out = np.zeros_like(r)
+        for s, pot in enumerate(self.species):
+            mask = t == s
+            if np.any(mask):
+                out[mask] = pot.density(r[mask])
+        return out
+
+    def density_deriv_of(self, t: np.ndarray, r: np.ndarray) -> np.ndarray:
+        """phi'_{t}(r)."""
+        out = np.zeros_like(r)
+        for s, pot in enumerate(self.species):
+            mask = t == s
+            if np.any(mask):
+                out[mask] = pot.density_deriv(r[mask])
+        return out
+
+    def embed_of(self, t: np.ndarray, rho: np.ndarray) -> np.ndarray:
+        """F_{t}(rho)."""
+        out = np.zeros_like(rho)
+        for s, pot in enumerate(self.species):
+            mask = t == s
+            if np.any(mask):
+                out[mask] = pot.embed(rho[mask])
+        return out
+
+    def embed_deriv_of(self, t: np.ndarray, rho: np.ndarray) -> np.ndarray:
+        """F'_{t}(rho)."""
+        out = np.zeros_like(rho)
+        for s, pot in enumerate(self.species):
+            mask = t == s
+            if np.any(mask):
+                out[mask] = pot.embed_deriv(rho[mask])
+        return out
+
+    def _pair_for(self, a: int, b: int) -> Optional[EAMPotential]:
+        if self.pair_matrix is not None:
+            return self.pair_matrix[a][b]
+        return None
+
+    def pair_energy_of(
+        self, ta: np.ndarray, tb: np.ndarray, r: np.ndarray
+    ) -> np.ndarray:
+        """V_{ta tb}(r), symmetric in the species pair."""
+        out = np.zeros_like(r)
+        for a in range(self.n_species):
+            for b in range(self.n_species):
+                mask = (ta == a) & (tb == b)
+                if not np.any(mask):
+                    continue
+                explicit = self._pair_for(a, b)
+                if explicit is not None:
+                    out[mask] = explicit.pair_energy(r[mask])
+                else:
+                    out[mask] = 0.5 * (
+                        self.species[a].pair_energy(r[mask])
+                        + self.species[b].pair_energy(r[mask])
+                    )
+        return out
+
+    def pair_energy_deriv_of(
+        self, ta: np.ndarray, tb: np.ndarray, r: np.ndarray
+    ) -> np.ndarray:
+        """dV_{ta tb}/dr."""
+        out = np.zeros_like(r)
+        for a in range(self.n_species):
+            for b in range(self.n_species):
+                mask = (ta == a) & (tb == b)
+                if not np.any(mask):
+                    continue
+                explicit = self._pair_for(a, b)
+                if explicit is not None:
+                    out[mask] = explicit.pair_energy_deriv(r[mask])
+                else:
+                    out[mask] = 0.5 * (
+                        self.species[a].pair_energy_deriv(r[mask])
+                        + self.species[b].pair_energy_deriv(r[mask])
+                    )
+        return out
+
+
+def compute_alloy_eam_forces(
+    potential: AlloyEAM,
+    atoms: Atoms,
+    nlist: NeighborList,
+) -> EAMComputation:
+    """Serial three-phase alloy-EAM evaluation (half or full list).
+
+    Updates ``atoms`` in place and returns the energy/force bundle,
+    mirroring :func:`repro.potentials.eam.compute_eam_forces_serial`.
+    """
+    if atoms.types.size and atoms.types.max() >= potential.n_species:
+        raise ValueError(
+            f"atoms reference species {atoms.types.max()} but potential has "
+            f"{potential.n_species}"
+        )
+    n = atoms.n_atoms
+    positions = atoms.positions
+    box = atoms.box
+    types = atoms.types
+    i_idx, j_idx = nlist.pair_arrays()
+    if len(i_idx) == 0:
+        zero = EAMComputation(
+            pair_energy=0.0,
+            embedding_energy=float(np.sum(potential.embed_of(types, np.zeros(n)))),
+            rho=np.zeros(n),
+            fp=potential.embed_deriv_of(types, np.zeros(n)),
+            forces=np.zeros((n, 3)),
+        )
+        atoms.rho[:] = zero.rho
+        atoms.fp[:] = zero.fp
+        atoms.forces[:] = zero.forces
+        return zero
+
+    delta, r = pair_geometry(positions, box, i_idx, j_idx)
+    ti, tj = types[i_idx], types[j_idx]
+
+    # phase 1: densities — i receives phi of j's species and vice versa
+    phi_from_j = potential.density_of(tj, r)
+    rho = np.bincount(i_idx, weights=phi_from_j, minlength=n)
+    if nlist.half:
+        phi_from_i = potential.density_of(ti, r)
+        rho += np.bincount(j_idx, weights=phi_from_i, minlength=n)
+    else:
+        phi_from_i = potential.density_of(ti, r)  # needed for forces below
+
+    # phase 2: embedding
+    embedding_energy = float(np.sum(potential.embed_of(types, rho)))
+    fp = potential.embed_deriv_of(types, rho)
+
+    # phase 3: forces — note the crossed species indices
+    vp = potential.pair_energy_deriv_of(ti, tj, r)
+    dphi_j = potential.density_deriv_of(tj, r)  # j's contribution, felt by i
+    dphi_i = potential.density_deriv_of(ti, r)  # i's contribution, felt by j
+    coeff = -(vp + fp[i_idx] * dphi_j + fp[j_idx] * dphi_i) / np.maximum(
+        r, 1e-12
+    )
+    pair_forces = coeff[:, None] * delta
+    forces = segment_sum(pair_forces, i_idx, n)
+    if nlist.half:
+        forces -= segment_sum(pair_forces, j_idx, n)
+
+    v = potential.pair_energy_of(ti, tj, r)
+    pair_energy = float(np.sum(v)) * (1.0 if nlist.half else 0.5)
+
+    atoms.rho[:] = rho
+    atoms.fp[:] = fp
+    atoms.forces[:] = forces
+    return EAMComputation(
+        pair_energy=pair_energy,
+        embedding_energy=embedding_energy,
+        rho=rho,
+        fp=fp,
+        forces=forces,
+    )
+
+
+def compute_alloy_eam_energy(
+    potential: AlloyEAM,
+    atoms: Atoms,
+    nlist: NeighborList,
+) -> float:
+    """Total alloy potential energy (finite-difference force tests)."""
+    n = atoms.n_atoms
+    i_idx, j_idx = nlist.pair_arrays()
+    types = atoms.types
+    if len(i_idx) == 0:
+        return float(np.sum(potential.embed_of(types, np.zeros(n))))
+    _, r = pair_geometry(atoms.positions, atoms.box, i_idx, j_idx)
+    ti, tj = types[i_idx], types[j_idx]
+    rho = np.bincount(
+        i_idx, weights=potential.density_of(tj, r), minlength=n
+    )
+    if nlist.half:
+        rho += np.bincount(
+            j_idx, weights=potential.density_of(ti, r), minlength=n
+        )
+    pair = float(np.sum(potential.pair_energy_of(ti, tj, r))) * (
+        1.0 if nlist.half else 0.5
+    )
+    return pair + float(np.sum(potential.embed_of(types, rho)))

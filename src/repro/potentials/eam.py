@@ -1,0 +1,291 @@
+"""The three-phase EAM force computation (paper Figs. 1-2, Eqs. 1-2).
+
+This module holds the *serial* reference kernels plus the pair-slice
+primitives the parallel strategies in :mod:`repro.core.strategies` are
+assembled from.  Phase structure, following Section II.C of the paper:
+
+1. **Electron densities** (Eq. 1) — for every half-list pair, evaluate
+   ``phi(r_ij)`` once and scatter it into both ``rho[i]`` and ``rho[j]``
+   (Section II.D optimization 1).
+2. **Embedding energies** — per-atom, no cross-iteration dependence:
+   ``F(rho_i)`` accumulated into the energy, ``F'(rho_i)`` cached for
+   phase 3.
+3. **Forces** (Eq. 2) — for every half-list pair, one scalar coefficient
+   ``-(V'(r) + (F'_i + F'_j) phi'(r)) / r`` scales the separation vector,
+   added to ``force[i]`` and subtracted from ``force[j]`` (Newton's third
+   law, Section II.D optimization 2).
+
+Phases 1 and 3 contain the irregular reductions whose parallelization the
+paper is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import NeighborList
+from repro.potentials.base import EAMPotential
+from repro.utils.arrays import segment_sum
+from repro.utils.timers import Counter
+
+
+# --------------------------------------------------------------------------
+# pair geometry
+# --------------------------------------------------------------------------
+
+def pair_geometry(
+    positions: np.ndarray,
+    box: Box,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Minimum-image separation vectors and distances for a pair slice.
+
+    Returns ``(delta, r)`` with ``delta[k] = pos[i_k] - pos[j_k]`` folded by
+    minimum image and ``r[k] = |delta[k]|``.
+    """
+    delta = box.minimum_image(positions[i_idx] - positions[j_idx])
+    r = np.sqrt(np.sum(delta * delta, axis=1))
+    return delta, r
+
+
+# --------------------------------------------------------------------------
+# pair-slice primitives (building blocks for the strategies)
+# --------------------------------------------------------------------------
+
+def density_pair_values(
+    potential: EAMPotential, r: np.ndarray
+) -> np.ndarray:
+    """phi(r) for a slice of pair distances."""
+    return potential.density(r)
+
+
+def scatter_rho_half(
+    rho: np.ndarray,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    phi: np.ndarray,
+) -> None:
+    """In-place half-list density scatter: ``rho[i] += phi; rho[j] += phi``.
+
+    This is the exact irregular reduction of paper Fig. 1.  ``np.add.at``
+    (unbuffered) is used so repeated indices inside the slice accumulate
+    correctly — the slice may contain many pairs sharing an atom.
+    """
+    np.add.at(rho, i_idx, phi)
+    np.add.at(rho, j_idx, phi)
+
+
+def scatter_rho_owned(
+    rho: np.ndarray,
+    i_idx: np.ndarray,
+    phi: np.ndarray,
+    n_atoms: int,
+) -> None:
+    """Full-list density accumulation writing only owned rows.
+
+    What the Redundant Computation strategy does: every directed pair
+    contributes only to its own row ``i``, so no write conflicts exist
+    (but every ``phi`` is computed twice system-wide).
+    """
+    rho += np.bincount(i_idx, weights=phi, minlength=n_atoms)[: len(rho)]
+
+
+def force_pair_coefficients(
+    potential: EAMPotential,
+    r: np.ndarray,
+    fp_i: np.ndarray,
+    fp_j: np.ndarray,
+) -> np.ndarray:
+    """Scalar force coefficient per pair (Eq. 2 of the paper).
+
+    ``coeff = -(V'(r) + (F'_i + F'_j) phi'(r)) / r`` so that the force
+    contribution on atom i is ``coeff * delta_ij`` (and ``-coeff * delta_ij``
+    on atom j).
+    """
+    vp = potential.pair_energy_deriv(r)
+    dp = potential.density_deriv(r)
+    r_safe = np.maximum(r, 1e-12)
+    return -(vp + (fp_i + fp_j) * dp) / r_safe
+
+
+def scatter_force_half(
+    forces: np.ndarray,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    pair_forces: np.ndarray,
+) -> None:
+    """In-place half-list force scatter (paper Fig. 2).
+
+    ``forces[i] += f_pair; forces[j] -= f_pair`` per component.
+    """
+    for axis in range(3):
+        np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
+        np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
+
+
+def scatter_force_owned(
+    forces: np.ndarray,
+    i_idx: np.ndarray,
+    pair_forces: np.ndarray,
+    n_atoms: int,
+) -> None:
+    """Full-list force accumulation into owned rows only (RC strategy)."""
+    forces += segment_sum(pair_forces, i_idx, n_atoms)
+
+
+# --------------------------------------------------------------------------
+# serial reference phases
+# --------------------------------------------------------------------------
+
+def eam_density_phase(
+    potential: EAMPotential,
+    positions: np.ndarray,
+    box: Box,
+    nlist: NeighborList,
+    counter: Optional[Counter] = None,
+) -> np.ndarray:
+    """Phase 1: electron densities from a half (or full) neighbor list."""
+    n = len(positions)
+    rho = np.zeros(n)
+    i_idx, j_idx = nlist.pair_arrays()
+    if len(i_idx) == 0:
+        return rho
+    _, r = pair_geometry(positions, box, i_idx, j_idx)
+    phi = density_pair_values(potential, r)
+    if nlist.half:
+        rho += np.bincount(i_idx, weights=phi, minlength=n)
+        rho += np.bincount(j_idx, weights=phi, minlength=n)
+    else:
+        rho += np.bincount(i_idx, weights=phi, minlength=n)
+    if counter is not None:
+        counter.add("density_pairs", len(i_idx))
+        counter.add("rho_updates", (2 if nlist.half else 1) * len(i_idx))
+    return rho
+
+
+def eam_embedding_phase(
+    potential: EAMPotential,
+    rho: np.ndarray,
+    counter: Optional[Counter] = None,
+) -> Tuple[float, np.ndarray]:
+    """Phase 2: total embedding energy and per-atom F'(rho).
+
+    This loop has no data dependences; the paper parallelizes it with a
+    plain ``parallel for``.
+    """
+    energy = float(np.sum(potential.embed(rho)))
+    fp = potential.embed_deriv(rho)
+    if counter is not None:
+        counter.add("embed_atoms", len(rho))
+    return energy, fp
+
+
+def eam_force_phase(
+    potential: EAMPotential,
+    positions: np.ndarray,
+    box: Box,
+    nlist: NeighborList,
+    fp: np.ndarray,
+    counter: Optional[Counter] = None,
+) -> np.ndarray:
+    """Phase 3: forces from the cached embedding derivatives."""
+    n = len(positions)
+    forces = np.zeros((n, 3))
+    i_idx, j_idx = nlist.pair_arrays()
+    if len(i_idx) == 0:
+        return forces
+    delta, r = pair_geometry(positions, box, i_idx, j_idx)
+    coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+    pair_forces = coeff[:, None] * delta
+    if nlist.half:
+        forces += segment_sum(pair_forces, i_idx, n)
+        forces -= segment_sum(pair_forces, j_idx, n)
+    else:
+        # full list: both directions are present, each directed pair writes
+        # its whole contribution into the owning row only (RC semantics)
+        forces += segment_sum(pair_forces, i_idx, n)
+    if counter is not None:
+        counter.add("force_pairs", len(i_idx))
+        counter.add("force_updates", (2 if nlist.half else 1) * len(i_idx) * 3)
+    return forces
+
+
+# --------------------------------------------------------------------------
+# driver-facing entry points
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EAMComputation:
+    """Result bundle of one full EAM force evaluation."""
+
+    pair_energy: float
+    embedding_energy: float
+    rho: np.ndarray
+    fp: np.ndarray
+    forces: np.ndarray
+
+    @property
+    def potential_energy(self) -> float:
+        """Total potential energy (pair + embedding) in eV."""
+        return self.pair_energy + self.embedding_energy
+
+
+def compute_eam_forces_serial(
+    potential: EAMPotential,
+    atoms: Atoms,
+    nlist: NeighborList,
+    counter: Optional[Counter] = None,
+) -> EAMComputation:
+    """Full serial EAM evaluation; also updates ``atoms`` in place.
+
+    This is the reference every parallel strategy must reproduce; it is
+    also the timing baseline of the paper ("runtimes of serial programs on
+    one core").
+    """
+    positions = atoms.positions
+    box = atoms.box
+    rho = eam_density_phase(potential, positions, box, nlist, counter)
+    emb_energy, fp = eam_embedding_phase(potential, rho, counter)
+    forces = eam_force_phase(potential, positions, box, nlist, fp, counter)
+    i_idx, j_idx = nlist.pair_arrays()
+    if len(i_idx):
+        _, r = pair_geometry(positions, box, i_idx, j_idx)
+        v = potential.pair_energy(r)
+        pair_energy = float(np.sum(v)) * (1.0 if nlist.half else 0.5)
+    else:
+        pair_energy = 0.0
+    atoms.rho[:] = rho
+    atoms.fp[:] = fp
+    atoms.forces[:] = forces
+    return EAMComputation(
+        pair_energy=pair_energy,
+        embedding_energy=emb_energy,
+        rho=rho,
+        fp=fp,
+        forces=forces,
+    )
+
+
+def compute_eam_energy(
+    potential: EAMPotential,
+    atoms: Atoms,
+    nlist: NeighborList,
+) -> float:
+    """Total potential energy only (used by finite-difference force tests)."""
+    positions = atoms.positions
+    box = atoms.box
+    rho = eam_density_phase(potential, positions, box, nlist)
+    emb_energy = float(np.sum(potential.embed(rho)))
+    i_idx, j_idx = nlist.pair_arrays()
+    if len(i_idx) == 0:
+        return emb_energy
+    _, r = pair_geometry(positions, box, i_idx, j_idx)
+    v = potential.pair_energy(r)
+    pair_energy = float(np.sum(v)) * (1.0 if nlist.half else 0.5)
+    return pair_energy + emb_energy

@@ -1,0 +1,67 @@
+"""Lennard-Jones pair potential.
+
+The paper's introduction contrasts EAM against "pair-wise potential"
+codes: one computational phase, roughly half the pair work, no extra
+per-atom density arrays.  LJ is that baseline.  The energy is shifted so
+V(r_c) = 0 and smoothly switched so V'(r_c) = 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.potentials.base import PairPotential
+
+
+@dataclass(frozen=True)
+class LennardJones(PairPotential):
+    """Truncated, smoothly switched 12-6 Lennard-Jones potential.
+
+    ``V(r) = 4 eps ((sigma/r)^12 - (sigma/r)^6) * s(r)`` with a cubic-in-r^2
+    switching function active on ``[r_switch, r_cut]``.
+    """
+
+    epsilon: float = 0.4
+    sigma: float = 2.27
+    r_cut: float = 5.5
+    r_switch: float = 4.8
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0 or self.sigma <= 0:
+            raise ValueError("epsilon and sigma must be positive")
+        if not 0 < self.r_switch < self.r_cut:
+            raise ValueError("need 0 < r_switch < r_cut")
+
+    @property
+    def cutoff(self) -> float:
+        return self.r_cut
+
+    def _raw(self, r: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        sr6 = (self.sigma / np.maximum(r, 1e-12)) ** 6
+        v = 4.0 * self.epsilon * (sr6 * sr6 - sr6)
+        dv = 4.0 * self.epsilon * (-12.0 * sr6 * sr6 + 6.0 * sr6) / np.maximum(
+            r, 1e-12
+        )
+        return v, dv
+
+    def _switch(self, r: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        width = self.r_cut - self.r_switch
+        x = np.clip((r - self.r_switch) / width, 0.0, 1.0)
+        s = 1.0 - x * x * (3.0 - 2.0 * x)
+        inside = (r > self.r_switch) & (r < self.r_cut)
+        ds = np.where(inside, -6.0 * x * (1.0 - x) / width, 0.0)
+        return s, ds
+
+    def pair_energy(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        v, _ = self._raw(r)
+        s, _ = self._switch(r)
+        return np.where(r < self.r_cut, v * s, 0.0)
+
+    def pair_energy_deriv(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        v, dv = self._raw(r)
+        s, ds = self._switch(r)
+        return np.where(r < self.r_cut, dv * s + v * ds, 0.0)

@@ -1,0 +1,79 @@
+"""Physical units and constants for the MD engine ("metal" unit system).
+
+The unit system mirrors the one classical metal-MD codes (XMD, LAMMPS
+``units metal``) use, because the paper's workloads are bcc-iron crystals
+driven by an EAM potential:
+
+========== =========================
+quantity    unit
+========== =========================
+length      angstrom (Å)
+energy      electron-volt (eV)
+mass        atomic mass unit (amu, g/mol)
+time        picosecond (ps)
+temperature kelvin (K)
+force       eV/Å
+velocity    Å/ps
+pressure    bar
+========== =========================
+
+Only plain floats are exposed; the engine does no runtime unit checking —
+this module is the single place where conversion factors live so that the
+rest of the code can stay unitless and fast.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- fundamental constants (CODATA 2018, to the precision MD needs) -------
+
+#: Boltzmann constant in eV/K.
+KB_EV_PER_K: float = 8.617333262e-5
+
+#: Conversion: 1 amu * (Å/ps)^2 in eV.  Kinetic energy in metal units is
+#: ``0.5 * m[amu] * v[Å/ps]^2 * MVV_TO_EV``.
+MVV_TO_EV: float = 1.0364269574711572e-4
+
+#: Conversion: force in eV/Å acting on a mass in amu gives an acceleration in
+#: Å/ps^2 after multiplying by ``EVA_TO_AMU_APS2``.
+EVA_TO_AMU_APS2: float = 1.0 / MVV_TO_EV
+
+#: Conversion: eV/Å^3 to bar (for virial pressure reporting).
+EV_PER_A3_TO_BAR: float = 1.602176634e6
+
+# --- iron, the paper's material -------------------------------------------
+
+#: Mass of Fe in amu.
+FE_MASS_AMU: float = 55.845
+
+#: Conventional bcc lattice constant of alpha-iron at 0 K, in Å.
+FE_BCC_LATTICE_A: float = 2.8665
+
+#: First-neighbor distance in bcc Fe (body diagonal / 2).
+FE_BCC_NN_DIST: float = FE_BCC_LATTICE_A * math.sqrt(3.0) / 2.0
+
+#: Second-neighbor distance in bcc Fe (cube edge).
+FE_BCC_2NN_DIST: float = FE_BCC_LATTICE_A
+
+#: The paper simulates with a 1e-17 s timestep == 1e-5 ps.
+PAPER_TIMESTEP_PS: float = 1.0e-5
+
+#: The paper runs 1000 timesteps per measurement.
+PAPER_N_STEPS: int = 1000
+
+
+def temperature_to_kinetic_energy(temperature: float, n_atoms: int) -> float:
+    """Total kinetic energy (eV) of ``n_atoms`` at ``temperature`` kelvin.
+
+    Uses the equipartition theorem with 3 degrees of freedom per atom
+    (periodic bulk crystal; no constraints).
+    """
+    return 1.5 * n_atoms * KB_EV_PER_K * temperature
+
+
+def kinetic_energy_to_temperature(kinetic_energy: float, n_atoms: int) -> float:
+    """Instantaneous temperature (K) from total kinetic energy (eV)."""
+    if n_atoms <= 0:
+        raise ValueError("n_atoms must be positive")
+    return kinetic_energy / (1.5 * n_atoms * KB_EV_PER_K)

@@ -1,0 +1,111 @@
+"""Wall-clock timing and operation counting.
+
+The paper measures "the running times of the calculations of the electron
+densities and forces" with ``gettimeofday``.  :class:`Stopwatch` is the
+equivalent for the real backends; :class:`Counter` feeds the simulated
+machine's cost model with operation counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer with named sections.
+
+    >>> sw = Stopwatch()
+    >>> with sw.section("forces"):
+    ...     pass
+    >>> sw.total("forces") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def section(self, name: str) -> "_Section":
+        """Context manager accumulating elapsed time under ``name``."""
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to section ``name``."""
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never timed)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of times section ``name`` was entered."""
+        return self._counts.get(name, 0)
+
+    def names(self) -> list[str]:
+        """All section names, in insertion order."""
+        return list(self._totals)
+
+    def reset(self) -> None:
+        """Clear all sections."""
+        self._totals.clear()
+        self._counts.clear()
+
+    def report(self) -> str:
+        """Human-readable multi-line summary."""
+        if not self._totals:
+            return "(no sections timed)"
+        width = max(len(n) for n in self._totals)
+        lines = [
+            f"{name:<{width}}  {self._totals[name]:10.6f} s  x{self._counts[name]}"
+            for name in self._totals
+        ]
+        return "\n".join(lines)
+
+
+class _Section:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self._watch.add(self._name, time.perf_counter() - self._start)
+
+
+@dataclass
+class Counter:
+    """Named integer counters for operation accounting.
+
+    The strategies increment these (pair evaluations, scatter updates,
+    barriers, critical entries...) and the cost model converts them into
+    simulated cycles.
+    """
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counts.get(name, 0)
+
+    def merge(self, other: "Counter") -> None:
+        """Add all of ``other``'s counts into this counter."""
+        for name, value in other.counts.items():
+            self.add(name, value)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.counts.clear()

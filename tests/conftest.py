@@ -1,0 +1,80 @@
+"""Shared fixtures: small materialized systems, potentials, neighbor lists."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import bcc_lattice
+from repro.geometry.lattice import perturb_positions
+from repro.md import Atoms, build_neighbor_list
+from repro.potentials import compute_eam_forces_serial, fe_potential
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="session")
+def potential():
+    """The library's default analytic Fe EAM potential."""
+    return fe_potential()
+
+
+@pytest.fixture(scope="session")
+def perfect_system():
+    """A perfect 5x5x5 bcc supercell (250 atoms) with its box."""
+    positions, box = bcc_lattice(2.8665, (5, 5, 5))
+    return positions, box
+
+
+def _perturbed(n_cells: int, amplitude: float, seed: int):
+    positions, box = bcc_lattice(2.8665, (n_cells,) * 3)
+    rng = default_rng(seed)
+    positions = perturb_positions(positions, box, amplitude, rng)
+    return Atoms(box=box, positions=positions)
+
+
+@pytest.fixture(scope="session")
+def small_atoms():
+    """250 perturbed atoms — fast unit-test workhorse."""
+    return _perturbed(5, 0.05, seed=11)
+
+
+@pytest.fixture(scope="session")
+def sdc_atoms():
+    """1024 perturbed atoms in a box large enough for 2x2x2 SDC grids."""
+    return _perturbed(8, 0.08, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_nlist(small_atoms, potential):
+    """Half neighbor list for the small system."""
+    return build_neighbor_list(
+        small_atoms.positions,
+        small_atoms.box,
+        cutoff=potential.cutoff,
+        skin=0.3,
+        half=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def sdc_nlist(sdc_atoms, potential):
+    """Half neighbor list for the SDC-capable system."""
+    return build_neighbor_list(
+        sdc_atoms.positions,
+        sdc_atoms.box,
+        cutoff=potential.cutoff,
+        skin=0.3,
+        half=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def reference_result(sdc_atoms, sdc_nlist, potential):
+    """Serial-kernel forces/densities for the SDC system (ground truth)."""
+    return compute_eam_forces_serial(potential, sdc_atoms.copy(), sdc_nlist)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return default_rng(1234)

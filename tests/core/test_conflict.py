@@ -1,0 +1,113 @@
+"""Write-conflict detection: SDC's central safety property.
+
+Two directions, both essential:
+
+1. With the paper's constraints respected (edge > 2*reach, even counts,
+   parity coloring), no same-color subdomains may ever share a written
+   atom.
+2. If the constraints are *violated* (an unsafe grid), the checker must
+   detect the overlap — otherwise the positive result in (1) means
+   nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.coloring import Coloring, lattice_coloring
+from repro.core.conflict import check_schedule_conflicts, thread_write_sets
+from repro.core.domain import SubdomainGrid, decompose
+from repro.core.partition import build_pair_partition, build_partition
+from repro.core.schedule import build_schedule
+from repro.md.neighbor.verlet import build_neighbor_list
+
+
+def make_pairs_and_schedule(atoms, nlist, grid, coloring=None):
+    coloring = coloring or lattice_coloring(grid)
+    partition = build_partition(nlist.reference_positions, grid)
+    pairs = build_pair_partition(partition, nlist)
+    return pairs, build_schedule(coloring)
+
+
+class TestSafeSchedules:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_valid_decomposition_has_no_conflicts(
+        self, sdc_atoms, sdc_nlist, dims
+    ):
+        grid = decompose(sdc_atoms.box, reach=3.9, dims=dims)
+        pairs, schedule = make_pairs_and_schedule(sdc_atoms, sdc_nlist, grid)
+        report = check_schedule_conflicts(pairs, schedule)
+        assert report.ok
+        assert report.conflicts == []
+
+    def test_single_color_phases_trivially_safe(self, sdc_atoms, sdc_nlist):
+        """Phases of one subdomain cannot conflict."""
+        grid = decompose(sdc_atoms.box, reach=3.9, dims=1, max_per_axis=2)
+        pairs, schedule = make_pairs_and_schedule(sdc_atoms, sdc_nlist, grid)
+        assert check_schedule_conflicts(pairs, schedule).ok
+
+
+class TestUnsafeSchedules:
+    def test_all_one_color_detected(self, sdc_atoms, sdc_nlist):
+        """Coloring everything the same color creates adjacent conflicts."""
+        grid = decompose(sdc_atoms.box, reach=3.9, dims=3)
+        bad = Coloring(
+            color_of=np.zeros(grid.n_subdomains, dtype=np.int64), n_colors=1
+        )
+        pairs, schedule = make_pairs_and_schedule(
+            sdc_atoms, sdc_nlist, grid, coloring=bad
+        )
+        report = check_schedule_conflicts(pairs, schedule)
+        assert not report.ok
+        assert report.n_conflicting_atoms > 0
+        assert len(report.conflicts) > 0
+
+    def test_conflict_tuples_identify_color_and_atoms(
+        self, sdc_atoms, sdc_nlist
+    ):
+        grid = decompose(sdc_atoms.box, reach=3.9, dims=3)
+        bad = Coloring(
+            color_of=np.zeros(grid.n_subdomains, dtype=np.int64), n_colors=1
+        )
+        pairs, schedule = make_pairs_and_schedule(
+            sdc_atoms, sdc_nlist, grid, coloring=bad
+        )
+        report = check_schedule_conflicts(pairs, schedule, max_reported=5)
+        assert len(report.conflicts) <= 5
+        for color, sub_a, sub_b, atom in report.conflicts:
+            assert color == 0
+            assert sub_a != sub_b
+            assert 0 <= atom < sdc_atoms.n_atoms
+
+    def test_too_small_subdomains_conflict(self):
+        """Bypass the constructor guard and prove tiny subdomains race.
+
+        With edges shorter than 2*reach, same-color subdomains' halos
+        overlap; the checker must see it.
+        """
+        from repro.harness.cases import Case
+
+        atoms = Case(key="t", label="t", n_cells=8).build(seed=3)
+        nlist = build_neighbor_list(atoms.positions, atoms.box, 3.6, skin=0.3)
+        # force a 4-per-axis grid (edge 5.73 < 2*3.9) by lying about reach
+        grid = SubdomainGrid(box=atoms.box, counts=(4, 1, 1), reach=2.5)
+        pairs, schedule = make_pairs_and_schedule(atoms, nlist, grid)
+        report = check_schedule_conflicts(pairs, schedule)
+        assert not report.ok
+
+
+class TestThreadWriteSets:
+    def test_thread_sets_disjoint_for_valid_grid(self, sdc_atoms, sdc_nlist):
+        grid = decompose(sdc_atoms.box, reach=3.9, dims=3)
+        pairs, schedule = make_pairs_and_schedule(sdc_atoms, sdc_nlist, grid)
+        sets = thread_write_sets(pairs, schedule, color=0, n_threads=4)
+        seen = set()
+        for ws in sets:
+            as_set = set(ws.tolist())
+            assert not (seen & as_set)
+            seen |= as_set
+
+    def test_idle_threads_have_empty_sets(self, sdc_atoms, sdc_nlist):
+        grid = decompose(sdc_atoms.box, reach=3.9, dims=1)
+        pairs, schedule = make_pairs_and_schedule(sdc_atoms, sdc_nlist, grid)
+        sets = thread_write_sets(pairs, schedule, color=0, n_threads=8)
+        assert any(len(ws) == 0 for ws in sets)

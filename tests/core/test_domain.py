@@ -1,0 +1,168 @@
+"""Subdomain grids and the paper's decomposition constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import (
+    DecompositionError,
+    SubdomainGrid,
+    decompose,
+    decompose_balanced,
+    max_even_count,
+    parallel_degree,
+)
+from repro.geometry.box import Box
+
+
+@pytest.fixture()
+def box():
+    return Box((40.0, 40.0, 40.0))
+
+
+class TestMaxEvenCount:
+    def test_basic(self):
+        # 40 / (2*3.9) = 5.13 -> 5 fits strictly, forced even -> 4
+        assert max_even_count(40.0, 3.9) == 4
+
+    def test_exact_boundary_is_excluded(self):
+        # edge must be STRICTLY longer than 2*reach
+        assert max_even_count(40.0, 5.0) == 2  # 40/4=10 == 2*reach -> 3 -> 2
+
+    def test_too_small(self):
+        assert max_even_count(7.0, 3.9) == 0
+
+    def test_rejects_bad_reach(self):
+        with pytest.raises(ValueError):
+            max_even_count(10.0, 0.0)
+
+
+class TestDecompose:
+    def test_1d_counts(self, box):
+        grid = decompose(box, reach=3.9, dims=1)
+        assert sorted(grid.counts) == [1, 1, 4]
+        assert grid.dimensionality == 1
+        assert grid.n_colors == 2
+
+    def test_2d_counts(self, box):
+        grid = decompose(box, reach=3.9, dims=2)
+        assert sorted(grid.counts) == [1, 4, 4]
+        assert grid.n_colors == 4
+
+    def test_3d_counts(self, box):
+        grid = decompose(box, reach=3.9, dims=3)
+        assert grid.counts == (4, 4, 4)
+        assert grid.n_colors == 8
+        assert grid.n_subdomains == 64
+
+    def test_edges_exceed_twice_reach(self, box):
+        grid = decompose(box, reach=3.9, dims=3)
+        assert np.all(grid.edge_lengths() > 2 * 3.9)
+
+    def test_counts_even(self, box):
+        grid = decompose(box, reach=3.9, dims=3)
+        assert all(c % 2 == 0 for c in grid.counts)
+
+    def test_longest_axes_chosen_by_default(self):
+        box = Box((50.0, 16.0, 30.0))
+        grid = decompose(box, reach=3.9, dims=2)
+        assert grid.counts[0] > 1
+        assert grid.counts[2] > 1
+        assert grid.counts[1] == 1
+
+    def test_explicit_axes(self, box):
+        grid = decompose(box, reach=3.9, dims=1, axes=[1])
+        assert grid.counts[1] > 1
+        assert grid.counts[0] == grid.counts[2] == 1
+
+    def test_max_per_axis_cap(self, box):
+        grid = decompose(box, reach=3.9, dims=1, max_per_axis=2)
+        assert max(grid.counts) == 2
+
+    def test_impossible_box_raises(self):
+        with pytest.raises(DecompositionError):
+            decompose(Box((10.0, 10.0, 10.0)), reach=3.9, dims=1)
+
+    def test_invalid_dims(self, box):
+        with pytest.raises(ValueError):
+            decompose(box, reach=3.9, dims=4)
+
+    def test_invalid_axes(self, box):
+        with pytest.raises(ValueError):
+            decompose(box, reach=3.9, dims=2, axes=[0, 0])
+
+
+class TestGridValidation:
+    def test_constructor_enforces_edge_constraint(self, box):
+        with pytest.raises(DecompositionError, match="exceed"):
+            SubdomainGrid(box=box, counts=(12, 1, 1), reach=3.9)
+
+    def test_constructor_enforces_even_counts(self, box):
+        with pytest.raises(DecompositionError, match="even"):
+            SubdomainGrid(box=box, counts=(3, 1, 1), reach=3.9)
+
+    def test_single_subdomain_axis_allowed(self, box):
+        SubdomainGrid(box=box, counts=(1, 1, 1), reach=3.9)
+
+
+class TestIndexing:
+    @pytest.fixture()
+    def grid(self, box):
+        return decompose(box, reach=3.9, dims=3)
+
+    def test_coords_flat_round_trip(self, grid):
+        ids = np.arange(grid.n_subdomains)
+        assert np.array_equal(grid.flat_of(grid.coords_of(ids)), ids)
+
+    def test_subdomain_of_positions_in_bounds(self, grid, rng):
+        positions = rng.uniform(0, 40, size=(500, 3))
+        subs = grid.subdomain_of_positions(positions)
+        assert subs.min() >= 0
+        assert subs.max() < grid.n_subdomains
+
+    def test_position_geometrically_inside_assigned_subdomain(self, grid, rng):
+        positions = rng.uniform(0, 40, size=(200, 3))
+        subs = grid.subdomain_of_positions(positions)
+        for pos, sub in zip(positions, subs):
+            lo, hi = grid.bounds_of(int(sub))
+            assert np.all(pos >= lo - 1e-9)
+            assert np.all(pos <= hi + 1e-9)
+
+    def test_neighbors_periodic_3d(self, grid):
+        # interior of a 4x4x4 periodic grid: 26 distinct neighbors
+        assert len(grid.neighbor_subdomains(0)) == 26
+
+    def test_neighbors_exclude_self(self, grid):
+        assert 0 not in grid.neighbor_subdomains(0)
+
+    def test_adjacency_pairs_symmetric_unique(self, grid):
+        pairs = grid.adjacency_pairs()
+        assert len(set(pairs)) == len(pairs)
+        assert all(a < b for a, b in pairs)
+
+
+class TestBalancedDecomposition:
+    def test_perfect_balance_preferred(self):
+        box = Box((70.0, 70.0, 70.0))  # max even count: 8 per axis
+        grid = decompose_balanced(box, reach=3.9, dims=1, n_threads=4)
+        per_color = parallel_degree(grid)
+        assert per_color % 4 == 0
+
+    def test_falls_back_when_perfect_impossible(self):
+        box = Box((20.0, 20.0, 20.0))  # only count=2 possible
+        grid = decompose_balanced(box, reach=3.9, dims=1, n_threads=16)
+        assert max(grid.counts) == 2
+
+    def test_prefers_more_subdomains_on_ties(self):
+        box = Box((70.0, 70.0, 70.0))
+        grid = decompose_balanced(box, reach=3.9, dims=1, n_threads=2)
+        # counts 4 and 8 both balance over 2 threads; 8 wins
+        assert max(grid.counts) == 8
+
+    def test_raises_when_impossible(self):
+        with pytest.raises(DecompositionError):
+            decompose_balanced(Box((10.0, 10.0, 10.0)), reach=3.9, dims=2, n_threads=2)
+
+    def test_parallel_degree(self):
+        box = Box((70.0, 70.0, 70.0))
+        grid = decompose_balanced(box, reach=3.9, dims=2, n_threads=4)
+        assert parallel_degree(grid) == grid.n_subdomains // 4

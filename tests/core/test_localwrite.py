@@ -1,0 +1,98 @@
+"""LOCALWRITE strategy (taxonomy class 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import LocalWriteStrategy
+from repro.harness.cases import case_by_key
+from repro.harness.runner import PAPER_THREADS, ExperimentRunner
+from repro.md.neighbor.verlet import full_from_half
+from repro.parallel.backends import ThreadBackend
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_matches_serial_reference(
+        self, dims, potential, sdc_atoms, sdc_nlist, reference_result
+    ):
+        strategy = LocalWriteStrategy(dims=dims, n_threads=2)
+        result = strategy.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        assert np.allclose(result.forces, reference_result.forces, atol=1e-12)
+        assert np.allclose(result.rho, reference_result.rho, atol=1e-12)
+        assert result.potential_energy == pytest.approx(
+            reference_result.potential_energy
+        )
+
+    def test_thread_backend(
+        self, potential, sdc_atoms, sdc_nlist, reference_result
+    ):
+        with ThreadBackend(2) as backend:
+            strategy = LocalWriteStrategy(dims=3, n_threads=2, backend=backend)
+            result = strategy.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        assert np.allclose(result.forces, reference_result.forces, atol=1e-12)
+
+    def test_rejects_full_list(self, potential, sdc_atoms, sdc_nlist):
+        with pytest.raises(ValueError, match="half"):
+            LocalWriteStrategy(dims=2).compute(
+                potential, sdc_atoms.copy(), full_from_half(sdc_nlist)
+            )
+
+    def test_inspector_cached(self, potential, sdc_atoms, sdc_nlist):
+        strategy = LocalWriteStrategy(dims=2, n_threads=2)
+        strategy.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        tables = strategy._tables
+        strategy.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        assert strategy._tables is tables
+
+
+class TestInspector:
+    def test_pair_classification_complete(self, potential, sdc_atoms, sdc_nlist):
+        strategy = LocalWriteStrategy(dims=3, n_threads=2)
+        strategy.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        tables = strategy._tables
+        assert (
+            tables.n_interior_pairs + tables.n_boundary_pairs
+            == sdc_nlist.n_pairs
+        )
+
+    def test_boundary_pairs_duplicated(self, potential, sdc_atoms, sdc_nlist):
+        strategy = LocalWriteStrategy(dims=3, n_threads=2)
+        strategy.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        tables = strategy._tables
+        assert len(tables.bnd_i) == 2 * tables.n_boundary_pairs
+
+    def test_owners_write_only_own_atoms(self, potential, sdc_atoms, sdc_nlist):
+        strategy = LocalWriteStrategy(dims=3, n_threads=2)
+        strategy.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        tables = strategy._tables
+        grid = strategy.grid
+        from repro.core.partition import build_partition
+
+        partition = build_partition(sdc_nlist.reference_positions, grid)
+        sub_of = partition.subdomain_of_atom
+        for s in range(grid.n_subdomains):
+            i_b, j_b, side = tables.boundary_of(s)
+            own = np.where(side == 0, i_b, j_b)
+            assert np.all(sub_of[own] == s)
+
+
+class TestPerformancePosition:
+    def test_between_sdc_and_rc(self):
+        """LOCALWRITE's redundant boundary work lands it between SDC
+        (no redundancy) and RC (full redundancy) on the large case."""
+        runner = ExperimentRunner()
+        case = case_by_key("large3")
+        at16 = {
+            name: runner.strategy_speedup(case, name, 16).speedup
+            for name in ("sdc-2d", "localwrite", "redundant-computation")
+        }
+        assert at16["sdc-2d"] > at16["localwrite"] > at16["redundant-computation"]
+
+    def test_scales_with_threads(self):
+        runner = ExperimentRunner()
+        case = case_by_key("large3")
+        values = [
+            runner.strategy_speedup(case, "localwrite", p).speedup
+            for p in PAPER_THREADS
+        ]
+        assert values == sorted(values)

@@ -1,0 +1,78 @@
+"""SDC machinery on boxes with open (non-periodic) boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.coloring import lattice_coloring, validate_coloring
+from repro.core.conflict import check_schedule_conflicts
+from repro.core.domain import SubdomainGrid, decompose
+from repro.core.partition import build_pair_partition, build_partition
+from repro.core.schedule import build_schedule
+from repro.core.strategies import SDCStrategy
+from repro.geometry.box import Box
+from repro.geometry.lattice import bcc_lattice, perturb_positions
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import build_neighbor_list
+from repro.potentials import compute_eam_forces_serial, fe_potential
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def open_cluster(potential):
+    """A crystal cube floating in an open box (vacuum margins)."""
+    positions, solid_box = bcc_lattice(2.8665, (7, 7, 7))
+    box = Box(tuple(solid_box.lengths * 1.6), periodic=(False, False, False))
+    positions = positions + 0.3 * solid_box.lengths
+    rng = default_rng(51)
+    atoms = Atoms(box=box, positions=perturb_positions(positions, box, 0.04, rng))
+    nlist = build_neighbor_list(atoms.positions, box, potential.cutoff, 0.3)
+    return atoms, nlist
+
+
+class TestOpenGrid:
+    def test_corner_subdomain_has_fewer_neighbors(self):
+        box = Box((40.0, 40.0, 40.0), periodic=(False, False, False))
+        grid = SubdomainGrid(box=box, counts=(4, 4, 4), reach=3.9)
+        corner = grid.neighbor_subdomains(0)
+        interior_id = int(grid.flat_of(np.array([1, 1, 1])))
+        interior = grid.neighbor_subdomains(interior_id)
+        assert len(corner) == 7
+        assert len(interior) == 26
+
+    def test_coloring_still_proper_without_wrap(self):
+        box = Box((40.0, 40.0, 40.0), periodic=(False, False, False))
+        grid = decompose(box, reach=3.9, dims=3)
+        validate_coloring(grid, lattice_coloring(grid))
+
+
+class TestOpenSDC:
+    def test_conflict_free_on_open_cluster(self, open_cluster):
+        atoms, nlist = open_cluster
+        grid = decompose(atoms.box, 3.9, dims=3)
+        partition = build_partition(nlist.reference_positions, grid)
+        pairs = build_pair_partition(partition, nlist)
+        schedule = build_schedule(lattice_coloring(grid))
+        assert check_schedule_conflicts(pairs, schedule).ok
+
+    def test_sdc_matches_serial_on_open_cluster(self, open_cluster, potential):
+        atoms, nlist = open_cluster
+        ref = compute_eam_forces_serial(potential, atoms.copy(), nlist)
+        strategy = SDCStrategy(dims=3, n_threads=2, validate_conflicts=True)
+        result = strategy.compute(potential, atoms.copy(), nlist)
+        assert np.allclose(result.forces, ref.forces, atol=1e-12)
+
+    def test_cluster_energy_above_bulk(self, open_cluster, potential):
+        """Surface atoms bind less: per-atom energy above periodic bulk."""
+        from repro.potentials.eam import compute_eam_energy
+
+        atoms, nlist = open_cluster
+        e_cluster = (
+            compute_eam_energy(potential, atoms, nlist) / atoms.n_atoms
+        )
+        bulk_positions, bulk_box = bcc_lattice(2.8665, (7, 7, 7))
+        bulk = Atoms(box=bulk_box, positions=bulk_positions)
+        bulk_nlist = build_neighbor_list(
+            bulk.positions, bulk_box, potential.cutoff, 0.3
+        )
+        e_bulk = compute_eam_energy(potential, bulk, bulk_nlist) / bulk.n_atoms
+        assert e_cluster > e_bulk

@@ -1,0 +1,101 @@
+"""Atom and pair partitions (the paper's pstart/partindex structures)."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import decompose
+from repro.core.partition import build_pair_partition, build_partition
+from repro.md.neighbor.verlet import build_neighbor_list
+
+
+@pytest.fixture(scope="module")
+def setup(sdc_atoms, sdc_nlist):
+    grid = decompose(sdc_atoms.box, reach=3.9, dims=3)
+    partition = build_partition(sdc_nlist.reference_positions, grid)
+    pairs = build_pair_partition(partition, sdc_nlist)
+    return grid, partition, pairs
+
+
+class TestPartition:
+    def test_every_atom_assigned_once(self, setup, sdc_atoms):
+        _, partition, _ = setup
+        all_atoms = np.concatenate(
+            [partition.atoms_of(s) for s in range(partition.grid.n_subdomains)]
+        )
+        assert sorted(all_atoms.tolist()) == list(range(sdc_atoms.n_atoms))
+
+    def test_counts_sum_to_n_atoms(self, setup, sdc_atoms):
+        _, partition, _ = setup
+        assert partition.counts().sum() == sdc_atoms.n_atoms
+
+    def test_assignment_matches_geometry(self, setup, sdc_atoms):
+        grid, partition, _ = setup
+        expected = grid.subdomain_of_positions(sdc_atoms.positions)
+        assert np.array_equal(partition.subdomain_of_atom, expected)
+
+    def test_uniform_crystal_roughly_balanced(self, setup):
+        """Perturbed bcc crystal: subdomain occupancy within 10 % of mean."""
+        _, partition, _ = setup
+        counts = partition.counts()
+        mean = counts.mean()
+        assert counts.max() <= 1.1 * mean
+        assert counts.min() >= 0.9 * mean
+
+
+class TestPairPartition:
+    def test_pair_counts_sum(self, setup, sdc_nlist):
+        _, _, pairs = setup
+        assert pairs.pair_counts().sum() == sdc_nlist.n_pairs
+        assert pairs.n_pairs == sdc_nlist.n_pairs
+
+    def test_pairs_owned_by_i_side(self, setup):
+        _, partition, pairs = setup
+        for s in range(partition.grid.n_subdomains):
+            i_idx, _ = pairs.pairs_of(s)
+            assert np.all(partition.subdomain_of_atom[i_idx] == s)
+
+    def test_grouping_preserves_pair_set(self, setup, sdc_nlist):
+        _, _, pairs = setup
+        original = set(
+            zip(*(arr.tolist() for arr in sdc_nlist.pair_arrays()))
+        )
+        grouped = set(zip(pairs.i_idx.tolist(), pairs.j_idx.tolist()))
+        assert grouped == original
+
+    def test_write_set_contains_own_atoms(self, setup):
+        _, partition, pairs = setup
+        for s in range(0, partition.grid.n_subdomains, 3):
+            ws = set(pairs.write_set(s).tolist())
+            assert set(partition.atoms_of(s).tolist()) <= ws
+
+    def test_write_set_contains_j_side(self, setup):
+        _, _, pairs = setup
+        i_idx, j_idx = pairs.pairs_of(0)
+        ws = set(pairs.write_set(0).tolist())
+        assert set(j_idx.tolist()) <= ws
+
+    def test_write_set_geometric_reach(self, setup, sdc_nlist):
+        """Every written atom lies within reach of the subdomain's box.
+
+        Per-axis periodic gap to the interval [lo, hi]: zero inside,
+        otherwise the shorter of the two circular distances to an
+        endpoint.  The Euclidean combination must not exceed the list
+        reach (positions at list-build time define the partition).
+        """
+        grid, _, pairs = setup
+        lo, hi = grid.bounds_of(0)
+        lengths = grid.box.lengths
+        positions = sdc_nlist.reference_positions[pairs.write_set(0)]
+        for pos in positions:
+            gaps = np.zeros(3)
+            for axis in range(3):
+                x, a, b, L = pos[axis], lo[axis], hi[axis], lengths[axis]
+                if a - 1e-9 <= x <= b + 1e-9:
+                    continue
+                gaps[axis] = min((a - x) % L, (x - b) % L)
+            assert np.linalg.norm(gaps) <= 3.9 + 1e-6
+
+    def test_size_mismatch_rejected(self, setup, small_nlist):
+        _, partition, _ = setup
+        with pytest.raises(ValueError):
+            build_pair_partition(partition, small_nlist)

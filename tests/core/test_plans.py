@@ -1,0 +1,217 @@
+"""Strategy plan structure — the contract between strategies and simulator.
+
+Each strategy's plan must faithfully describe its execution: phase
+structure, work totals, synchronization pattern and memory footprint.
+These tests pin that contract so the simulated results mean what
+EXPERIMENTS.md says they mean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    ArrayPrivatizationStrategy,
+    AtomicStrategy,
+    CriticalSectionStrategy,
+    RedundantComputationStrategy,
+    SDCStrategy,
+    SerialStrategy,
+)
+from repro.harness.cases import case_by_key
+from repro.harness.runner import ExperimentRunner
+from repro.parallel.machine import paper_machine
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+@pytest.fixture(scope="module")
+def case():
+    return case_by_key("medium")
+
+
+@pytest.fixture(scope="module")
+def flat_stats(runner, case):
+    return runner.flat_stats(case)
+
+
+@pytest.fixture(scope="module")
+def sdc_stats(runner, case):
+    return runner.sdc_stats(case, dims=2, n_threads=8)
+
+
+class TestSerialPlan:
+    def test_structure(self, flat_stats, machine):
+        plan = SerialStrategy().plan(flat_stats, machine, 1)
+        assert plan.serial_overheads
+        assert plan.n_parallel_regions == 0
+        assert [p.name for p in plan.phases] == [
+            "density",
+            "embedding",
+            "force",
+        ]
+
+    def test_work_totals(self, flat_stats, machine):
+        plan = SerialStrategy().plan(flat_stats, machine, 1)
+        pairs = flat_stats.n_half_pairs
+        density = plan.phases[0]
+        assert density.total_compute() == pytest.approx(
+            pairs * machine.cycles_pair_density_compute
+        )
+        force = plan.phases[2]
+        assert force.total_memory() == pytest.approx(
+            pairs * machine.cycles_pair_force_memory
+        )
+
+
+class TestSDCPlan:
+    def test_phase_structure(self, sdc_stats, machine):
+        plan = SDCStrategy(dims=2, n_threads=8).plan(sdc_stats, machine, 8)
+        names = [p.name for p in plan.phases]
+        # 4 density colors + embedding + 4 force colors
+        assert len(names) == 9
+        assert sum(n.startswith("density:color") for n in names) == 4
+        assert sum(n.startswith("force:color") for n in names) == 4
+        assert "embedding" in names
+        assert plan.n_parallel_regions == 3
+
+    def test_tasks_are_subdomains(self, sdc_stats, machine):
+        plan = SDCStrategy(dims=2, n_threads=8).plan(sdc_stats, machine, 8)
+        density_phases = [
+            p for p in plan.phases if p.name.startswith("density:")
+        ]
+        total_tasks = sum(p.n_tasks for p in density_phases)
+        assert total_tasks == sdc_stats.sub.n_subdomains
+
+    def test_pair_work_conserved(self, sdc_stats, flat_stats, machine):
+        """Sum of per-subdomain pair work equals the flat pair total."""
+        plan = SDCStrategy(dims=2, n_threads=8).plan(sdc_stats, machine, 8)
+        density_compute = sum(
+            p.total_compute()
+            for p in plan.phases
+            if p.name.startswith("density:")
+        )
+        expected = flat_stats.n_half_pairs * machine.cycles_pair_density_compute
+        assert density_compute == pytest.approx(expected, rel=1e-9)
+
+    def test_no_critical_work(self, sdc_stats, machine):
+        plan = SDCStrategy(dims=2, n_threads=8).plan(sdc_stats, machine, 8)
+        assert all(p.total_critical_ops() == 0 for p in plan.phases)
+        assert all(p.total_serialized() == 0 for p in plan.phases)
+
+    def test_working_sets_attached(self, sdc_stats, machine):
+        plan = SDCStrategy(dims=2, n_threads=8).plan(sdc_stats, machine, 8)
+        density = next(p for p in plan.phases if p.name.startswith("density:"))
+        assert np.all(density.working_set > 0)
+
+    def test_colors_scale_with_dims(self, runner, case, machine):
+        for dims, colors in ((1, 2), (3, 8)):
+            stats = runner.sdc_stats(case, dims=dims, n_threads=4)
+            plan = SDCStrategy(dims=dims, n_threads=4).plan(stats, machine, 4)
+            density_phases = [
+                p for p in plan.phases if p.name.startswith("density:")
+            ]
+            assert len(density_phases) == colors
+
+    def test_requires_subdomain_stats(self, flat_stats, machine):
+        with pytest.raises(ValueError, match="subdomain"):
+            SDCStrategy(dims=2).plan(flat_stats, machine, 4)
+
+
+class TestCSPlan:
+    def test_critical_per_pair(self, flat_stats, machine):
+        plan = CriticalSectionStrategy(n_threads=8).plan(flat_stats, machine, 8)
+        density = plan.phases[0]
+        assert density.total_critical_ops() == pytest.approx(
+            flat_stats.n_half_pairs, rel=1e-3
+        )
+
+    def test_coarsening_reduces_criticals(self, flat_stats, machine):
+        fine = CriticalSectionStrategy(n_threads=8).plan(flat_stats, machine, 8)
+        coarse = CriticalSectionStrategy(
+            n_threads=8, pairs_per_critical=64
+        ).plan(flat_stats, machine, 8)
+        assert (
+            coarse.phases[0].total_critical_ops()
+            < fine.phases[0].total_critical_ops() / 32
+        )
+
+
+class TestSAPPlan:
+    def test_region_structure(self, flat_stats, machine):
+        plan = ArrayPrivatizationStrategy(n_threads=8).plan(
+            flat_stats, machine, 8
+        )
+        names = [p.name for p in plan.phases]
+        assert names == [
+            "density:init",
+            "density:compute",
+            "density:merge",
+            "embedding",
+            "force:init",
+            "force:compute",
+            "force:merge",
+        ]
+
+    def test_merge_serialized_scales_with_threads(self, flat_stats, machine):
+        p4 = ArrayPrivatizationStrategy(n_threads=4).plan(flat_stats, machine, 4)
+        p16 = ArrayPrivatizationStrategy(n_threads=16).plan(
+            flat_stats, machine, 16
+        )
+        merge4 = next(p for p in p4.phases if p.name == "density:merge")
+        merge16 = next(p for p in p16.phases if p.name == "density:merge")
+        assert merge16.total_serialized() == pytest.approx(
+            4 * merge4.total_serialized()
+        )
+
+    def test_footprint_grows_with_threads(self, flat_stats, machine):
+        p2 = ArrayPrivatizationStrategy(n_threads=2).plan(flat_stats, machine, 2)
+        p16 = ArrayPrivatizationStrategy(n_threads=16).plan(
+            flat_stats, machine, 16
+        )
+        fp2 = next(p for p in p2.phases if p.name == "density:compute")
+        fp16 = next(p for p in p16.phases if p.name == "density:compute")
+        assert fp16.footprint_bytes > fp2.footprint_bytes
+
+    def test_force_copies_three_entries_per_atom(self, flat_stats, machine):
+        plan = ArrayPrivatizationStrategy(n_threads=4).plan(
+            flat_stats, machine, 4
+        )
+        d_merge = next(p for p in plan.phases if p.name == "density:merge")
+        f_merge = next(p for p in plan.phases if p.name == "force:merge")
+        assert f_merge.total_serialized() == pytest.approx(
+            3 * d_merge.total_serialized()
+        )
+
+
+class TestRCPlan:
+    def test_double_pair_work(self, flat_stats, machine):
+        rc = RedundantComputationStrategy(n_threads=8).plan(
+            flat_stats, machine, 8
+        )
+        serial = SerialStrategy().plan(flat_stats, machine, 1)
+        assert rc.phases[0].total_compute() == pytest.approx(
+            2 * serial.phases[0].total_compute()
+        )
+
+    def test_no_critical_work(self, flat_stats, machine):
+        plan = RedundantComputationStrategy(n_threads=8).plan(
+            flat_stats, machine, 8
+        )
+        assert all(p.total_critical_ops() == 0 for p in plan.phases)
+
+
+class TestAtomicPlan:
+    def test_atomic_traffic_in_memory_cycles(self, flat_stats, machine):
+        atomic = AtomicStrategy(n_threads=8).plan(flat_stats, machine, 8)
+        cs = CriticalSectionStrategy(n_threads=8).plan(flat_stats, machine, 8)
+        # atomic pays per-update memory, not critical entries
+        assert atomic.phases[0].total_critical_ops() == 0
+        assert atomic.phases[0].total_memory() > cs.phases[0].total_memory()

@@ -1,0 +1,137 @@
+"""Data-reordering optimizations (paper Section II.D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reorder import (
+    locality_score,
+    regularize_csr,
+    remap_neighbor_list,
+    reorder_atoms_spatially,
+    shuffle_neighbor_structure,
+    sort_neighbor_rows,
+    spatial_sort_permutation,
+)
+from repro.md.neighbor.verlet import build_neighbor_list
+from repro.potentials.eam import compute_eam_forces_serial
+from repro.utils.rng import default_rng
+
+
+class TestSpatialSort:
+    def test_permutation_is_valid(self, sdc_atoms):
+        perm = spatial_sort_permutation(
+            sdc_atoms.positions, sdc_atoms.box, cell_size=3.9
+        )
+        assert sorted(perm.tolist()) == list(range(sdc_atoms.n_atoms))
+
+    def test_reorder_in_place_keeps_physics(self, sdc_atoms, potential):
+        """Spatially sorting atoms changes nothing physical."""
+        original = sdc_atoms.copy()
+        nlist = build_neighbor_list(
+            original.positions, original.box, potential.cutoff, skin=0.3
+        )
+        ref = compute_eam_forces_serial(potential, original.copy(), nlist)
+
+        shuffled = original.copy()
+        perm = reorder_atoms_spatially(shuffled, cell_size=3.9)
+        remapped = remap_neighbor_list(nlist, perm)
+        result = compute_eam_forces_serial(potential, shuffled, remapped)
+
+        # map forces back to original identity through the ids
+        order = np.argsort(shuffled.ids, kind="stable")
+        assert np.allclose(result.forces[order], ref.forces, atol=1e-12)
+        assert np.allclose(result.rho[order], ref.rho, atol=1e-12)
+
+
+class TestRemapNeighborList:
+    def test_identity_permutation_is_noop(self, sdc_nlist):
+        perm = np.arange(sdc_nlist.n_atoms)
+        assert remap_neighbor_list(sdc_nlist, perm).csr == sdc_nlist.csr
+
+    def test_remap_preserves_pair_count(self, sdc_nlist, rng):
+        perm = rng.permutation(sdc_nlist.n_atoms)
+        remapped = remap_neighbor_list(sdc_nlist, perm)
+        assert remapped.n_pairs == sdc_nlist.n_pairs
+
+    def test_remap_keeps_half_orientation(self, sdc_nlist, rng):
+        perm = rng.permutation(sdc_nlist.n_atoms)
+        remapped = remap_neighbor_list(sdc_nlist, perm)
+        i_idx, j_idx = remapped.pair_arrays()
+        assert np.all(i_idx < j_idx)
+
+    def test_remap_preserves_pair_identity(self, sdc_nlist, rng):
+        """Pairs map to the same physical atom pairs under the ids."""
+        perm = rng.permutation(sdc_nlist.n_atoms)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(len(perm))
+        remapped = remap_neighbor_list(sdc_nlist, perm)
+        old_pairs = {
+            frozenset(p) for p in zip(*(a.tolist() for a in sdc_nlist.pair_arrays()))
+        }
+        # convert new indices back to old identity
+        new_pairs = {
+            frozenset((int(perm[i]), int(perm[j])))
+            for i, j in zip(*remapped.pair_arrays())
+        }
+        assert new_pairs == old_pairs
+
+    def test_reference_positions_follow_perm(self, sdc_nlist, rng):
+        perm = rng.permutation(sdc_nlist.n_atoms)
+        remapped = remap_neighbor_list(sdc_nlist, perm)
+        assert np.allclose(
+            remapped.reference_positions, sdc_nlist.reference_positions[perm]
+        )
+
+
+class TestSortNeighborRows:
+    def test_rows_ascending_after_sort(self, sdc_nlist, rng):
+        shuffled, _ = shuffle_neighbor_structure(sdc_nlist, rng)
+        restored = sort_neighbor_rows(shuffled)
+        for r in range(restored.n_atoms):
+            row = restored.neighbors_of(r)
+            assert np.all(np.diff(row) >= 0)
+
+    def test_builder_output_already_sorted(self, sdc_nlist):
+        assert sort_neighbor_rows(sdc_nlist).csr == sdc_nlist.csr
+
+
+class TestRegularizeCSR:
+    def test_matches_paper_arrays(self, sdc_nlist):
+        neighindex, neighlen = regularize_csr(sdc_nlist)
+        assert len(neighindex) == sdc_nlist.n_atoms
+        assert neighlen.sum() == sdc_nlist.n_pairs
+        # neighindex[i] + neighlen[i] == neighindex[i+1]
+        assert np.array_equal(
+            neighindex[1:], neighindex[:-1] + neighlen[:-1]
+        )
+
+
+class TestLocalityScore:
+    def test_score_in_range(self, sdc_nlist):
+        score = locality_score(sdc_nlist)
+        assert 0.0 < score <= 1.0
+
+    def test_sorted_beats_shuffled(self, sdc_nlist, rng):
+        """The measurable core of Section II.D: reordering improves locality.
+
+        The 1024-atom fixture fits the default cache window, so a smaller
+        window (64 lines = 512 atoms) is used to expose the layout
+        difference the multi-million-atom cases see at full cache size.
+        """
+        shuffled, _ = shuffle_neighbor_structure(sdc_nlist, rng)
+        sorted_score = locality_score(sdc_nlist, window_lines=64)
+        shuffled_score = locality_score(shuffled, window_lines=64)
+        assert sorted_score > shuffled_score + 0.05
+
+    def test_empty_list_is_perfect(self, potential):
+        from repro.geometry.box import Box
+        from repro.md.neighbor.verlet import build_neighbor_list
+
+        nlist = build_neighbor_list(
+            np.empty((0, 3)), Box((20, 20, 20)), cutoff=3.6
+        )
+        assert locality_score(nlist) == 1.0
+
+    def test_rejects_bad_parameters(self, sdc_nlist):
+        with pytest.raises(ValueError):
+            locality_score(sdc_nlist, line_atoms=0)

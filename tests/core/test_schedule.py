@@ -1,0 +1,105 @@
+"""Color schedules and OpenMP-style static assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.coloring import lattice_coloring
+from repro.core.domain import decompose
+from repro.core.schedule import (
+    build_schedule,
+    load_imbalance,
+    phase_makespan,
+    static_assignment,
+)
+from repro.geometry.box import Box
+
+
+class TestStaticAssignment:
+    def test_even_split(self):
+        chunks = static_assignment(8, 4)
+        assert [len(c) for c in chunks] == [2, 2, 2, 2]
+
+    def test_remainder_to_leading_threads(self):
+        chunks = static_assignment(10, 4)
+        assert [len(c) for c in chunks] == [3, 3, 2, 2]
+
+    def test_chunks_contiguous_and_complete(self):
+        chunks = static_assignment(13, 5)
+        flat = np.concatenate(chunks)
+        assert flat.tolist() == list(range(13))
+
+    def test_more_threads_than_items(self):
+        chunks = static_assignment(3, 8)
+        assert [len(c) for c in chunks] == [1, 1, 1, 0, 0, 0, 0, 0]
+
+    def test_zero_items(self):
+        assert all(len(c) == 0 for c in static_assignment(0, 4))
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            static_assignment(4, 0)
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(ValueError):
+            static_assignment(-1, 2)
+
+
+class TestColorSchedule:
+    @pytest.fixture()
+    def schedule(self):
+        grid = decompose(Box((70.0, 70.0, 70.0)), reach=3.9, dims=2)
+        return build_schedule(lattice_coloring(grid))
+
+    def test_phase_count_is_color_count(self, schedule):
+        assert schedule.n_colors == 4
+
+    def test_phases_partition_subdomains(self, schedule):
+        all_subs = np.concatenate(schedule.phases)
+        total = sum(len(p) for p in schedule.phases)
+        assert len(np.unique(all_subs)) == total
+
+    def test_phases_hold_single_color(self, schedule):
+        for color, members in enumerate(schedule.phases):
+            assert np.all(schedule.coloring.color_of[members] == color)
+
+    def test_thread_assignment_covers_phase(self, schedule):
+        assignment = schedule.thread_assignment(0, 3)
+        flat = np.concatenate(assignment)
+        assert sorted(flat.tolist()) == sorted(schedule.phases[0].tolist())
+
+    def test_parallelism_bounds(self, schedule):
+        assert schedule.max_parallelism() == 16  # 8x8 grid / 4 colors
+        assert schedule.min_parallelism() == 16
+
+
+class TestMakespan:
+    def test_balanced_work(self):
+        work = np.ones(8)
+        assert phase_makespan(work, 4) == pytest.approx(2.0)
+
+    def test_single_thread_is_total(self):
+        work = np.array([1.0, 2.0, 3.0])
+        assert phase_makespan(work, 1) == pytest.approx(6.0)
+
+    def test_imbalanced_chunking(self):
+        # 5 equal tasks over 4 threads: one thread takes 2
+        assert phase_makespan(np.ones(5), 4) == pytest.approx(2.0)
+
+    def test_empty_phase(self):
+        assert phase_makespan(np.empty(0), 4) == 0.0
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            phase_makespan(np.array([-1.0]), 2)
+
+
+class TestLoadImbalance:
+    def test_perfect_balance(self):
+        assert load_imbalance(np.ones(8), 4) == pytest.approx(1.0)
+
+    def test_idle_threads_penalized(self):
+        # 5 tasks on 8 threads: makespan 1, ideal 5/8
+        assert load_imbalance(np.ones(5), 8) == pytest.approx(8 / 5)
+
+    def test_no_work_is_balanced(self):
+        assert load_imbalance(np.zeros(3), 4) == 1.0

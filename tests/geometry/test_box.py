@@ -1,0 +1,147 @@
+"""Periodic box: wrapping, minimum image, distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+
+
+@pytest.fixture()
+def box():
+    return Box((10.0, 20.0, 30.0))
+
+
+class TestConstruction:
+    def test_lengths_stored(self, box):
+        assert box.lengths.tolist() == [10.0, 20.0, 30.0]
+
+    def test_volume(self, box):
+        assert box.volume == pytest.approx(6000.0)
+
+    def test_min_length(self, box):
+        assert box.min_length() == 10.0
+
+    def test_rejects_nonpositive_lengths(self):
+        with pytest.raises(ValueError):
+            Box((1.0, 0.0, 1.0))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Box((1.0, 2.0))
+
+    def test_default_fully_periodic(self, box):
+        assert box.periodic.all()
+
+
+class TestWrap:
+    def test_wrap_into_primary_cell(self, box):
+        wrapped = box.wrap(np.array([[11.0, -1.0, 31.0]]))
+        assert np.allclose(wrapped, [[1.0, 19.0, 1.0]])
+
+    def test_wrap_leaves_interior_points(self, box):
+        p = np.array([[5.0, 5.0, 5.0]])
+        assert np.allclose(box.wrap(p), p)
+
+    def test_wrap_respects_open_boundaries(self):
+        open_box = Box((10.0, 10.0, 10.0), periodic=(True, False, True))
+        wrapped = open_box.wrap(np.array([[11.0, 11.0, 11.0]]))
+        assert np.allclose(wrapped, [[1.0, 11.0, 1.0]])
+
+    def test_wrap_returns_new_array(self, box):
+        p = np.array([[11.0, 0.0, 0.0]])
+        box.wrap(p)
+        assert p[0, 0] == 11.0
+
+    def test_wrapped_points_are_contained(self, box, rng):
+        points = rng.uniform(-100, 100, size=(200, 3))
+        assert box.contains(box.wrap(points)).all()
+
+
+class TestMinimumImage:
+    def test_folds_to_nearest_image(self, box):
+        delta = box.minimum_image(np.array([[9.0, 0.0, 0.0]]))
+        assert np.allclose(delta, [[-1.0, 0.0, 0.0]])
+
+    def test_small_displacement_unchanged(self, box):
+        d = np.array([[1.0, -2.0, 3.0]])
+        assert np.allclose(box.minimum_image(d), d)
+
+    def test_components_bounded_by_half_length(self, box, rng):
+        deltas = box.minimum_image(rng.uniform(-100, 100, size=(500, 3)))
+        half = box.lengths / 2
+        assert np.all(np.abs(deltas) <= half + 1e-9)
+
+    def test_open_axis_not_folded(self):
+        open_box = Box((10.0, 10.0, 10.0), periodic=(False, True, True))
+        d = box_d = np.array([[9.0, 9.0, 0.0]])
+        out = open_box.minimum_image(d)
+        assert out[0, 0] == 9.0
+        assert out[0, 1] == -1.0
+
+
+class TestDistance:
+    def test_distance_across_boundary(self, box):
+        a = np.array([0.5, 0.0, 0.0])
+        b = np.array([9.5, 0.0, 0.0])
+        assert box.distance(a, b) == pytest.approx(1.0)
+
+    def test_distance_symmetry(self, box, rng):
+        a = rng.uniform(0, 10, size=(50, 3))
+        b = rng.uniform(0, 10, size=(50, 3))
+        assert np.allclose(box.distance(a, b), box.distance(b, a))
+
+    def test_self_distance_zero(self, box):
+        p = np.array([1.0, 2.0, 3.0])
+        assert box.distance(p, p) == pytest.approx(0.0)
+
+
+class TestMaxCutoff:
+    def test_half_min_length(self, box):
+        assert box.max_cutoff() == pytest.approx(5.0)
+
+    def test_open_box_unbounded(self):
+        open_box = Box((5.0, 5.0, 5.0), periodic=(False, False, False))
+        assert open_box.max_cutoff() == float("inf")
+
+
+class TestScaled:
+    def test_scaling_lengths(self, box):
+        assert box.scaled(2.0).lengths.tolist() == [20.0, 40.0, 60.0]
+
+    def test_scaling_preserves_periodicity(self):
+        b = Box((5.0, 5.0, 5.0), periodic=(True, False, True))
+        assert b.scaled(1.1).periodic.tolist() == [True, False, True]
+
+    def test_rejects_nonpositive_factor(self, box):
+        with pytest.raises(ValueError):
+            box.scaled(0.0)
+
+
+@given(
+    st.floats(1.0, 100.0),
+    st.floats(-500.0, 500.0),
+)
+@settings(max_examples=60)
+def test_wrap_is_idempotent(length, coord):
+    box = Box((length, length, length))
+    once = box.wrap(np.array([[coord, 0.0, 0.0]]))
+    twice = box.wrap(once)
+    assert np.allclose(once, twice)
+
+
+@given(
+    st.floats(2.0, 50.0),
+    st.floats(-100.0, 100.0),
+    st.floats(-100.0, 100.0),
+)
+@settings(max_examples=60)
+def test_minimum_image_invariant_under_lattice_shift(length, x, shift_cells):
+    """Displacements differing by whole box lengths fold identically."""
+    box = Box((length, length, length))
+    d1 = np.array([[x, 0.0, 0.0]])
+    d2 = d1 + np.array([[round(shift_cells) * length, 0.0, 0.0]])
+    assert np.allclose(
+        box.minimum_image(d1), box.minimum_image(d2), atol=1e-8 * length
+    )

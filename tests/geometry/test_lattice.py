@@ -1,0 +1,140 @@
+"""Crystal builders and analytic bcc shell structure."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.geometry.box import Box
+from repro.geometry.lattice import (
+    bcc_atom_count,
+    bcc_lattice,
+    bcc_neighbor_shells,
+    fcc_lattice,
+    neighbors_within_cutoff_bcc,
+    perturb_positions,
+    sc_lattice,
+)
+
+
+class TestBuilders:
+    def test_bcc_atom_count(self):
+        positions, _ = bcc_lattice(2.8665, (3, 4, 5))
+        assert len(positions) == 2 * 3 * 4 * 5
+
+    def test_fcc_atom_count(self):
+        positions, _ = fcc_lattice(3.6, (2, 2, 2))
+        assert len(positions) == 4 * 8
+
+    def test_sc_atom_count(self):
+        positions, _ = sc_lattice(3.0, (4, 4, 4))
+        assert len(positions) == 64
+
+    def test_box_matches_repeats(self):
+        _, box = bcc_lattice(2.0, (3, 4, 5))
+        assert box.lengths.tolist() == [6.0, 8.0, 10.0]
+
+    def test_positions_inside_box(self):
+        positions, box = bcc_lattice(2.8665, (4, 4, 4))
+        assert box.contains(positions).all()
+
+    def test_positions_unique(self):
+        positions, _ = bcc_lattice(2.8665, (3, 3, 3))
+        rounded = np.round(positions, 6)
+        assert len(np.unique(rounded, axis=0)) == len(positions)
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            bcc_lattice(2.8665, (0, 3, 3))
+
+    def test_rejects_bad_lattice_constant(self):
+        with pytest.raises(ValueError):
+            bcc_lattice(-1.0, (2, 2, 2))
+
+    def test_atom_count_helper_matches_builder(self):
+        assert bcc_atom_count((7, 8, 9)) == len(bcc_lattice(2.0, (7, 8, 9))[0])
+
+
+class TestPaperCaseCounts:
+    """The published case sizes factor exactly as 2*n^3 bcc cells."""
+
+    @pytest.mark.parametrize(
+        "n, atoms",
+        [(30, 54_000), (51, 265_302), (81, 1_062_882), (120, 3_456_000)],
+    )
+    def test_case_atom_counts(self, n, atoms):
+        assert bcc_atom_count((n, n, n)) == atoms
+
+
+class TestNeighborShells:
+    def test_first_shell(self):
+        shells = bcc_neighbor_shells(2.8665, max_shells=2)
+        d1, c1 = shells[0]
+        assert d1 == pytest.approx(units.FE_BCC_NN_DIST)
+        assert c1 == 8
+
+    def test_second_shell(self):
+        shells = bcc_neighbor_shells(2.8665, max_shells=2)
+        d2, c2 = shells[1]
+        assert d2 == pytest.approx(2.8665)
+        assert c2 == 6
+
+    def test_third_shell(self):
+        shells = bcc_neighbor_shells(2.8665, max_shells=3)
+        d3, c3 = shells[2]
+        assert d3 == pytest.approx(2.8665 * np.sqrt(2.0))
+        assert c3 == 12
+
+    def test_shell_count_requested(self):
+        assert len(bcc_neighbor_shells(2.8665, max_shells=5)) == 5
+
+    def test_rejects_zero_shells(self):
+        with pytest.raises(ValueError):
+            bcc_neighbor_shells(2.8665, max_shells=0)
+
+
+class TestCoordination:
+    def test_default_potential_reach_gives_14(self):
+        # cutoff 3.6 + skin 0.3 sits between the 2nd and 3rd shells
+        assert neighbors_within_cutoff_bcc(2.8665, 3.9) == 14
+
+    def test_first_shell_only(self):
+        assert neighbors_within_cutoff_bcc(2.8665, 2.6) == 8
+
+    def test_three_shells(self):
+        assert neighbors_within_cutoff_bcc(2.8665, 4.1) == 26
+
+    def test_rejects_nonpositive_cutoff(self):
+        with pytest.raises(ValueError):
+            neighbors_within_cutoff_bcc(2.8665, 0.0)
+
+    def test_matches_materialized_crystal(self):
+        """Analytic coordination equals a real neighbor-list count."""
+        from repro.md.neighbor import build_neighbor_list
+
+        positions, box = bcc_lattice(2.8665, (6, 6, 6))
+        nlist = build_neighbor_list(positions, box, cutoff=3.6, skin=0.3, half=False)
+        per_atom = nlist.csr.row_lengths()
+        assert np.all(per_atom == 14)
+
+
+class TestPerturb:
+    def test_zero_amplitude_is_identity(self, rng):
+        positions, box = bcc_lattice(2.8665, (3, 3, 3))
+        out = perturb_positions(positions, box, 0.0, rng)
+        assert np.allclose(out, positions)
+
+    def test_bounded_displacement(self, rng):
+        positions, box = bcc_lattice(2.8665, (3, 3, 3))
+        out = perturb_positions(positions, box, 0.05, rng)
+        delta = box.minimum_image(out - positions)
+        assert np.max(np.abs(delta)) <= 0.05 + 1e-12
+
+    def test_stays_wrapped(self, rng):
+        positions, box = bcc_lattice(2.8665, (3, 3, 3))
+        out = perturb_positions(positions, box, 0.5, rng)
+        assert box.contains(out).all()
+
+    def test_rejects_negative_amplitude(self, rng):
+        positions, box = bcc_lattice(2.8665, (2, 2, 2))
+        with pytest.raises(ValueError):
+            perturb_positions(positions, box, -0.1, rng)

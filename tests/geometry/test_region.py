@@ -1,0 +1,86 @@
+"""Geometric region predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.region import BoxRegion, SlabRegion, SphereRegion
+
+
+@pytest.fixture()
+def box():
+    return Box((10.0, 10.0, 10.0))
+
+
+class TestSphere:
+    def test_contains_center(self, box):
+        region = SphereRegion(center=(5, 5, 5), radius=1.0)
+        assert region.contains(np.array([[5.0, 5.0, 5.0]]), box).all()
+
+    def test_periodic_wrap(self, box):
+        region = SphereRegion(center=(0.2, 5, 5), radius=1.0)
+        assert region.contains(np.array([[9.8, 5.0, 5.0]]), box).all()
+
+    def test_outside(self, box):
+        region = SphereRegion(center=(5, 5, 5), radius=1.0)
+        assert not region.contains(np.array([[5.0, 5.0, 7.0]]), box).any()
+
+    def test_select_returns_indices(self, box):
+        region = SphereRegion(center=(5, 5, 5), radius=1.5)
+        points = np.array([[5.0, 5.0, 5.0], [0.0, 0.0, 0.0], [5.5, 5.0, 5.0]])
+        assert region.select(points, box).tolist() == [0, 2]
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            SphereRegion(center=(0, 0, 0), radius=-1.0)
+
+
+class TestSlab:
+    def test_half_open_interval(self, box):
+        region = SlabRegion(axis=2, lo=2.0, hi=4.0)
+        points = np.array([[0, 0, 2.0], [0, 0, 4.0], [0, 0, 3.0]])
+        assert region.contains(points, box).tolist() == [True, False, True]
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            SlabRegion(axis=3, lo=0.0, hi=1.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            SlabRegion(axis=0, lo=2.0, hi=1.0)
+
+
+class TestBoxRegion:
+    def test_inside_and_outside(self, box):
+        region = BoxRegion(lo=(1, 1, 1), hi=(2, 2, 2))
+        points = np.array([[1.5, 1.5, 1.5], [0.5, 1.5, 1.5]])
+        assert region.contains(points, box).tolist() == [True, False]
+
+
+class TestCombinators:
+    def test_complement(self, box):
+        region = ~SlabRegion(axis=0, lo=0.0, hi=5.0)
+        points = np.array([[1.0, 0, 0], [7.0, 0, 0]])
+        assert region.contains(points, box).tolist() == [False, True]
+
+    def test_intersection(self, box):
+        region = SlabRegion(axis=0, lo=0.0, hi=5.0) & SlabRegion(
+            axis=1, lo=0.0, hi=5.0
+        )
+        points = np.array([[1, 1, 0], [1, 7, 0], [7, 1, 0]], dtype=float)
+        assert region.contains(points, box).tolist() == [True, False, False]
+
+    def test_union(self, box):
+        region = SlabRegion(axis=0, lo=0.0, hi=1.0) | SlabRegion(
+            axis=0, lo=9.0, hi=10.0
+        )
+        points = np.array([[0.5, 0, 0], [9.5, 0, 0], [5.0, 0, 0]])
+        assert region.contains(points, box).tolist() == [True, True, False]
+
+    def test_de_morgan(self, box, rng):
+        a = SlabRegion(axis=0, lo=2.0, hi=7.0)
+        b = SphereRegion(center=(5, 5, 5), radius=3.0)
+        points = rng.uniform(0, 10, size=(200, 3))
+        lhs = (~(a & b)).contains(points, box)
+        rhs = ((~a) | (~b)).contains(points, box)
+        assert np.array_equal(lhs, rhs)

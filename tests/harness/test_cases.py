@@ -1,0 +1,67 @@
+"""Paper test cases."""
+
+import numpy as np
+import pytest
+
+from repro.harness.cases import (
+    PAPER_CASES,
+    TEST_CASES,
+    Case,
+    case_by_key,
+    paper_atom_counts,
+)
+
+
+class TestPaperCases:
+    def test_four_cases_in_order(self):
+        assert [c.key for c in PAPER_CASES] == [
+            "small",
+            "medium",
+            "large3",
+            "large4",
+        ]
+
+    def test_published_atom_counts(self):
+        counts = paper_atom_counts()
+        for case in PAPER_CASES:
+            assert case.n_atoms == counts[case.key]
+
+    def test_box_is_cubic(self):
+        for case in PAPER_CASES:
+            box = case.box()
+            assert box.lengths[0] == box.lengths[1] == box.lengths[2]
+            assert box.lengths[0] == pytest.approx(case.n_cells * case.lattice_a)
+
+    def test_pairs_per_atom_at_default_reach(self):
+        assert PAPER_CASES[0].pairs_per_atom(3.9) == pytest.approx(7.0)
+
+    def test_lookup(self):
+        assert case_by_key("small").n_atoms == 54_000
+        with pytest.raises(KeyError, match="choices"):
+            case_by_key("nonexistent")
+
+
+class TestBuild:
+    def test_build_tiny_case(self):
+        case = case_by_key("tiny")
+        atoms = case.build(perturbation=0.02, temperature=100.0, seed=4)
+        assert atoms.n_atoms == case.n_atoms
+        assert atoms.box.contains(atoms.positions).all()
+        assert np.any(atoms.velocities != 0.0)
+
+    def test_build_without_temperature_zero_velocities(self):
+        atoms = case_by_key("tiny").build(seed=4)
+        assert np.all(atoms.velocities == 0.0)
+
+    def test_build_deterministic(self):
+        a = case_by_key("tiny").build(perturbation=0.05, seed=9)
+        b = case_by_key("tiny").build(perturbation=0.05, seed=9)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_different_seeds_differ(self):
+        a = case_by_key("tiny").build(perturbation=0.05, seed=1)
+        b = case_by_key("tiny").build(perturbation=0.05, seed=2)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_test_cases_are_small(self):
+        assert all(c.n_atoms < 10_000 for c in TEST_CASES)

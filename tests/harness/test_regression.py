@@ -1,0 +1,74 @@
+"""Model-freeze regression tests.
+
+docs/MODEL.md declares the machine constants *frozen* after calibration —
+Fig. 9, the reordering gains, and every ablation are predictions of that
+frozen model.  These tests pin the reproduced numbers themselves, so any
+accidental drift of the model (a changed constant, a refactor with
+side effects on costs) fails loudly instead of silently shifting
+EXPERIMENTS.md out of date.
+
+If a model change is *intentional*, recalibrate against Table I, update
+these pins, EXPERIMENTS.md, and docs/MODEL.md together.
+"""
+
+import pytest
+
+from repro.harness.cases import case_by_key
+from repro.harness.fig9 import reproduce_fig9
+from repro.harness.reordering import reproduce_reordering
+from repro.harness.runner import ExperimentRunner
+from repro.harness.table1 import reproduce_table1
+
+#: reproduced Table I values at the frozen calibration (3 decimals)
+PINNED_TABLE1 = {
+    ("small", 1): [1.713, 2.398, 3.005, 3.394, None, None],
+    ("small", 2): [1.712, 2.395, 2.998, 4.783, 5.845, 6.442],
+    ("small", 3): [1.709, 2.389, 2.986, 4.725, 5.721, 6.245],
+    ("medium", 1): [1.842, 2.668, 3.456, 6.266, 6.634, None],
+    ("medium", 2): [1.841, 2.667, 3.455, 6.279, 8.656, 10.646],
+    ("medium", 3): [1.841, 2.666, 3.451, 6.258, 8.599, 10.534],
+    ("large3", 1): [1.869, 2.727, 3.557, 6.615, 9.115, 9.442],
+    ("large3", 2): [1.868, 2.727, 3.559, 6.679, 9.535, 12.169],
+    ("large3", 3): [1.868, 2.726, 3.558, 6.673, 9.518, 12.132],
+    ("large4", 1): [1.875, 2.740, 3.582, 6.703, 9.217, 10.692],
+    ("large4", 2): [1.875, 2.741, 3.583, 6.779, 9.763, 12.583],
+    ("large4", 3): [1.875, 2.741, 3.583, 6.777, 9.758, 12.571],
+}
+
+#: reproduced Fig. 9 large-case-(3) panel at the frozen calibration
+PINNED_FIG9_LARGE3 = {
+    "sdc-2d": [1.868, 2.727, 3.559, 6.679, 9.535, 12.169],
+    "critical-section": [1.447, 1.959, 2.205, 1.869, 1.518, 1.267],
+    "array-privatization": [1.602, 2.213, 2.734, 4.008, 4.358, 4.258],
+    "redundant-computation": [0.942, 1.377, 1.799, 3.397, 4.882, 6.278],
+}
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+def test_table1_values_frozen(runner):
+    result = reproduce_table1(runner)
+    for (case_key, dims), pinned in PINNED_TABLE1.items():
+        ours = result.values(case_key, dims)
+        for pin, value in zip(pinned, ours):
+            if pin is None:
+                assert value is None, (case_key, dims)
+            else:
+                assert value == pytest.approx(pin, abs=2e-3), (case_key, dims)
+
+
+def test_fig9_large3_frozen(runner):
+    panel = reproduce_fig9(case_by_key("large3"), runner)
+    series = panel.series()
+    for name, pinned in PINNED_FIG9_LARGE3.items():
+        for pin, value in zip(pinned, series[name]):
+            assert value == pytest.approx(pin, abs=2e-3), name
+
+
+def test_reordering_gains_frozen(runner):
+    result = reproduce_reordering(runner)
+    assert result.serial_gain_percent == pytest.approx(12.09, abs=0.1)
+    assert result.parallel_gain_percent == pytest.approx(39.20, abs=0.2)

@@ -1,0 +1,59 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.harness.report import (
+    format_cell,
+    format_comparison,
+    format_series,
+    format_table,
+)
+
+
+def test_format_cell_number():
+    assert format_cell(3.14159).strip() == "3.14"
+
+
+def test_format_cell_blank():
+    assert format_cell(None).strip() == "-"
+
+
+def test_format_table_layout():
+    text = format_table(
+        "Title",
+        ["row-a", "row-b"],
+        ["2", "4"],
+        [[1.5, 2.5], [None, 4.0]],
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "row-a" in lines[3]
+    assert "-" in lines[4]  # the blank cell
+
+
+def test_format_table_rejects_misaligned_rows():
+    with pytest.raises(ValueError):
+        format_table("t", ["a"], ["1", "2"], [[1.0]])
+    with pytest.raises(ValueError):
+        format_table("t", ["a", "b"], ["1"], [[1.0]])
+
+
+def test_format_series_layout():
+    text = format_series(
+        "Fig", "cores", [2, 4], {"sdc": [1.8, 3.5], "cs": [1.2, None]}
+    )
+    assert "cores" in text
+    assert "sdc" in text
+    assert "cs" in text
+
+
+def test_format_series_rejects_bad_lengths():
+    with pytest.raises(ValueError):
+        format_series("t", "x", [1, 2], {"s": [1.0]})
+
+
+def test_format_comparison():
+    text = format_comparison("Claim", [("gain", 12.0, 12.1)])
+    assert "paper" in text
+    assert "ours" in text
+    assert "12.10" in text

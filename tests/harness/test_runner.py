@@ -1,0 +1,118 @@
+"""Speedup runner mechanics."""
+
+import pytest
+
+from repro.core.domain import DecompositionError
+from repro.harness.cases import case_by_key
+from repro.harness.runner import (
+    MIN_PARALLEL_FRACTION,
+    PAPER_THREADS,
+    ExperimentRunner,
+    SpeedupCell,
+)
+from repro.parallel.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+class TestWorkloads:
+    def test_flat_stats_totals(self, runner):
+        case = case_by_key("small")
+        stats = runner.flat_stats(case)
+        assert stats.n_atoms == 54_000
+        assert stats.n_half_pairs == 54_000 * 7
+
+    def test_sdc_stats_carry_decomposition(self, runner):
+        case = case_by_key("large3")
+        stats = runner.sdc_stats(case, dims=2, n_threads=8)
+        assert stats.n_colors == 4
+        assert stats.sub is not None
+
+    def test_sdc_stats_raise_when_impossible(self, runner):
+        from repro.harness.cases import Case
+
+        # 11.5 Å box cannot host two subdomains of edge > 7.8 Å
+        impossible = Case(key="nano", label="nano", n_cells=4)
+        with pytest.raises(DecompositionError):
+            runner.sdc_stats(impossible, dims=1, n_threads=2)
+
+
+class TestSpeedups:
+    def test_serial_time_positive(self, runner):
+        result = runner.serial_time(case_by_key("small"))
+        assert result.total_cycles > 0
+
+    def test_sdc_speedup_reasonable(self, runner):
+        cell = runner.sdc_speedup(case_by_key("large3"), dims=2, n_threads=8)
+        assert not cell.blank
+        assert 4.0 < cell.speedup < 8.0
+
+    def test_speedup_monotone_for_large_case(self, runner):
+        case = case_by_key("large4")
+        values = [
+            runner.sdc_speedup(case, 2, p).speedup for p in (2, 4, 8, 16)
+        ]
+        assert values == sorted(values)
+
+    def test_blank_cell_for_starved_1d(self, runner):
+        cell = runner.sdc_speedup(case_by_key("small"), dims=1, n_threads=16)
+        assert cell.blank
+        assert cell.speedup is None
+
+    def test_blank_threshold_documented(self):
+        assert 0.0 < MIN_PARALLEL_FRACTION < 1.0
+
+    def test_strategy_speedup_dispatch(self, runner):
+        case = case_by_key("medium")
+        for name in (
+            "critical-section",
+            "array-privatization",
+            "redundant-computation",
+            "atomic",
+            "sdc-2d",
+        ):
+            cell = runner.strategy_speedup(case, name, 4)
+            assert cell.speedup is not None
+            assert cell.strategy == name
+
+    def test_unknown_strategy_rejected(self, runner):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            runner.strategy_speedup(case_by_key("small"), "magic", 4)
+
+    def test_series_covers_thread_counts(self, runner):
+        series = runner.speedup_series(case_by_key("small"), "sdc-2d")
+        assert [c.n_threads for c in series] == list(PAPER_THREADS)
+
+    def test_locality_override_slows_runs(self, runner):
+        case = case_by_key("large3")
+        fast = runner.strategy_speedup(case, "sdc-2d", 8)
+        slow = runner.strategy_speedup(case, "sdc-2d", 8, locality=0.45)
+        assert slow.parallel_seconds > fast.parallel_seconds
+
+    def test_steps_scale_seconds(self):
+        r1 = ExperimentRunner(steps=1)
+        r1000 = ExperimentRunner(steps=1000)
+        case = case_by_key("small")
+        a = r1.sdc_speedup(case, 2, 4)
+        b = r1000.sdc_speedup(case, 2, 4)
+        assert b.parallel_seconds == pytest.approx(1000 * a.parallel_seconds)
+        assert b.speedup == pytest.approx(a.speedup)
+
+    def test_custom_machine_respected(self):
+        machine = MachineConfig(n_cores=4)
+        runner = ExperimentRunner(machine=machine)
+        with pytest.raises(ValueError, match="exceeds"):
+            runner.sdc_speedup(case_by_key("small"), 2, 8)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(steps=0)
+
+
+class TestSpeedupCell:
+    def test_blank_property(self):
+        assert SpeedupCell("c", "s", 2, None).blank
+        assert not SpeedupCell("c", "s", 2, 1.5).blank

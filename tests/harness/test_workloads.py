@@ -1,0 +1,100 @@
+"""Synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.harness.workloads import (
+    crystal_slab,
+    crystal_with_void,
+    density_gradient_gas,
+    nanoparticle,
+    uniform_crystal,
+)
+
+
+class TestUniformCrystal:
+    def test_atom_count(self):
+        atoms = uniform_crystal(5)
+        assert atoms.n_atoms == 250
+
+    def test_deterministic(self):
+        a = uniform_crystal(4, seed=7)
+        b = uniform_crystal(4, seed=7)
+        assert np.array_equal(a.positions, b.positions)
+
+
+class TestVoid:
+    def test_zero_fraction_removes_nothing(self):
+        assert crystal_with_void(5, 0.0).n_atoms == 250
+
+    def test_removal_close_to_target(self):
+        atoms = crystal_with_void(8, 0.2)
+        removed = 1.0 - atoms.n_atoms / 1024
+        assert removed == pytest.approx(0.2, abs=0.06)
+
+    def test_void_is_empty(self):
+        atoms = crystal_with_void(8, 0.2)
+        center = atoms.box.lengths / 2
+        distances = atoms.box.distance(atoms.positions, center)
+        target_volume = 0.2 * atoms.box.volume
+        radius = (3 * target_volume / (4 * np.pi)) ** (1 / 3)
+        assert distances.min() > radius - 0.3  # perturbation slack
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            crystal_with_void(4, 1.0)
+
+
+class TestSlab:
+    def test_vacuum_above_and_below(self):
+        atoms = crystal_slab(6, 3, vacuum_factor=3.0)
+        z = atoms.positions[:, 2]
+        lz = atoms.box.lengths[2]
+        assert z.min() > 0.2 * lz
+        assert z.max() < 0.8 * lz
+
+    def test_rejects_bad_vacuum(self):
+        with pytest.raises(ValueError):
+            crystal_slab(4, 2, vacuum_factor=1.0)
+
+
+class TestGradient:
+    def test_density_rises_along_x(self):
+        atoms = density_gradient_gas(20000, (40.0, 20.0, 20.0), 3.0, seed=2)
+        x = atoms.positions[:, 0]
+        low = np.count_nonzero(x < 10.0)
+        high = np.count_nonzero(x > 30.0)
+        assert high > 1.5 * low
+
+    def test_uniform_limit(self):
+        atoms = density_gradient_gas(20000, (40.0, 20.0, 20.0), 1.0, seed=2)
+        x = atoms.positions[:, 0]
+        low = np.count_nonzero(x < 20.0)
+        assert low == pytest.approx(10000, rel=0.05)
+
+    def test_positions_inside_box(self):
+        atoms = density_gradient_gas(500, (10.0, 10.0, 10.0), 2.0)
+        assert atoms.box.contains(atoms.positions).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            density_gradient_gas(0, (5, 5, 5))
+        with pytest.raises(ValueError):
+            density_gradient_gas(10, (5, 5, 5), gradient_strength=0.5)
+
+
+class TestNanoparticle:
+    def test_cluster_is_spherical(self):
+        atoms = nanoparticle(radius_cells=2.5)
+        center = atoms.box.lengths / 2
+        distances = atoms.box.distance(atoms.positions, center)
+        assert distances.max() <= 2.5 * 2.8665 + 0.1
+
+    def test_vacuum_margin(self):
+        atoms = nanoparticle(radius_cells=2.0, vacuum_cells=2.0)
+        # box is larger than the cluster's diameter
+        assert atoms.box.lengths[0] >= 2 * (2.0 + 2.0) * 2.8665 - 1e-9
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            nanoparticle(radius_cells=0.0)

@@ -1,0 +1,112 @@
+"""Structural analysis: RDF, MSD, lattice displacement."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.geometry.box import Box
+from repro.geometry.lattice import bcc_lattice
+from repro.md.analysis import (
+    coordination_number,
+    displacement_from_lattice,
+    mean_squared_displacement,
+    radial_distribution,
+)
+from repro.utils.rng import default_rng
+
+
+class TestRDF:
+    @pytest.fixture(scope="class")
+    def bcc_rdf(self):
+        positions, box = bcc_lattice(2.8665, (6, 6, 6))
+        return radial_distribution(positions, box, r_max=5.0, n_bins=250)
+
+    def test_first_peak_at_first_shell(self, bcc_rdf):
+        peaks = bcc_rdf.peaks()
+        assert len(peaks) >= 2
+        assert peaks[0] == pytest.approx(units.FE_BCC_NN_DIST, abs=0.05)
+
+    def test_second_peak_at_lattice_constant(self, bcc_rdf):
+        peaks = bcc_rdf.peaks()
+        assert peaks[1] == pytest.approx(units.FE_BCC_2NN_DIST, abs=0.05)
+
+    def test_zero_inside_core(self, bcc_rdf):
+        core = bcc_rdf.r < 2.0
+        assert np.all(bcc_rdf.g[core] == 0.0)
+
+    def test_random_gas_is_flat(self, rng):
+        box = Box((20.0, 20.0, 20.0))
+        positions = rng.uniform(0, 20, size=(2000, 3))
+        rdf = radial_distribution(positions, box, r_max=6.0, n_bins=60)
+        tail = rdf.g[rdf.r > 2.0]
+        assert abs(float(np.mean(tail)) - 1.0) < 0.1
+
+    def test_coordination_number_of_bcc(self, bcc_rdf):
+        positions, box = bcc_lattice(2.8665, (6, 6, 6))
+        density = len(positions) / box.volume
+        # integrate through the first two shells (up to 3.4 Å): 8 + 6
+        n = coordination_number(bcc_rdf, density, r_cut=3.4)
+        assert n == pytest.approx(14.0, rel=0.1)
+
+    def test_validation(self):
+        positions, box = bcc_lattice(2.8665, (4, 4, 4))
+        with pytest.raises(ValueError):
+            radial_distribution(positions, box, r_max=0.0)
+        with pytest.raises(ValueError):
+            radial_distribution(positions, box, r_max=100.0)
+        with pytest.raises(ValueError):
+            radial_distribution(positions, box, r_max=4.0, n_bins=1)
+        with pytest.raises(ValueError):
+            radial_distribution(positions[:1], box, r_max=4.0)
+
+
+class TestMSD:
+    def test_static_trajectory_is_zero(self):
+        box = Box((10.0, 10.0, 10.0))
+        frame = np.random.default_rng(1).uniform(0, 10, size=(20, 3))
+        msd = mean_squared_displacement([frame, frame, frame], box)
+        assert np.allclose(msd, 0.0)
+
+    def test_uniform_drift(self):
+        box = Box((10.0, 10.0, 10.0))
+        frame = np.random.default_rng(2).uniform(0, 10, size=(20, 3))
+        frames = [box.wrap(frame + k * np.array([0.5, 0.0, 0.0])) for k in range(5)]
+        msd = mean_squared_displacement(frames, box)
+        expected = np.array([(0.5 * k) ** 2 for k in range(5)])
+        assert np.allclose(msd, expected, atol=1e-10)
+
+    def test_unwraps_through_boundary(self):
+        box = Box((10.0, 10.0, 10.0))
+        # walk an atom across the boundary: wrapped positions jump
+        frames = [
+            np.array([[9.5 + 0.3 * k, 0.0, 0.0]]) % 10.0 for k in range(6)
+        ]
+        msd = mean_squared_displacement(frames, box)
+        assert msd[-1] == pytest.approx((0.3 * 5) ** 2, abs=1e-10)
+
+    def test_requires_frames(self):
+        with pytest.raises(ValueError):
+            mean_squared_displacement([], Box((5, 5, 5)))
+
+
+class TestLatticeDisplacement:
+    def test_perfect_match_is_zero(self):
+        positions, box = bcc_lattice(2.8665, (3, 3, 3))
+        mean, peak = displacement_from_lattice(positions, positions, box)
+        assert mean == 0.0
+        assert peak == 0.0
+
+    def test_known_displacement(self):
+        positions, box = bcc_lattice(2.8665, (3, 3, 3))
+        moved = positions.copy()
+        moved[0] += [0.3, 0.0, 0.0]
+        mean, peak = displacement_from_lattice(moved, positions, box)
+        assert peak == pytest.approx(0.3)
+        assert mean == pytest.approx(0.3 / len(positions))
+
+    def test_periodic_wrap_respected(self):
+        box = Box((10.0, 10.0, 10.0))
+        reference = np.array([[0.1, 0.0, 0.0]])
+        moved = np.array([[9.9, 0.0, 0.0]])
+        mean, peak = displacement_from_lattice(moved, reference, box)
+        assert peak == pytest.approx(0.2)

@@ -1,0 +1,119 @@
+"""SoA atom container."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.md.atoms import Atoms
+
+
+@pytest.fixture()
+def atoms():
+    box = Box((10.0, 10.0, 10.0))
+    positions = np.array([[1.0, 1.0, 1.0], [2.0, 2.0, 2.0], [3.0, 3.0, 3.0]])
+    return Atoms(box=box, positions=positions)
+
+
+class TestConstruction:
+    def test_defaults_allocated(self, atoms):
+        assert atoms.velocities.shape == (3, 3)
+        assert atoms.forces.shape == (3, 3)
+        assert atoms.rho.shape == (3,)
+        assert atoms.fp.shape == (3,)
+        assert atoms.types.tolist() == [0, 0, 0]
+        assert atoms.ids.tolist() == [0, 1, 2]
+
+    def test_positions_wrapped_on_construction(self):
+        box = Box((5.0, 5.0, 5.0))
+        atoms = Atoms(box=box, positions=np.array([[6.0, -1.0, 2.0]]))
+        assert np.allclose(atoms.positions, [[1.0, 4.0, 2.0]])
+
+    def test_len(self, atoms):
+        assert len(atoms) == 3
+        assert atoms.n_atoms == 3
+
+    def test_rejects_bad_position_shape(self):
+        with pytest.raises(ValueError):
+            Atoms(box=Box((5, 5, 5)), positions=np.zeros((3, 2)))
+
+    def test_rejects_nan_positions(self):
+        with pytest.raises(ValueError):
+            Atoms(box=Box((5, 5, 5)), positions=np.array([[np.nan, 0, 0]]))
+
+    def test_rejects_velocity_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Atoms(
+                box=Box((5, 5, 5)),
+                positions=np.zeros((2, 3)),
+                velocities=np.zeros((3, 3)),
+            )
+
+    def test_rejects_type_without_mass(self):
+        with pytest.raises(ValueError):
+            Atoms(
+                box=Box((5, 5, 5)),
+                positions=np.zeros((2, 3)),
+                types=np.array([0, 1]),
+                masses=np.array([55.845]),
+            )
+
+    def test_mass_per_atom_expansion(self):
+        atoms = Atoms(
+            box=Box((5, 5, 5)),
+            positions=np.zeros((3, 3)),
+            types=np.array([0, 1, 0]),
+            masses=np.array([10.0, 20.0]),
+        )
+        assert atoms.mass_per_atom().tolist() == [10.0, 20.0, 10.0]
+
+
+class TestMutators:
+    def test_zero_forces(self, atoms):
+        atoms.forces[:] = 3.0
+        atoms.zero_forces()
+        assert np.all(atoms.forces == 0.0)
+
+    def test_zero_rho(self, atoms):
+        atoms.rho[:] = 1.0
+        atoms.zero_rho()
+        assert np.all(atoms.rho == 0.0)
+
+    def test_wrap_after_motion(self, atoms):
+        atoms.positions[0] = [11.0, 0.0, 0.0]
+        atoms.wrap()
+        assert atoms.box.contains(atoms.positions).all()
+
+
+class TestReorder:
+    def test_reorder_permutes_all_arrays(self, atoms):
+        atoms.velocities[:] = [[1, 0, 0], [2, 0, 0], [3, 0, 0]]
+        atoms.rho[:] = [10.0, 20.0, 30.0]
+        perm = np.array([2, 0, 1])
+        atoms.reorder(perm)
+        assert atoms.rho.tolist() == [30.0, 10.0, 20.0]
+        assert atoms.velocities[:, 0].tolist() == [3.0, 1.0, 2.0]
+        assert atoms.ids.tolist() == [2, 0, 1]
+
+    def test_reorder_rejects_wrong_length(self, atoms):
+        with pytest.raises(ValueError):
+            atoms.reorder(np.array([0, 1]))
+
+    def test_sorted_by_id_restores_order(self, atoms):
+        original = atoms.copy()
+        atoms.reorder(np.array([2, 0, 1]))
+        restored = atoms.sorted_by_id()
+        assert np.allclose(restored.positions, original.positions)
+        assert restored.ids.tolist() == [0, 1, 2]
+
+
+class TestCopy:
+    def test_copy_is_deep(self, atoms):
+        clone = atoms.copy()
+        clone.positions[0, 0] = 9.0
+        clone.forces[0, 0] = 5.0
+        assert atoms.positions[0, 0] != 9.0
+        assert atoms.forces[0, 0] != 5.0
+
+    def test_copy_preserves_values(self, atoms):
+        atoms.rho[:] = [1.0, 2.0, 3.0]
+        assert atoms.copy().rho.tolist() == [1.0, 2.0, 3.0]

@@ -1,0 +1,128 @@
+"""Cell-list binning and vectorized range concatenation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.md.neighbor.cells import CellList, build_cell_list, concat_ranges
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = concat_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert out.tolist() == [0, 1, 2, 10, 11]
+
+    def test_zero_lengths_skipped(self):
+        out = concat_ranges(np.array([5, 7, 9]), np.array([0, 2, 0]))
+        assert out.tolist() == [7, 8]
+
+    def test_empty(self):
+        assert concat_ranges(np.array([], dtype=int), np.array([], dtype=int)).size == 0
+
+    def test_rejects_negative_lengths(self):
+        with pytest.raises(ValueError):
+            concat_ranges(np.array([0]), np.array([-1]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            concat_ranges(np.array([0, 1]), np.array([1]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 10)), max_size=20
+        )
+    )
+    @settings(max_examples=50)
+    def test_matches_python_loop(self, pairs):
+        starts = np.array([p[0] for p in pairs], dtype=np.int64)
+        lengths = np.array([p[1] for p in pairs], dtype=np.int64)
+        expected = [v for s, l in pairs for v in range(s, s + l)]
+        assert concat_ranges(starts, lengths).tolist() == expected
+
+
+@pytest.fixture()
+def cells(rng):
+    box = Box((12.0, 12.0, 12.0))
+    positions = rng.uniform(0, 12, size=(300, 3))
+    return build_cell_list(positions, box, min_cell_size=3.0), positions, box
+
+
+class TestBuildCellList:
+    def test_cell_count(self, cells):
+        cl, _, _ = cells
+        assert cl.n_cells == (4, 4, 4)
+        assert cl.n_total_cells == 64
+
+    def test_every_atom_binned_once(self, cells):
+        cl, positions, _ = cells
+        assert cl.counts().sum() == len(positions)
+        assert sorted(cl.order.tolist()) == list(range(len(positions)))
+
+    def test_atoms_in_cell_consistent_with_assignment(self, cells):
+        cl, _, _ = cells
+        for cell_id in range(cl.n_total_cells):
+            for atom in cl.atoms_in_cell(cell_id):
+                assert cl.cell_of_atom[atom] == cell_id
+
+    def test_atoms_geometrically_inside_their_cell(self, cells):
+        cl, positions, box = cells
+        coords = cl.cell_coords(cl.cell_of_atom)
+        lo = coords * cl.cell_size
+        hi = lo + cl.cell_size
+        wrapped = box.wrap(positions)
+        assert np.all(wrapped >= lo - 1e-9)
+        assert np.all(wrapped <= hi + 1e-9)
+
+    def test_min_cell_size_respected(self, cells):
+        cl, _, _ = cells
+        assert np.all(cl.cell_size >= 3.0 - 1e-12)
+
+    def test_short_axis_gets_single_cell(self):
+        box = Box((2.0, 12.0, 12.0))
+        cl = build_cell_list(np.zeros((1, 3)), box, min_cell_size=3.0)
+        assert cl.n_cells[0] == 1
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            build_cell_list(np.zeros((1, 3)), Box((5, 5, 5)), min_cell_size=0.0)
+
+    def test_flat_and_coords_roundtrip(self, cells):
+        cl, _, _ = cells
+        ids = np.arange(cl.n_total_cells)
+        assert np.array_equal(cl.flat_ids(cl.cell_coords(ids)), ids)
+
+
+class TestNeighborCellPairs:
+    def test_counts_in_big_grid(self, cells):
+        cl, _, _ = cells
+        src, dst = cl.neighbor_cell_pairs()
+        # 4x4x4 periodic: each cell sees the full 27-stencil uniquely
+        assert len(src) == 64 * 27
+
+    def test_deduplicated_on_tiny_grid(self):
+        box = Box((5.0, 5.0, 5.0))
+        cl = build_cell_list(np.zeros((1, 3)), box, min_cell_size=2.5)
+        src, dst = cl.neighbor_cell_pairs()
+        # 2x2x2 periodic grid: +1 and -1 wrap to the same cell, so each
+        # cell sees every cell exactly once (8 pairs per cell)
+        assert len(src) == 8 * 8
+        keys = set(zip(src.tolist(), dst.tolist()))
+        assert len(keys) == len(src)
+
+    def test_single_cell_grid_self_pair(self):
+        box = Box((2.0, 2.0, 2.0))
+        cl = build_cell_list(np.zeros((1, 3)), box, min_cell_size=3.0)
+        src, dst = cl.neighbor_cell_pairs()
+        assert src.tolist() == [0]
+        assert dst.tolist() == [0]
+
+    def test_open_boundary_clips(self):
+        box = Box((9.0, 9.0, 9.0), periodic=(False, False, False))
+        cl = build_cell_list(np.zeros((1, 3)), box, min_cell_size=3.0)
+        src, dst = cl.neighbor_cell_pairs()
+        # corner cells only see 8 neighbors (incl. self), center sees 27
+        counts = np.bincount(src, minlength=27)
+        assert counts.min() == 8
+        assert counts.max() == 27

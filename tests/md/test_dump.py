@@ -1,0 +1,77 @@
+"""Extended-XYZ trajectory I/O."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.md.atoms import Atoms
+from repro.md.dump import read_xyz, write_xyz
+
+
+@pytest.fixture()
+def atoms():
+    return Atoms(
+        box=Box((8.0, 9.0, 10.0)),
+        positions=np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]),
+    )
+
+
+def test_round_trip_positions(tmp_path, atoms):
+    path = tmp_path / "traj.xyz"
+    write_xyz(atoms, path)
+    frames = read_xyz(path)
+    assert len(frames) == 1
+    positions, box = frames[0]
+    assert np.allclose(positions, atoms.positions)
+
+
+def test_round_trip_box(tmp_path, atoms):
+    path = tmp_path / "traj.xyz"
+    write_xyz(atoms, path)
+    _, box = read_xyz(path)[0]
+    assert np.allclose(box.lengths, atoms.box.lengths)
+
+
+def test_append_creates_multiple_frames(tmp_path, atoms):
+    path = tmp_path / "traj.xyz"
+    write_xyz(atoms, path)
+    atoms.positions[0, 0] = 7.0
+    write_xyz(atoms, path, append=True)
+    frames = read_xyz(path)
+    assert len(frames) == 2
+    assert frames[1][0][0, 0] == pytest.approx(7.0)
+
+
+def test_overwrite_by_default(tmp_path, atoms):
+    path = tmp_path / "traj.xyz"
+    write_xyz(atoms, path)
+    write_xyz(atoms, path)
+    assert len(read_xyz(path)) == 1
+
+
+def test_species_symbols(tmp_path, atoms):
+    path = tmp_path / "traj.xyz"
+    write_xyz(atoms, path, symbols=("Cu",))
+    text = path.read_text()
+    assert "Cu " in text
+
+
+def test_comment_recorded(tmp_path, atoms):
+    path = tmp_path / "traj.xyz"
+    write_xyz(atoms, path, comment="step=42")
+    assert "step=42" in path.read_text()
+
+
+def test_truncated_frame_rejected(tmp_path):
+    path = tmp_path / "bad.xyz"
+    path.write_text("5\ncomment\nFe 0 0 0\n")
+    with pytest.raises(ValueError, match="truncated"):
+        read_xyz(path)
+
+
+def test_plain_xyz_without_lattice(tmp_path):
+    path = tmp_path / "plain.xyz"
+    path.write_text("1\njust a comment\nFe 1.0 2.0 3.0\n")
+    positions, box = read_xyz(path)[0]
+    assert box is None
+    assert np.allclose(positions, [[1.0, 2.0, 3.0]])

@@ -1,0 +1,117 @@
+"""Integrators: kinematics, drift removal, interface contracts."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.geometry.box import Box
+from repro.md.atoms import Atoms
+from repro.md.integrators import Euler, VelocityVerlet, remove_drift
+
+
+@pytest.fixture()
+def free_atom():
+    """One atom, no forces — pure kinematics."""
+    atoms = Atoms(box=Box((100.0, 100.0, 100.0)), positions=np.array([[50.0, 50.0, 50.0]]))
+    atoms.velocities[0] = [1.0, 0.0, 0.0]
+    return atoms
+
+
+class TestVelocityVerlet:
+    def test_rejects_bad_timestep(self):
+        with pytest.raises(ValueError):
+            VelocityVerlet(timestep=0.0)
+
+    def test_free_particle_moves_linearly(self, free_atom):
+        vv = VelocityVerlet(timestep=0.5)
+        vv.first_half(free_atom)
+        vv.second_half(free_atom)
+        assert free_atom.positions[0, 0] == pytest.approx(50.5)
+        assert free_atom.velocities[0, 0] == pytest.approx(1.0)
+
+    def test_constant_force_acceleration(self, free_atom):
+        """One step under constant F matches x = x0 + v dt + F dt^2 / 2m."""
+        dt = 0.1
+        force = 2.0  # eV/Å
+        mass = free_atom.mass_per_atom()[0]
+        free_atom.velocities[0] = 0.0
+        free_atom.forces[0] = [force, 0.0, 0.0]
+        vv = VelocityVerlet(timestep=dt)
+        vv.first_half(free_atom)
+        free_atom.forces[0] = [force, 0.0, 0.0]  # force unchanged
+        vv.second_half(free_atom)
+        accel = force / mass * units.EVA_TO_AMU_APS2
+        assert free_atom.positions[0, 0] == pytest.approx(50.0 + 0.5 * accel * dt**2)
+        assert free_atom.velocities[0, 0] == pytest.approx(accel * dt)
+
+    def test_positions_wrapped(self):
+        atoms = Atoms(box=Box((10.0, 10.0, 10.0)), positions=np.array([[9.9, 5.0, 5.0]]))
+        atoms.velocities[0] = [1.0, 0.0, 0.0]
+        vv = VelocityVerlet(timestep=0.5)
+        vv.first_half(atoms)
+        assert atoms.box.contains(atoms.positions).all()
+
+    def test_time_reversibility(self, small_atoms, potential, small_nlist):
+        """Integrate forward then backward: positions return (symplectic)."""
+        from repro.potentials.eam import compute_eam_forces_serial
+
+        atoms = small_atoms.copy()
+        rng = np.random.default_rng(3)
+        atoms.velocities[:] = rng.normal(0, 5.0, size=atoms.velocities.shape)
+        start = atoms.positions.copy()
+        vv = VelocityVerlet(timestep=5e-4)
+        compute_eam_forces_serial(potential, atoms, small_nlist)
+        for _ in range(5):
+            vv.first_half(atoms)
+            compute_eam_forces_serial(potential, atoms, small_nlist)
+            vv.second_half(atoms)
+        atoms.velocities *= -1.0
+        for _ in range(5):
+            vv.first_half(atoms)
+            compute_eam_forces_serial(potential, atoms, small_nlist)
+            vv.second_half(atoms)
+        delta = atoms.box.minimum_image(atoms.positions - start)
+        assert np.max(np.abs(delta)) < 1e-8
+
+
+class TestEuler:
+    def test_free_particle(self, free_atom):
+        eu = Euler(timestep=0.25)
+        eu.first_half(free_atom)
+        eu.second_half(free_atom)
+        assert free_atom.positions[0, 0] == pytest.approx(50.25)
+
+    def test_second_half_is_noop(self, free_atom):
+        eu = Euler(timestep=0.25)
+        before = free_atom.positions.copy()
+        eu.second_half(free_atom)
+        assert np.array_equal(free_atom.positions, before)
+
+
+class TestRemoveDrift:
+    def test_zeroes_total_momentum(self, rng):
+        atoms = Atoms(
+            box=Box((20.0, 20.0, 20.0)),
+            positions=rng.uniform(0, 20, size=(40, 3)),
+        )
+        atoms.velocities[:] = rng.normal(2.0, 1.0, size=(40, 3))
+        remove_drift(atoms)
+        masses = atoms.mass_per_atom()
+        momentum = (masses[:, None] * atoms.velocities).sum(axis=0)
+        assert np.allclose(momentum, 0.0, atol=1e-10)
+
+    def test_relative_velocities_preserved(self, rng):
+        atoms = Atoms(
+            box=Box((20.0, 20.0, 20.0)),
+            positions=rng.uniform(0, 20, size=(10, 3)),
+        )
+        atoms.velocities[:] = rng.normal(size=(10, 3))
+        before = atoms.velocities.copy()
+        remove_drift(atoms)
+        diff = atoms.velocities - before
+        # uniform shift: all atoms shifted by the same vector
+        assert np.allclose(diff, diff[0], atol=1e-12)
+
+    def test_empty_system_noop(self):
+        atoms = Atoms(box=Box((5, 5, 5)), positions=np.zeros((0, 3)))
+        remove_drift(atoms)

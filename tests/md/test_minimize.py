@@ -1,0 +1,81 @@
+"""Energy minimization: steepest descent and FIRE."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import SDCStrategy
+from repro.harness.cases import Case
+from repro.md.analysis import displacement_from_lattice
+from repro.md.minimize import fire, steepest_descent
+from repro.md.observables import force_max_norm
+from repro.potentials import fe_potential
+
+
+@pytest.fixture()
+def perturbed():
+    case = Case(key="m", label="m", n_cells=4)
+    atoms = case.build(perturbation=0.08, seed=31)
+    reference = case.build(perturbation=0.0, seed=31)
+    return atoms, reference.positions
+
+
+@pytest.mark.parametrize("minimizer", [steepest_descent, fire], ids=["sd", "fire"])
+class TestMinimizers:
+    def test_converges_to_force_tolerance(self, perturbed, minimizer):
+        atoms, _ = perturbed
+        report = minimizer(atoms, fe_potential(), fmax=5e-3)
+        assert report.converged
+        assert report.final_fmax < 5e-3
+        assert force_max_norm(atoms) < 5e-3
+
+    def test_energy_monotone_overall(self, perturbed, minimizer):
+        atoms, _ = perturbed
+        report = minimizer(atoms, fe_potential(), fmax=5e-3)
+        assert report.energy_history[-1] <= report.energy_history[0]
+
+    def test_relaxes_toward_lattice(self, perturbed, minimizer):
+        atoms, lattice_positions = perturbed
+        _, before = displacement_from_lattice(
+            atoms.positions, lattice_positions, atoms.box
+        )
+        minimizer(atoms, fe_potential(), fmax=5e-3)
+        mean_after, _ = displacement_from_lattice(
+            atoms.positions, lattice_positions, atoms.box
+        )
+        # perturbed crystal returns near its lattice sites
+        assert mean_after < 0.02
+        assert before > mean_after
+
+    def test_parameter_validation(self, perturbed, minimizer):
+        atoms, _ = perturbed
+        with pytest.raises(ValueError):
+            minimizer(atoms, fe_potential(), fmax=0.0)
+
+
+class TestMinimizerDetails:
+    def test_iteration_budget_respected(self, perturbed):
+        atoms, _ = perturbed
+        report = steepest_descent(
+            atoms, fe_potential(), fmax=1e-12, max_iterations=3
+        )
+        assert not report.converged
+        assert report.n_iterations == 3
+
+    def test_already_relaxed_returns_immediately(self):
+        case = Case(key="m0", label="m0", n_cells=4)
+        atoms = case.build(perturbation=0.0, seed=1)
+        report = steepest_descent(atoms, fe_potential(), fmax=1e-3)
+        assert report.converged
+        assert report.n_iterations == 0
+
+    def test_minimize_through_sdc_calculator(self):
+        """Minimization works with SDC computing the forces."""
+        case = Case(key="msdc", label="msdc", n_cells=6)
+        atoms = case.build(perturbation=0.06, seed=8)
+        report = fire(
+            atoms,
+            fe_potential(),
+            calculator=SDCStrategy(dims=2, n_threads=2),
+            fmax=5e-3,
+        )
+        assert report.converged

@@ -1,0 +1,89 @@
+"""Additional neighbor-list coverage: cell reuse, scaling, edge shapes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.lattice import bcc_lattice
+from repro.md.neighbor.cells import build_cell_list
+from repro.md.neighbor.verlet import (
+    NeighborList,
+    build_neighbor_list,
+    brute_force_neighbor_list,
+)
+from repro.utils.rng import default_rng
+
+
+class TestCellReuse:
+    def test_prebuilt_cells_give_identical_list(self, perfect_system):
+        positions, box = perfect_system
+        cells = build_cell_list(positions, box, min_cell_size=3.9)
+        with_cells = build_neighbor_list(
+            positions, box, cutoff=3.6, skin=0.3, cells=cells
+        )
+        without = build_neighbor_list(positions, box, cutoff=3.6, skin=0.3)
+        assert with_cells.csr == without.csr
+
+
+class TestEdgeShapes:
+    def test_empty_system(self):
+        box = Box((20.0, 20.0, 20.0))
+        nlist = build_neighbor_list(np.empty((0, 3)), box, cutoff=3.0)
+        assert nlist.n_atoms == 0
+        assert nlist.n_pairs == 0
+        assert not nlist.needs_rebuild(np.empty((0, 3)))
+
+    def test_single_atom(self):
+        box = Box((20.0, 20.0, 20.0))
+        nlist = build_neighbor_list(np.array([[5.0, 5.0, 5.0]]), box, cutoff=3.0)
+        assert nlist.n_pairs == 0
+
+    def test_isolated_pair(self):
+        box = Box((20.0, 20.0, 20.0))
+        positions = np.array([[5.0, 5.0, 5.0], [7.0, 5.0, 5.0]])
+        nlist = build_neighbor_list(positions, box, cutoff=3.0, skin=0.0)
+        i_idx, j_idx = nlist.pair_arrays()
+        assert i_idx.tolist() == [0]
+        assert j_idx.tolist() == [1]
+
+    def test_anisotropic_box(self, rng):
+        box = Box((30.0, 12.0, 8.0))
+        positions = rng.uniform(0, 1, size=(200, 3)) * box.lengths
+        fast = build_neighbor_list(positions, box, cutoff=2.5, skin=0.2)
+        slow = brute_force_neighbor_list(positions, box, cutoff=2.5, skin=0.2)
+        assert fast.csr == slow.csr
+
+    def test_mixed_periodicity(self, rng):
+        box = Box((15.0, 15.0, 15.0), periodic=(True, False, True))
+        positions = rng.uniform(0, 15, size=(150, 3))
+        fast = build_neighbor_list(positions, box, cutoff=3.0, skin=0.2)
+        slow = brute_force_neighbor_list(positions, box, cutoff=3.0, skin=0.2)
+        assert fast.csr == slow.csr
+
+    def test_dense_clump(self):
+        """Many atoms in one cell: candidate generation stays correct."""
+        box = Box((30.0, 30.0, 30.0))
+        rng = default_rng(7)
+        positions = 14.0 + rng.uniform(0, 2.0, size=(120, 3))
+        fast = build_neighbor_list(positions, box, cutoff=3.0, skin=0.1)
+        slow = brute_force_neighbor_list(positions, box, cutoff=3.0, skin=0.1)
+        assert fast.csr == slow.csr
+
+
+class TestScaling:
+    def test_pair_count_scales_linearly(self):
+        """O(N) structure: pairs per atom constant across system sizes."""
+        per_atom = []
+        for n_cells in (6, 9, 12):
+            positions, box = bcc_lattice(2.8665, (n_cells,) * 3)
+            nlist = build_neighbor_list(positions, box, cutoff=3.6, skin=0.3)
+            per_atom.append(nlist.n_pairs / len(positions))
+        assert per_atom[0] == pytest.approx(7.0)
+        assert all(v == pytest.approx(per_atom[0]) for v in per_atom)
+
+    def test_reference_positions_immutable_snapshot(self, perfect_system):
+        positions, box = perfect_system
+        mutable = positions.copy()
+        nlist = build_neighbor_list(mutable, box, cutoff=3.6, skin=0.3)
+        mutable[0] += 10.0  # caller mutates their array afterwards
+        assert nlist.max_displacement(positions) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,70 @@
+"""Physical observables."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.geometry.box import Box
+from repro.md.atoms import Atoms
+from repro.md.observables import (
+    force_max_norm,
+    kinetic_energy,
+    temperature,
+    total_momentum,
+    virial_pressure,
+)
+
+
+@pytest.fixture()
+def atoms():
+    a = Atoms(box=Box((10.0, 10.0, 10.0)), positions=np.zeros((2, 3)))
+    a.velocities[0] = [1.0, 0.0, 0.0]
+    a.velocities[1] = [-1.0, 0.0, 0.0]
+    return a
+
+
+def test_kinetic_energy_formula(atoms):
+    expected = 2 * 0.5 * units.FE_MASS_AMU * units.MVV_TO_EV
+    assert kinetic_energy(atoms) == pytest.approx(expected)
+
+
+def test_temperature_from_equipartition(atoms):
+    ke = kinetic_energy(atoms)
+    assert temperature(atoms) == pytest.approx(
+        units.kinetic_energy_to_temperature(ke, 2)
+    )
+
+
+def test_temperature_of_empty_system():
+    atoms = Atoms(box=Box((5, 5, 5)), positions=np.zeros((0, 3)))
+    assert temperature(atoms) == 0.0
+
+
+def test_total_momentum(atoms):
+    assert np.allclose(total_momentum(atoms), 0.0)
+    atoms.velocities[1] = [1.0, 0.0, 0.0]
+    assert total_momentum(atoms)[0] == pytest.approx(2 * units.FE_MASS_AMU)
+
+
+def test_virial_pressure_kinetic_part(atoms):
+    # zero virial: pure ideal-gas kinetic pressure
+    p = virial_pressure(atoms, pair_virial=0.0)
+    expected = (2 * kinetic_energy(atoms) / 3 / 1000.0) * units.EV_PER_A3_TO_BAR
+    assert p == pytest.approx(expected)
+
+
+def test_virial_pressure_sign_of_attraction(atoms):
+    attractive = virial_pressure(atoms, pair_virial=-100.0)
+    repulsive = virial_pressure(atoms, pair_virial=+100.0)
+    assert attractive < repulsive
+
+
+def test_force_max_norm():
+    atoms = Atoms(box=Box((5, 5, 5)), positions=np.zeros((2, 3)))
+    atoms.forces[0] = [3.0, 4.0, 0.0]
+    assert force_max_norm(atoms) == pytest.approx(5.0)
+
+
+def test_force_max_norm_empty():
+    atoms = Atoms(box=Box((5, 5, 5)), positions=np.zeros((0, 3)))
+    assert force_max_norm(atoms) == 0.0

@@ -1,0 +1,69 @@
+"""Thermostats."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.geometry.box import Box
+from repro.md.atoms import Atoms
+from repro.md.observables import temperature
+from repro.md.thermostats import BerendsenThermostat, VelocityRescaleThermostat
+from repro.utils.rng import default_rng, velocity_from_temperature
+
+
+@pytest.fixture()
+def hot_atoms(rng):
+    atoms = Atoms(
+        box=Box((20.0, 20.0, 20.0)),
+        positions=rng.uniform(0, 20, size=(200, 3)),
+    )
+    atoms.velocities = velocity_from_temperature(
+        default_rng(8), 200, units.FE_MASS_AMU, 600.0, units.MVV_TO_EV,
+        units.KB_EV_PER_K,
+    )
+    return atoms
+
+
+class TestVelocityRescale:
+    def test_sets_exact_temperature(self, hot_atoms):
+        VelocityRescaleThermostat(300.0).apply(hot_atoms, timestep=1e-3)
+        assert temperature(hot_atoms) == pytest.approx(300.0)
+
+    def test_zero_velocity_system_untouched(self):
+        atoms = Atoms(box=Box((5, 5, 5)), positions=np.zeros((4, 3)))
+        VelocityRescaleThermostat(300.0).apply(atoms, timestep=1e-3)
+        assert np.all(atoms.velocities == 0.0)
+
+    def test_rejects_negative_target(self):
+        with pytest.raises(ValueError):
+            VelocityRescaleThermostat(-10.0)
+
+
+class TestBerendsen:
+    def test_moves_toward_target(self, hot_atoms):
+        start = temperature(hot_atoms)
+        BerendsenThermostat(300.0, tau=0.01).apply(hot_atoms, timestep=1e-3)
+        after = temperature(hot_atoms)
+        assert 300.0 < after < start
+
+    def test_relaxation_rate_scales_with_tau(self, hot_atoms):
+        fast = hot_atoms.copy()
+        slow = hot_atoms.copy()
+        BerendsenThermostat(300.0, tau=0.001).apply(fast, timestep=1e-3)
+        BerendsenThermostat(300.0, tau=1.0).apply(slow, timestep=1e-3)
+        assert temperature(fast) < temperature(slow)
+
+    def test_converges_over_many_steps(self, hot_atoms):
+        thermostat = BerendsenThermostat(300.0, tau=0.005)
+        for _ in range(100):
+            thermostat.apply(hot_atoms, timestep=1e-3)
+        assert temperature(hot_atoms) == pytest.approx(300.0, rel=1e-3)
+
+    def test_heats_cold_system(self, hot_atoms):
+        VelocityRescaleThermostat(100.0).apply(hot_atoms, timestep=1e-3)
+        BerendsenThermostat(300.0, tau=0.01).apply(hot_atoms, timestep=1e-3)
+        assert temperature(hot_atoms) > 100.0
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            BerendsenThermostat(300.0, tau=0.0)

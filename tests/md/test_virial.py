@@ -1,0 +1,121 @@
+"""Virial and stress computation."""
+
+import numpy as np
+import pytest
+
+from repro.harness.cases import Case
+from repro.md.neighbor.verlet import build_neighbor_list, full_from_half
+from repro.md.virial import (
+    finite_difference_pressure,
+    pair_virial,
+    pressure_bar,
+    stress_tensor_bar,
+    virial_tensor,
+)
+from repro.potentials import fe_potential
+
+
+@pytest.fixture(scope="module")
+def system():
+    atoms = Case(key="v", label="v", n_cells=5).build(perturbation=0.0, seed=0)
+    pot = fe_potential()
+    nlist = build_neighbor_list(atoms.positions, atoms.box, pot.cutoff, 0.3)
+    return atoms, pot, nlist
+
+
+class TestVirialTensor:
+    def test_symmetric(self, system):
+        atoms, pot, nlist = system
+        w = virial_tensor(pot, atoms, nlist)
+        assert np.allclose(w, w.T, atol=1e-10)
+
+    def test_cubic_crystal_isotropic(self, system):
+        atoms, pot, nlist = system
+        w = virial_tensor(pot, atoms, nlist)
+        assert w[0, 0] == pytest.approx(w[1, 1], rel=1e-6)
+        assert w[1, 1] == pytest.approx(w[2, 2], rel=1e-6)
+        off_diag = w - np.diag(np.diag(w))
+        assert np.max(np.abs(off_diag)) < 1e-8 * abs(w[0, 0])
+
+    def test_half_and_full_lists_agree(self, system):
+        atoms, pot, nlist = system
+        w_half = virial_tensor(pot, atoms, nlist)
+        w_full = virial_tensor(pot, atoms, full_from_half(nlist))
+        assert np.allclose(w_half, w_full, atol=1e-9)
+
+    def test_scalar_is_trace(self, system):
+        atoms, pot, nlist = system
+        assert pair_virial(pot, atoms, nlist) == pytest.approx(
+            float(np.trace(virial_tensor(pot, atoms, nlist)))
+        )
+
+
+class TestPressure:
+    def test_virial_matches_finite_difference(self, system):
+        """The headline check: the virial route equals -dE/dV."""
+        atoms, pot, nlist = system
+        p_virial = pressure_bar(pot, atoms, nlist)
+        p_fd, _ = finite_difference_pressure(pot, atoms)
+        assert p_virial == pytest.approx(p_fd, rel=2e-3, abs=50.0)
+
+    def test_compressed_crystal_pushes_back(self, system):
+        atoms, pot, _ = system
+        squeezed = atoms.copy()
+        squeezed.box = atoms.box.scaled(0.98)
+        squeezed.positions = squeezed.box.wrap(atoms.positions * 0.98)
+        nl = build_neighbor_list(
+            squeezed.positions, squeezed.box, pot.cutoff, 0.3
+        )
+        p_squeezed = pressure_bar(pot, squeezed, nl)
+        nl0 = build_neighbor_list(atoms.positions, atoms.box, pot.cutoff, 0.3)
+        p_equil = pressure_bar(pot, atoms, nl0)
+        assert p_squeezed > p_equil
+
+    def test_stretched_crystal_pulls_in(self, system):
+        atoms, pot, _ = system
+        stretched = atoms.copy()
+        stretched.box = atoms.box.scaled(1.03)
+        stretched.positions = stretched.box.wrap(atoms.positions * 1.03)
+        nl = build_neighbor_list(
+            stretched.positions, stretched.box, pot.cutoff, 0.3
+        )
+        nl0 = build_neighbor_list(atoms.positions, atoms.box, pot.cutoff, 0.3)
+        assert pressure_bar(pot, stretched, nl) < pressure_bar(pot, atoms, nl0)
+
+    def test_kinetic_part_raises_pressure(self, system):
+        atoms, pot, nlist = system
+        hot = atoms.copy()
+        hot.velocities[:] = 5.0
+        cold_p = pressure_bar(pot, atoms, nlist)
+        hot_p = pressure_bar(pot, hot, nlist)
+        assert hot_p > cold_p
+
+    def test_uniaxial_strain_breaks_isotropy(self, system):
+        atoms, pot, _ = system
+        from repro.geometry.box import Box
+
+        strained = atoms.copy()
+        lengths = atoms.box.lengths.copy()
+        lengths[0] *= 1.02
+        strained.box = Box(tuple(lengths))
+        positions = atoms.positions.copy()
+        positions[:, 0] *= 1.02
+        strained.positions = strained.box.wrap(positions)
+        nl = build_neighbor_list(
+            strained.positions, strained.box, pot.cutoff, 0.3
+        )
+        stress = stress_tensor_bar(pot, strained, nl)
+        # tension along x: sigma_xx most negative (pulls inward)
+        assert stress[0, 0] < stress[1, 1]
+
+    def test_empty_pair_list(self, system):
+        _, pot, _ = system
+        from repro.geometry.box import Box
+        from repro.md.atoms import Atoms
+
+        lonely = Atoms(
+            box=Box((50.0, 50.0, 50.0)),
+            positions=np.array([[1.0, 1.0, 1.0], [25.0, 25.0, 25.0]]),
+        )
+        nl = build_neighbor_list(lonely.positions, lonely.box, pot.cutoff, 0.3)
+        assert pair_virial(pot, lonely, nl) == 0.0

@@ -1,0 +1,132 @@
+"""Hybrid MPI+OpenMP cluster model (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import DecompositionError
+from repro.harness.cases import case_by_key
+from repro.parallel.cluster import (
+    ClusterConfig,
+    HybridResult,
+    halo_exchange_seconds,
+    hybrid_scaling_study,
+    node_grid,
+    simulate_hybrid,
+)
+from repro.parallel.machine import paper_machine
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterConfig(machine=paper_machine())
+
+
+@pytest.fixture(scope="module")
+def big_case():
+    return case_by_key("large4")
+
+
+class TestNodeGrid:
+    def test_single_node(self):
+        assert node_grid(1) == (1, 1, 1)
+
+    def test_perfect_cube(self):
+        assert sorted(node_grid(8)) == [2, 2, 2]
+
+    def test_prefers_compact_shapes(self):
+        grid = node_grid(12)
+        nx, ny, nz = sorted(grid)
+        assert nx * ny * nz == 12
+        assert nz <= 4  # (2,2,3)-like, not (1,1,12)
+
+    def test_prime_counts_degenerate(self):
+        assert sorted(node_grid(7)) == [1, 1, 7]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            node_grid(0)
+
+
+class TestHaloExchange:
+    def test_single_axis_volume(self, cluster, big_case):
+        box = big_case.box()
+        density = big_case.n_atoms / box.volume
+        t = halo_exchange_seconds(cluster, box, density, 3.9, (2, 1, 1))
+        # one axis exchanged: latency + face shell over the link
+        face = box.lengths[1] * box.lengths[2]
+        expected_bytes = density * face * 3.9 * 64.0
+        expected = cluster.link_latency_s + expected_bytes / (
+            cluster.link_bandwidth_bytes_per_s
+        )
+        assert t == pytest.approx(expected)
+
+    def test_more_axes_cost_more(self, cluster, big_case):
+        box = big_case.box()
+        density = big_case.n_atoms / box.volume
+        one = halo_exchange_seconds(cluster, box, density, 3.9, (2, 1, 1))
+        three = halo_exchange_seconds(cluster, box, density, 3.9, (2, 2, 2))
+        assert three > one
+
+    def test_undivided_axes_free(self, cluster, big_case):
+        box = big_case.box()
+        density = big_case.n_atoms / box.volume
+        assert halo_exchange_seconds(
+            cluster, box, density, 3.9, (1, 1, 1)
+        ) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(machine=paper_machine(), link_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(machine=paper_machine(), link_bandwidth_bytes_per_s=0)
+
+
+class TestSimulateHybrid:
+    def test_single_node_matches_pure_sdc_regime(self, cluster, big_case):
+        result = simulate_hybrid(
+            big_case.n_atoms, big_case.box(), 1, 16, cluster
+        )
+        assert result.exchange_seconds == 0.0
+        assert 10.0 < result.speedup < 16.0  # ~ Table I's 12.6
+
+    def test_multi_node_speedup_exceeds_single(self, cluster, big_case):
+        one = simulate_hybrid(big_case.n_atoms, big_case.box(), 1, 16, cluster)
+        four = simulate_hybrid(big_case.n_atoms, big_case.box(), 4, 16, cluster)
+        assert four.speedup > one.speedup
+
+    def test_exchange_positive_for_multi_node(self, cluster, big_case):
+        result = simulate_hybrid(big_case.n_atoms, big_case.box(), 8, 16, cluster)
+        assert result.exchange_seconds > 0.0
+        assert result.node_grid == (2, 2, 2)
+
+    def test_efficiency_degrades_with_nodes(self, cluster, big_case):
+        """Communication makes per-core efficiency fall as nodes grow."""
+        results = hybrid_scaling_study(
+            big_case.n_atoms, big_case.box(), [1, 2, 4, 8], cluster=cluster
+        )
+        eff = [r.speedup / r.total_cores for r in results]
+        assert eff == sorted(eff, reverse=True)
+
+    def test_too_many_nodes_skipped(self, cluster):
+        small = case_by_key("small")
+        results = hybrid_scaling_study(
+            small.n_atoms, small.box(), [1, 4096], cluster=cluster
+        )
+        assert [r.n_nodes for r in results] == [1]
+
+    def test_too_many_threads_rejected(self, cluster, big_case):
+        with pytest.raises(ValueError, match="cores"):
+            simulate_hybrid(big_case.n_atoms, big_case.box(), 1, 64, cluster)
+
+    def test_result_properties(self):
+        result = HybridResult(
+            n_nodes=2,
+            threads_per_node=8,
+            node_grid=(2, 1, 1),
+            compute_seconds=1.0,
+            exchange_seconds=0.5,
+            serial_seconds=30.0,
+        )
+        assert result.step_seconds == pytest.approx(1.5)
+        assert result.speedup == pytest.approx(20.0)
+        assert result.total_cores == 16

@@ -1,0 +1,104 @@
+"""Property-based tests for the cluster and NUMA models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.cluster import node_grid
+from repro.parallel.machine import MachineConfig
+from repro.parallel.numa import NumaConfig, local_fraction, memory_multiplier
+
+
+class TestNodeGridProperties:
+    @given(st.integers(1, 256))
+    @settings(max_examples=80)
+    def test_product_preserved(self, n):
+        grid = node_grid(n)
+        assert int(np.prod(grid)) == n
+
+    @given(st.integers(1, 256))
+    @settings(max_examples=80)
+    def test_surface_minimal_among_factorizations(self, n):
+        """node_grid returns a minimum-surface factorization."""
+        gx, gy, gz = node_grid(n)
+        best = gx * gy + gy * gz + gx * gz
+        for ax in range(1, n + 1):
+            if n % ax:
+                continue
+            rest = n // ax
+            for ay in range(1, rest + 1):
+                if rest % ay:
+                    continue
+                az = rest // ay
+                surface = ax * ay + ay * az + ax * az
+                assert best <= surface
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=40)
+    def test_cube_numbers_give_cubes(self, k):
+        grid = node_grid(k**3)
+        # a perfect cube's minimal-surface factorization is the cube itself
+        assert sorted(grid) == [k, k, k]
+
+
+class TestNumaProperties:
+    @given(
+        st.floats(1.0, 4.0),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60)
+    def test_multiplier_bounded_by_penalty(self, penalty, local):
+        numa = NumaConfig(remote_penalty=penalty)
+        m = memory_multiplier(numa, local)
+        assert 1.0 <= m <= penalty + 1e-12
+
+    @given(
+        st.sampled_from(["first-touch", "interleaved", "single-node"]),
+        st.booleans(),
+        st.integers(1, 16),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=80)
+    def test_local_fraction_in_unit_interval(
+        self, placement, owner_computes, threads, sockets
+    ):
+        numa = NumaConfig(n_sockets=sockets)
+        f = local_fraction(numa, placement, owner_computes, threads)
+        assert 0.0 <= f <= 1.0
+
+    @given(st.integers(2, 16), st.integers(2, 8))
+    @settings(max_examples=60)
+    def test_first_touch_never_worse_than_interleaved(self, threads, sockets):
+        numa = NumaConfig(n_sockets=sockets)
+        ft = local_fraction(numa, "first-touch", True, threads)
+        il = local_fraction(numa, "interleaved", True, threads)
+        assert ft >= il - 1e-12
+
+
+class TestMachineMonotonicityProperties:
+    @given(
+        st.integers(1, 15),
+        st.floats(0.2, 1.0),
+    )
+    @settings(max_examples=60)
+    def test_contention_monotone_in_threads(self, p, loc):
+        machine = MachineConfig()
+        assert machine.mem_contention(p + 1, loc) >= machine.mem_contention(
+            p, loc
+        )
+
+    @given(
+        st.integers(1, 16),
+        st.floats(0.2, 0.99),
+    )
+    @settings(max_examples=60)
+    def test_contention_monotone_in_badness(self, p, loc):
+        machine = MachineConfig()
+        assert machine.mem_contention(p, loc) >= machine.mem_contention(p, 1.0)
+
+    @given(st.floats(1e3, 1e9), st.integers(2, 16))
+    @settings(max_examples=60)
+    def test_working_set_factor_at_least_one(self, ws, p):
+        machine = MachineConfig()
+        assert machine.working_set_factor(ws, p) >= 1.0

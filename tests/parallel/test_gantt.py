@@ -1,0 +1,59 @@
+"""ASCII Gantt rendering."""
+
+import re
+
+import pytest
+
+from repro.parallel.machine import MachineConfig
+from repro.parallel.plan import SimPlan, uniform_phase
+from repro.parallel.sim_exec import simulate
+from repro.parallel.trace import render_gantt
+
+
+@pytest.fixture()
+def result():
+    machine = MachineConfig()
+    plan = SimPlan(
+        name="gantt-demo",
+        phases=[
+            uniform_phase("alpha", 8, compute_per_task=100.0),
+            uniform_phase("beta", 2, compute_per_task=400.0),
+        ],
+        n_parallel_regions=1,
+    )
+    return simulate(plan, machine, 4)
+
+
+def test_one_row_per_thread(result):
+    lines = render_gantt(result).splitlines()
+    thread_rows = [l for l in lines if re.match(r"^t\d", l)]
+    assert len(thread_rows) == 4
+
+
+def test_idle_threads_show_waits(result):
+    text = render_gantt(result)
+    # phase beta runs 2 tasks on 4 threads: two rows have dots in that band
+    assert "." in text
+
+
+def test_phase_names_in_legend(result):
+    text = render_gantt(result)
+    assert "alpha"[:3] in text
+    assert "bet" in text
+
+
+def test_width_respected(result):
+    text = render_gantt(result, width=40)
+    longest = max(len(l) for l in text.splitlines())
+    assert longest < 40 + 20  # name column + separators slack
+
+
+def test_thread_cap(result):
+    lines = render_gantt(result, max_threads=2).splitlines()
+    thread_rows = [l for l in lines if re.match(r"^t\d", l)]
+    assert len(thread_rows) == 2
+
+
+def test_rejects_tiny_width(result):
+    with pytest.raises(ValueError):
+        render_gantt(result, width=5)

@@ -1,0 +1,120 @@
+"""Machine cost-model properties."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import MachineConfig, laptop_machine, paper_machine
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+class TestStructure:
+    def test_paper_machine_is_16_cores(self, machine):
+        assert machine.n_cores == 16
+        assert machine.clock_ghz == pytest.approx(2.13)
+
+    def test_rejects_bad_cores(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_cores=0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            MachineConfig(clock_ghz=-1.0)
+
+    def test_with_overrides(self, machine):
+        other = machine.with_overrides(n_cores=8)
+        assert other.n_cores == 8
+        assert machine.n_cores == 16  # frozen original untouched
+
+    def test_laptop_machine_differs(self):
+        assert laptop_machine().mem_contention_coeff < paper_machine().mem_contention_coeff
+
+
+class TestContention:
+    def test_single_thread_no_contention(self, machine):
+        assert machine.mem_contention(1) == pytest.approx(1.0)
+
+    def test_monotone_in_threads(self, machine):
+        values = [machine.mem_contention(p) for p in range(1, 17)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_bad_locality_amplifies(self, machine):
+        assert machine.mem_contention(8, 0.5) > machine.mem_contention(8, 1.0)
+
+    def test_locality_irrelevant_single_thread(self, machine):
+        assert machine.mem_contention(1, 0.3) == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self, machine):
+        with pytest.raises(ValueError):
+            machine.mem_contention(0)
+        with pytest.raises(ValueError):
+            machine.mem_contention(4, 0.0)
+
+
+class TestLocalityFactor:
+    def test_perfect_layout_is_one(self, machine):
+        assert machine.locality_factor(1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_badness(self, machine):
+        assert machine.locality_factor(0.4) > machine.locality_factor(0.9)
+
+    def test_rejects_out_of_range(self, machine):
+        with pytest.raises(ValueError):
+            machine.locality_factor(1.5)
+
+
+class TestWorkingSetFactor:
+    def test_fitting_set_is_free(self, machine):
+        assert machine.working_set_factor(1000.0, 16) == pytest.approx(1.0)
+
+    def test_single_thread_is_free(self, machine):
+        big = 100 * machine.cache_per_core_bytes
+        assert machine.working_set_factor(big, 1) == pytest.approx(1.0)
+
+    def test_penalty_grows_with_threads(self, machine):
+        big = 10 * machine.cache_per_core_bytes
+        assert machine.working_set_factor(big, 16) > machine.working_set_factor(
+            big, 8
+        )
+
+    def test_penalty_grows_with_overflow(self, machine):
+        assert machine.working_set_factor(
+            10 * machine.cache_per_core_bytes, 16
+        ) > machine.working_set_factor(2 * machine.cache_per_core_bytes, 16)
+
+    def test_array_form_matches_scalar(self, machine):
+        ws = np.array([0.0, 5e5, 5e6, 5e7])
+        arr = machine.working_set_factor_array(ws, 12)
+        scalars = [machine.working_set_factor(w, 12) for w in ws]
+        assert np.allclose(arr, scalars)
+
+
+class TestFootprintFactor:
+    def test_under_llc_free(self, machine):
+        assert machine.footprint_factor(machine.llc_total_bytes) == 1.0
+
+    def test_over_llc_penalized(self, machine):
+        assert machine.footprint_factor(4 * machine.llc_total_bytes) > 1.0
+
+
+class TestSyncCosts:
+    def test_fork_join_grows_with_threads(self, machine):
+        assert machine.fork_join_cycles(16) > machine.fork_join_cycles(2)
+
+    def test_phase_cost_grows_with_threads(self, machine):
+        assert machine.phase_cycles(16) > machine.phase_cycles(2)
+
+    def test_critical_contention_grows(self, machine):
+        assert machine.critical_cycles(16) > machine.critical_cycles(1)
+
+    def test_uncontended_critical_is_base(self, machine):
+        assert machine.critical_cycles(1) == pytest.approx(
+            machine.critical_base_cycles
+        )
+
+
+def test_cycles_to_seconds(machine):
+    assert machine.cycles_to_seconds(machine.clock_ghz * 1e9) == pytest.approx(1.0)

@@ -1,0 +1,131 @@
+"""NUMA placement model (future-work extension)."""
+
+import pytest
+
+from repro.harness.cases import case_by_key
+from repro.harness.runner import ExperimentRunner
+from repro.parallel.machine import paper_machine
+from repro.parallel.numa import (
+    PLACEMENTS,
+    NumaConfig,
+    local_fraction,
+    memory_multiplier,
+    numa_adjusted_plan,
+    numa_study,
+    simulate_on_numa,
+)
+from repro.parallel.plan import SimPlan, uniform_phase
+from repro.parallel.sim_exec import simulate
+
+
+@pytest.fixture(scope="module")
+def numa():
+    return NumaConfig()
+
+
+@pytest.fixture(scope="module")
+def plans():
+    runner = ExperimentRunner()
+    case = case_by_key("large3")
+    from repro.core.strategies import SDCStrategy, SerialStrategy
+
+    stats = runner.sdc_stats(case, dims=2, n_threads=16)
+    sdc = SDCStrategy(dims=2, n_threads=16).plan(stats, runner.machine, 16)
+    serial = SerialStrategy().plan(runner.flat_stats(case), runner.machine, 1)
+    return sdc, serial
+
+
+class TestConfig:
+    def test_defaults_sane(self, numa):
+        assert numa.n_sockets == 4
+        assert numa.remote_penalty > 1.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            NumaConfig(n_sockets=0)
+        with pytest.raises(ValueError):
+            NumaConfig(remote_penalty=0.5)
+        with pytest.raises(ValueError):
+            NumaConfig(sdc_halo_remote_fraction=2.0)
+
+
+class TestLocalFraction:
+    def test_first_touch_owner_computes_mostly_local(self, numa):
+        assert local_fraction(numa, "first-touch", True, 16) > 0.8
+
+    def test_interleaved_is_one_over_sockets(self, numa):
+        assert local_fraction(numa, "interleaved", True, 16) == pytest.approx(
+            1 / 4
+        )
+
+    def test_single_node_worst_at_scale(self, numa):
+        ft = local_fraction(numa, "first-touch", True, 16)
+        sn = local_fraction(numa, "single-node", True, 16)
+        assert sn < ft
+
+    def test_single_socket_always_local(self):
+        numa1 = NumaConfig(n_sockets=1)
+        for placement in PLACEMENTS:
+            assert local_fraction(numa1, placement, True, 4) == pytest.approx(
+                1.0
+            )
+
+    def test_non_owner_computes_defeats_first_touch(self, numa):
+        assert local_fraction(numa, "first-touch", False, 16) == pytest.approx(
+            1 / 4
+        )
+
+    def test_rejects_unknown_placement(self, numa):
+        with pytest.raises(ValueError):
+            local_fraction(numa, "magic", True, 4)
+
+
+class TestMultiplier:
+    def test_fully_local_free(self, numa):
+        assert memory_multiplier(numa, 1.0) == pytest.approx(1.0)
+
+    def test_fully_remote_is_penalty(self, numa):
+        assert memory_multiplier(numa, 0.0) == pytest.approx(
+            numa.remote_penalty
+        )
+
+    def test_monotone(self, numa):
+        assert memory_multiplier(numa, 0.3) > memory_multiplier(numa, 0.8)
+
+    def test_rejects_bad_fraction(self, numa):
+        with pytest.raises(ValueError):
+            memory_multiplier(numa, 1.5)
+
+
+class TestAdjustedPlan:
+    def test_memory_scaled_compute_untouched(self):
+        plan = SimPlan(
+            name="x",
+            phases=[
+                uniform_phase("w", 4, compute_per_task=10.0, memory_per_task=20.0)
+            ],
+        )
+        adjusted = numa_adjusted_plan(plan, 1.5)
+        assert adjusted.phases[0].memory.tolist() == [30.0] * 4
+        assert adjusted.phases[0].compute.tolist() == [10.0] * 4
+
+    def test_rejects_submultiplier(self):
+        with pytest.raises(ValueError):
+            numa_adjusted_plan(SimPlan(name="x"), 0.9)
+
+
+class TestStudy:
+    def test_first_touch_beats_interleaved_and_single_node(self, plans, numa):
+        sdc, serial = plans
+        speedups = numa_study(sdc, serial, paper_machine(), numa, 16)
+        assert speedups["first-touch"] > speedups["interleaved"]
+        assert speedups["first-touch"] > speedups["single-node"]
+
+    def test_numa_never_helps(self, plans, numa):
+        """Any placement is at most as fast as the NUMA-free machine."""
+        sdc, _ = plans
+        machine = paper_machine()
+        baseline = simulate(sdc, machine, 16).total_cycles
+        for placement in PLACEMENTS:
+            result = simulate_on_numa(sdc, machine, numa, 16, placement)
+            assert result.total_cycles >= baseline - 1e-6

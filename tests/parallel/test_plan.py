@@ -1,0 +1,89 @@
+"""Plan containers (phases and their cost arrays)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.plan import SimPhase, SimPlan, uniform_phase
+
+
+class TestSimPhase:
+    def test_scalar_broadcast(self):
+        phase = SimPhase.make("p", n_tasks=4, compute=10.0, memory=2.0)
+        assert phase.n_tasks == 4
+        assert phase.compute.tolist() == [10.0] * 4
+        assert phase.total_compute() == pytest.approx(40.0)
+
+    def test_array_costs(self):
+        phase = SimPhase.make("p", n_tasks=3, compute=np.array([1.0, 2.0, 3.0]))
+        assert phase.total_compute() == pytest.approx(6.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SimPhase.make("p", n_tasks=3, compute=np.ones(2))
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            SimPhase.make("p", n_tasks=2, memory=-1.0)
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(ValueError):
+            SimPhase.make("p", n_tasks=1, locality=0.0)
+
+    def test_rejects_negative_footprint(self):
+        with pytest.raises(ValueError):
+            SimPhase.make("p", n_tasks=1, footprint_bytes=-1.0)
+
+    def test_totals(self):
+        phase = SimPhase.make(
+            "p", n_tasks=2, critical_ops=3.0, serialized=5.0, working_set=100.0
+        )
+        assert phase.total_critical_ops() == pytest.approx(6.0)
+        assert phase.total_serialized() == pytest.approx(10.0)
+
+    def test_empty_phase(self):
+        phase = SimPhase.make("p", n_tasks=0)
+        assert phase.n_tasks == 0
+        assert phase.total_compute() == 0.0
+
+
+class TestSimPlan:
+    def test_totals_across_phases(self):
+        plan = SimPlan(
+            name="x",
+            phases=[
+                uniform_phase("a", 2, compute_per_task=5.0),
+                uniform_phase("b", 3, memory_per_task=1.0),
+            ],
+            n_parallel_regions=2,
+        )
+        assert plan.total_compute() == pytest.approx(10.0)
+        assert plan.total_memory() == pytest.approx(3.0)
+        assert plan.n_tasks() == 5
+
+    def test_rejects_negative_regions(self):
+        with pytest.raises(ValueError):
+            SimPlan(name="x", n_parallel_regions=-1)
+
+
+class TestUniformPhase:
+    def test_all_fields_plumbed(self):
+        phase = uniform_phase(
+            "u",
+            n_tasks=2,
+            compute_per_task=1.0,
+            memory_per_task=2.0,
+            critical_per_task=3.0,
+            serialized_per_task=4.0,
+            working_set_bytes=5.0,
+            barrier=False,
+            locality=0.8,
+            footprint_bytes=6.0,
+        )
+        assert phase.compute.tolist() == [1.0, 1.0]
+        assert phase.memory.tolist() == [2.0, 2.0]
+        assert phase.critical_ops.tolist() == [3.0, 3.0]
+        assert phase.serialized.tolist() == [4.0, 4.0]
+        assert phase.working_set.tolist() == [5.0, 5.0]
+        assert phase.barrier is False
+        assert phase.locality == 0.8
+        assert phase.footprint_bytes == 6.0

@@ -1,0 +1,82 @@
+"""Process-parallel SDC (fork + shared memory)."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.md.simulation import Simulation
+from repro.parallel.backends.processes import ProcessSDCCalculator
+
+fork_available = "fork" in mp.get_all_start_methods()
+pytestmark = pytest.mark.skipif(
+    not fork_available, reason="requires fork start method"
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_matches_serial_reference(
+        self, dims, potential, sdc_atoms, sdc_nlist, reference_result
+    ):
+        calc = ProcessSDCCalculator(dims=dims, n_workers=2)
+        result = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        assert np.allclose(result.forces, reference_result.forces, atol=1e-12)
+        assert np.allclose(result.rho, reference_result.rho, atol=1e-12)
+        assert result.potential_energy == pytest.approx(
+            reference_result.potential_energy
+        )
+
+    def test_atoms_updated_in_place(
+        self, potential, sdc_atoms, sdc_nlist, reference_result
+    ):
+        atoms = sdc_atoms.copy()
+        ProcessSDCCalculator(dims=2, n_workers=2).compute(
+            potential, atoms, sdc_nlist
+        )
+        assert np.allclose(atoms.forces, reference_result.forces, atol=1e-12)
+
+    def test_single_worker_degenerate(
+        self, potential, sdc_atoms, sdc_nlist, reference_result
+    ):
+        calc = ProcessSDCCalculator(dims=2, n_workers=1)
+        result = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        assert np.allclose(result.forces, reference_result.forces, atol=1e-12)
+
+    def test_repeated_computes_stable(self, potential, sdc_atoms, sdc_nlist):
+        calc = ProcessSDCCalculator(dims=2, n_workers=2)
+        a = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        b = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        assert np.array_equal(a.forces, b.forces)
+
+
+class TestValidation:
+    def test_rejects_full_list(self, potential, sdc_atoms, sdc_nlist):
+        from repro.md.neighbor.verlet import full_from_half
+
+        calc = ProcessSDCCalculator(dims=2, n_workers=2)
+        with pytest.raises(ValueError, match="half"):
+            calc.compute(potential, sdc_atoms.copy(), full_from_half(sdc_nlist))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ProcessSDCCalculator(dims=0)
+        with pytest.raises(ValueError):
+            ProcessSDCCalculator(n_workers=0)
+
+
+class TestDriverIntegration:
+    def test_short_trajectory_matches_serial(self, potential):
+        from repro.harness.cases import Case
+
+        case = Case(key="pt", label="pt", n_cells=6)
+
+        def run(calculator):
+            atoms = case.build(perturbation=0.03, temperature=60.0, seed=2)
+            sim = Simulation(atoms, potential, calculator=calculator)
+            sim.run(5)
+            return atoms.positions
+
+        serial = run(None)
+        processes = run(ProcessSDCCalculator(dims=2, n_workers=2))
+        assert np.allclose(serial, processes, atol=1e-10)

@@ -1,0 +1,240 @@
+"""Simulator semantics: scheduling, barriers, criticals, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import MachineConfig
+from repro.parallel.plan import SimPhase, SimPlan, uniform_phase
+from repro.parallel.sim_exec import simulate, speedup
+
+
+@pytest.fixture()
+def quiet_machine():
+    """A machine with zero sync overheads — isolates the compute model."""
+    return MachineConfig(
+        fork_join_base_cycles=0.0,
+        fork_join_per_thread_cycles=0.0,
+        phase_base_cycles=0.0,
+        phase_per_thread_cycles=0.0,
+        mem_contention_coeff=0.0,
+        contention_locality_coeff=0.0,
+    )
+
+
+def simple_plan(n_tasks=16, compute=100.0, **plan_kwargs):
+    return SimPlan(
+        name="test",
+        phases=[uniform_phase("work", n_tasks, compute_per_task=compute)],
+        n_parallel_regions=1,
+        **plan_kwargs,
+    )
+
+
+class TestIdealScaling:
+    def test_perfect_speedup_without_overheads(self, quiet_machine):
+        plan = simple_plan(16, 100.0)
+        t1 = simulate(plan, quiet_machine, 1)
+        t4 = simulate(plan, quiet_machine, 4)
+        assert speedup(t1, t4) == pytest.approx(4.0)
+
+    def test_speedup_never_exceeds_threads(self):
+        machine = MachineConfig()
+        plan = simple_plan(64, 1e6)
+        serial = SimPlan(
+            name="s",
+            phases=[uniform_phase("work", 64, compute_per_task=1e6)],
+            serial_overheads=True,
+        )
+        t1 = simulate(serial, machine, 1)
+        for p in (2, 4, 8, 16):
+            tp = simulate(plan, machine, p)
+            assert speedup(t1, tp) <= p + 1e-9
+
+    def test_load_imbalance_appears(self, quiet_machine):
+        # 5 equal tasks on 4 threads: makespan = 2 tasks
+        plan = simple_plan(5, 100.0)
+        result = simulate(plan, quiet_machine, 4)
+        assert result.phase_results[0].makespan_cycles == pytest.approx(200.0)
+        assert result.phase_results[0].imbalance > 1.0
+
+    def test_idle_threads_with_few_tasks(self, quiet_machine):
+        plan = simple_plan(2, 100.0)
+        result = simulate(plan, quiet_machine, 8)
+        busy = result.phase_results[0].busy_cycles_per_thread
+        assert np.count_nonzero(busy) == 2
+
+
+class TestOverheads:
+    def test_fork_join_charged_per_region(self):
+        machine = MachineConfig()
+        plan_1 = simple_plan(4, 100.0)
+        plan_2 = SimPlan(
+            name="two",
+            phases=plan_1.phases,
+            n_parallel_regions=2,
+        )
+        t1 = simulate(plan_1, machine, 4)
+        t2 = simulate(plan_2, machine, 4)
+        assert t2.total_cycles - t1.total_cycles == pytest.approx(
+            machine.fork_join_cycles(4)
+        )
+
+    def test_barrier_phase_costs_more_than_nowait(self):
+        machine = MachineConfig()
+        with_barrier = SimPlan(
+            name="b",
+            phases=[uniform_phase("w", 4, compute_per_task=10.0, barrier=True)],
+        )
+        nowait = SimPlan(
+            name="nw",
+            phases=[uniform_phase("w", 4, compute_per_task=10.0, barrier=False)],
+        )
+        tb = simulate(with_barrier, machine, 4)
+        tn = simulate(nowait, machine, 4)
+        assert tb.total_cycles - tn.total_cycles == pytest.approx(
+            machine.phase_cycles(4)
+        )
+
+    def test_serial_overheads_flag_suppresses_all(self):
+        machine = MachineConfig()
+        plan = SimPlan(
+            name="s",
+            phases=[uniform_phase("w", 4, compute_per_task=10.0)],
+            n_parallel_regions=3,
+            serial_overheads=True,
+        )
+        result = simulate(plan, machine, 1)
+        assert result.fork_join_cycles == 0.0
+        assert result.total_cycles == pytest.approx(40.0)
+
+
+class TestMemoryModel:
+    def test_memory_inflated_by_contention(self):
+        machine = MachineConfig(
+            fork_join_base_cycles=0, fork_join_per_thread_cycles=0,
+            phase_base_cycles=0, phase_per_thread_cycles=0,
+        )
+        plan = SimPlan(
+            name="m",
+            phases=[uniform_phase("w", 16, memory_per_task=100.0)],
+        )
+        t1 = simulate(plan, machine, 1)
+        t16 = simulate(plan, machine, 16)
+        # 16x less work per thread but contention-inflated
+        assert t16.total_cycles > t1.total_cycles / 16
+
+    def test_compute_not_inflated(self, quiet_machine):
+        plan = simple_plan(16, 100.0)
+        t16 = simulate(plan, quiet_machine, 16)
+        assert t16.phase_results[0].makespan_cycles == pytest.approx(100.0)
+
+    def test_locality_penalty_applies_to_memory(self, quiet_machine):
+        good = SimPlan(
+            name="g", phases=[uniform_phase("w", 4, memory_per_task=100.0, locality=1.0)]
+        )
+        bad = SimPlan(
+            name="b", phases=[uniform_phase("w", 4, memory_per_task=100.0, locality=0.5)]
+        )
+        tg = simulate(good, quiet_machine, 4)
+        tb = simulate(bad, quiet_machine, 4)
+        assert tb.total_cycles > tg.total_cycles
+
+    def test_working_set_penalty_at_scale(self):
+        machine = MachineConfig(
+            fork_join_base_cycles=0, fork_join_per_thread_cycles=0,
+            phase_base_cycles=0, phase_per_thread_cycles=0,
+            mem_contention_coeff=0.0,
+        )
+        small_ws = SimPlan(
+            name="s",
+            phases=[uniform_phase("w", 16, memory_per_task=100.0, working_set_bytes=1e4)],
+        )
+        big_ws = SimPlan(
+            name="b",
+            phases=[uniform_phase("w", 16, memory_per_task=100.0, working_set_bytes=1e8)],
+        )
+        ts = simulate(small_ws, machine, 16)
+        tb = simulate(big_ws, machine, 16)
+        assert tb.total_cycles > ts.total_cycles
+
+
+class TestCriticalModel:
+    def test_critical_serializes(self, quiet_machine):
+        plan = SimPlan(
+            name="c",
+            phases=[
+                uniform_phase(
+                    "w", 4, compute_per_task=1.0, critical_per_task=1000.0
+                )
+            ],
+        )
+        result = simulate(plan, quiet_machine, 4)
+        expected_min = 4000 * quiet_machine.critical_cycles(4)
+        assert result.phase_results[0].total_cycles >= expected_min
+
+    def test_serialized_cycles_counted(self, quiet_machine):
+        plan = SimPlan(
+            name="s",
+            phases=[uniform_phase("w", 4, serialized_per_task=500.0)],
+        )
+        result = simulate(plan, quiet_machine, 4)
+        assert result.phase_results[0].critical_cycles >= 2000.0
+
+    def test_critical_cheaper_serially(self, quiet_machine):
+        plan = SimPlan(
+            name="c",
+            phases=[uniform_phase("w", 4, critical_per_task=100.0)],
+        )
+        serial_plan = SimPlan(
+            name="cs", phases=plan.phases, serial_overheads=True
+        )
+        contended = simulate(plan, quiet_machine, 8)
+        uncontended = simulate(serial_plan, quiet_machine, 1)
+        assert uncontended.total_cycles < contended.total_cycles
+
+
+class TestValidation:
+    def test_rejects_zero_threads(self, quiet_machine):
+        with pytest.raises(ValueError):
+            simulate(simple_plan(), quiet_machine, 0)
+
+    def test_rejects_oversubscription(self, quiet_machine):
+        with pytest.raises(ValueError, match="exceeds"):
+            simulate(simple_plan(), quiet_machine, 32)
+
+    def test_speedup_rejects_zero_runtime(self, quiet_machine):
+        t = simulate(simple_plan(), quiet_machine, 1)
+        empty = simulate(SimPlan(name="e"), quiet_machine, 1)
+        with pytest.raises(ValueError):
+            speedup(t, empty)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        machine = MachineConfig()
+        plan = simple_plan(10, 123.0)
+        a = simulate(plan, machine, 8)
+        b = simulate(plan, machine, 8)
+        assert a.total_cycles == b.total_cycles
+
+    def test_phase_breakdown_sums_to_total(self):
+        machine = MachineConfig()
+        plan = SimPlan(
+            name="x",
+            phases=[
+                uniform_phase("a", 4, compute_per_task=10.0),
+                uniform_phase("b", 4, compute_per_task=20.0),
+            ],
+            n_parallel_regions=1,
+        )
+        result = simulate(plan, machine, 2)
+        assert sum(result.phase_breakdown().values()) + result.fork_join_cycles == pytest.approx(
+            result.total_cycles
+        )
+
+    def test_seconds_conversion(self):
+        machine = MachineConfig()
+        result = simulate(simple_plan(), machine, 2)
+        assert result.seconds == pytest.approx(
+            result.total_cycles / (machine.clock_ghz * 1e9)
+        )

@@ -1,0 +1,73 @@
+"""Execution timelines and utilization."""
+
+import pytest
+
+from repro.parallel.machine import MachineConfig
+from repro.parallel.plan import SimPlan, uniform_phase
+from repro.parallel.sim_exec import simulate
+from repro.parallel.trace import build_timeline, render_phase_summary, utilization
+
+
+@pytest.fixture()
+def result():
+    machine = MachineConfig()
+    plan = SimPlan(
+        name="demo",
+        phases=[
+            uniform_phase("a", 6, compute_per_task=100.0),
+            uniform_phase("b", 2, compute_per_task=50.0),
+        ],
+        n_parallel_regions=1,
+    )
+    return simulate(plan, machine, 4)
+
+
+def test_timeline_covers_all_threads_and_phases(result):
+    segments = build_timeline(result)
+    assert len(segments) == 2 * 4
+    assert {s.phase for s in segments} == {"a", "b"}
+    assert {s.thread for s in segments} == {0, 1, 2, 3}
+
+
+def test_segments_synchronized_at_barriers(result):
+    segments = build_timeline(result)
+    by_phase = {}
+    for s in segments:
+        by_phase.setdefault(s.phase, []).append(s)
+    for phase_segments in by_phase.values():
+        starts = {s.start for s in phase_segments}
+        ends = {round(s.end, 6) for s in phase_segments}
+        assert len(starts) == 1
+        assert len(ends) == 1
+
+
+def test_idle_time_nonnegative(result):
+    assert all(s.idle >= 0.0 for s in build_timeline(result))
+
+
+def test_imbalanced_phase_has_idle(result):
+    # phase "b" runs 2 tasks on 4 threads: two threads fully idle
+    segments = [s for s in build_timeline(result) if s.phase == "b"]
+    assert sum(1 for s in segments if s.busy == 0.0) == 2
+
+
+def test_utilization_in_unit_interval(result):
+    u = utilization(result)
+    assert 0.0 < u <= 1.0
+
+
+def test_utilization_perfect_for_balanced_serial():
+    machine = MachineConfig(
+        fork_join_base_cycles=0, fork_join_per_thread_cycles=0,
+        phase_base_cycles=0, phase_per_thread_cycles=0,
+    )
+    plan = SimPlan(name="s", phases=[uniform_phase("w", 4, compute_per_task=10.0)])
+    result = simulate(plan, machine, 4)
+    assert utilization(result) == pytest.approx(1.0)
+
+
+def test_render_summary_mentions_plan_and_phases(result):
+    text = render_phase_summary(result)
+    assert "demo" in text
+    assert "a" in text
+    assert "fork-join" in text

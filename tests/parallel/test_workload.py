@@ -1,0 +1,140 @@
+"""Workload statistics: measured vs analytic consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core.coloring import lattice_coloring
+from repro.core.domain import decompose
+from repro.core.partition import build_pair_partition, build_partition
+from repro.core.schedule import build_schedule
+from repro.parallel.workload import (
+    SubdomainStats,
+    WorkloadStats,
+    analytic_workload,
+    flat_workload,
+    measure_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def measured(sdc_atoms, sdc_nlist):
+    grid = decompose(sdc_atoms.box, reach=3.9, dims=3)
+    partition = build_partition(sdc_nlist.reference_positions, grid)
+    pairs = build_pair_partition(partition, sdc_nlist)
+    schedule = build_schedule(lattice_coloring(grid))
+    return grid, measure_workload(pairs, schedule, sdc_nlist)
+
+
+@pytest.fixture(scope="module")
+def analytic(measured, sdc_atoms):
+    grid, _ = measured
+    coloring = lattice_coloring(grid)
+    return analytic_workload(
+        n_atoms=sdc_atoms.n_atoms,
+        grid=grid,
+        coloring=coloring,
+        pairs_per_atom=7.0,
+    )
+
+
+class TestMeasured:
+    def test_totals(self, measured, sdc_atoms, sdc_nlist):
+        _, stats = measured
+        assert stats.n_atoms == sdc_atoms.n_atoms
+        assert stats.n_half_pairs == sdc_nlist.n_pairs
+        assert stats.sub.pairs.sum() == sdc_nlist.n_pairs
+        assert stats.sub.atoms.sum() == sdc_atoms.n_atoms
+
+    def test_colors_partition_subdomains(self, measured):
+        grid, stats = measured
+        total = sum(len(m) for m in stats.color_members)
+        assert total == grid.n_subdomains
+
+    def test_locality_measured_in_range(self, measured):
+        _, stats = measured
+        assert 0.0 < stats.locality <= 1.0
+
+    def test_pairs_of_color(self, measured):
+        _, stats = measured
+        for c in range(stats.n_colors):
+            assert len(stats.pairs_of_color(c)) == len(stats.color_members[c])
+
+
+class TestAnalyticVsMeasured:
+    def test_atom_totals_match(self, measured, analytic):
+        _, stats = measured
+        assert analytic.sub.atoms.sum() == pytest.approx(
+            stats.sub.atoms.sum(), rel=1e-9
+        )
+
+    def test_pair_totals_close(self, measured, analytic):
+        """Analytic bcc pair count ~= the materialized list's count.
+
+        Perturbation moves a few pairs across the reach boundary; agree to
+        a couple percent.
+        """
+        _, stats = measured
+        assert analytic.n_half_pairs == pytest.approx(
+            stats.n_half_pairs, rel=0.02
+        )
+
+    def test_per_subdomain_pairs_close(self, measured, analytic):
+        """Half-list ownership skews per-subdomain pair counts by up to
+        ~15 % on a coarse 2x2x2 grid; the analytic uniform estimate must
+        stay within that band."""
+        _, stats = measured
+        assert np.allclose(
+            analytic.sub.pairs, stats.sub.pairs, rtol=0.15
+        )
+
+    def test_write_sets_reasonable(self, measured, analytic):
+        """Analytic touched-set estimate brackets the measured write sets.
+
+        The estimate charges half the geometric halo (see
+        analytic_workload); on a coarse grid individual subdomains deviate,
+        so the check is per-subdomain within a generous band plus a tight
+        check on the total.
+        """
+        _, stats = measured
+        ratio = analytic.sub.write_atoms / stats.sub.write_atoms
+        assert np.all(ratio > 0.7)
+        assert np.all(ratio < 1.7)
+        total_ratio = analytic.sub.write_atoms.sum() / stats.sub.write_atoms.sum()
+        assert 0.85 < total_ratio < 1.45
+
+
+class TestFlatWorkload:
+    def test_no_subdomains(self):
+        stats = flat_workload(1000, 7.0)
+        assert stats.sub is None
+        assert stats.n_colors == 0
+        assert stats.n_half_pairs == 7000
+
+    def test_pairs_of_color_rejected(self):
+        with pytest.raises(ValueError):
+            flat_workload(10, 1.0).pairs_of_color(0)
+
+
+class TestValidation:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            flat_workload(-1, 1.0)
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(ValueError):
+            flat_workload(10, 1.0, locality=0.0)
+
+    def test_subdomain_stats_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SubdomainStats(
+                atoms=np.array([-1.0]),
+                pairs=np.array([1.0]),
+                write_atoms=np.array([1.0]),
+            )
+
+    def test_with_locality_copy(self):
+        stats = flat_workload(10, 1.0, locality=0.9)
+        other = stats.with_locality(0.5)
+        assert other.locality == 0.5
+        assert stats.locality == 0.9
+        assert other.n_atoms == stats.n_atoms

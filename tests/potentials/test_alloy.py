@@ -1,0 +1,172 @@
+"""Multi-element (alloy) EAM."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.lattice import bcc_lattice, perturb_positions
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import build_neighbor_list, full_from_half
+from repro.potentials.alloy import (
+    AlloyEAM,
+    compute_alloy_eam_energy,
+    compute_alloy_eam_forces,
+)
+from repro.potentials.eam import compute_eam_forces_serial
+from repro.potentials.johnson_fe import JohnsonFePotential, fe_potential
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def species():
+    """Two distinguishable synthetic metals sharing a cutoff."""
+    a = fe_potential()
+    b = JohnsonFePotential(fe=1.4, beta=3.2, D=0.6, a=1.5, F0=2.0)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def alloy(species):
+    a, b = species
+    return AlloyEAM(elements=("Fe", "X"), species=(a, b))
+
+
+@pytest.fixture(scope="module")
+def mixed_atoms():
+    """Perturbed bcc crystal with alternating species."""
+    positions, box = bcc_lattice(2.8665, (5, 5, 5))
+    rng = default_rng(17)
+    positions = perturb_positions(positions, box, 0.05, rng)
+    types = (np.arange(len(positions)) % 2).astype(np.int32)
+    return Atoms(
+        box=box,
+        positions=positions,
+        types=types,
+        masses=np.array([55.845, 63.546]),
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_nlist(mixed_atoms, alloy):
+    return build_neighbor_list(
+        mixed_atoms.positions, mixed_atoms.box, alloy.cutoff, skin=0.3
+    )
+
+
+class TestConstruction:
+    def test_cutoff_is_max_of_components(self, alloy, species):
+        assert alloy.cutoff == max(p.cutoff for p in species)
+
+    def test_rejects_misaligned_species(self, species):
+        with pytest.raises(ValueError):
+            AlloyEAM(elements=("Fe",), species=species)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AlloyEAM(elements=(), species=())
+
+    def test_rejects_bad_pair_matrix(self, species):
+        with pytest.raises(ValueError):
+            AlloyEAM(
+                elements=("Fe", "X"),
+                species=species,
+                pair_matrix=[[species[0]]],
+            )
+
+    def test_rejects_unknown_species_in_atoms(self, alloy, mixed_atoms, mixed_nlist):
+        bad = mixed_atoms.copy()
+        bad.types = np.full(bad.n_atoms, 5, dtype=np.int32)
+        bad.masses = np.ones(6)
+        with pytest.raises(ValueError, match="species"):
+            compute_alloy_eam_forces(alloy, bad, mixed_nlist)
+
+
+class TestSingleElementLimit:
+    def test_reduces_to_single_element_eam(self, mixed_atoms, mixed_nlist):
+        """An 'alloy' of one species twice must equal the plain EAM code."""
+        pot = fe_potential()
+        alloy = AlloyEAM(elements=("Fe", "Fe"), species=(pot, pot))
+        ref = compute_eam_forces_serial(pot, mixed_atoms.copy(), mixed_nlist)
+        result = compute_alloy_eam_forces(alloy, mixed_atoms.copy(), mixed_nlist)
+        assert np.allclose(result.forces, ref.forces, atol=1e-10)
+        assert np.allclose(result.rho, ref.rho, atol=1e-10)
+        assert result.potential_energy == pytest.approx(ref.potential_energy)
+
+
+class TestAlloyPhysics:
+    def test_momentum_conservation(self, alloy, mixed_atoms, mixed_nlist):
+        result = compute_alloy_eam_forces(alloy, mixed_atoms.copy(), mixed_nlist)
+        assert np.allclose(result.forces.sum(axis=0), 0.0, atol=1e-11)
+
+    def test_half_and_full_lists_agree(self, alloy, mixed_atoms, mixed_nlist):
+        full = full_from_half(mixed_nlist)
+        half_result = compute_alloy_eam_forces(
+            alloy, mixed_atoms.copy(), mixed_nlist
+        )
+        full_result = compute_alloy_eam_forces(alloy, mixed_atoms.copy(), full)
+        assert np.allclose(
+            half_result.forces, full_result.forces, atol=1e-10
+        )
+        assert np.allclose(half_result.rho, full_result.rho, atol=1e-10)
+
+    def test_species_asymmetry_visible(self, alloy, mixed_atoms, mixed_nlist):
+        """Swapping species assignments must change the densities."""
+        swapped = mixed_atoms.copy()
+        swapped.types = (1 - swapped.types).astype(np.int32)
+        a = compute_alloy_eam_forces(alloy, mixed_atoms.copy(), mixed_nlist)
+        b = compute_alloy_eam_forces(alloy, swapped, mixed_nlist)
+        assert not np.allclose(a.rho, b.rho)
+
+    @pytest.mark.parametrize("atom,axis", [(0, 0), (11, 2)])
+    def test_forces_are_energy_gradient(
+        self, alloy, mixed_atoms, mixed_nlist, atom, axis
+    ):
+        atoms = mixed_atoms.copy()
+        result = compute_alloy_eam_forces(alloy, atoms, mixed_nlist)
+        eps = 1e-6
+
+        def energy_at(offset):
+            shifted = atoms.copy()
+            shifted.positions[atom, axis] += offset
+            nl = build_neighbor_list(
+                shifted.positions, shifted.box, alloy.cutoff, skin=0.3
+            )
+            return compute_alloy_eam_energy(alloy, shifted, nl)
+
+        fd = -(energy_at(eps) - energy_at(-eps)) / (2 * eps)
+        assert result.forces[atom, axis] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+
+    def test_energy_function_matches_force_bundle(
+        self, alloy, mixed_atoms, mixed_nlist
+    ):
+        atoms = mixed_atoms.copy()
+        result = compute_alloy_eam_forces(alloy, atoms, mixed_nlist)
+        assert compute_alloy_eam_energy(
+            alloy, atoms, mixed_nlist
+        ) == pytest.approx(result.potential_energy)
+
+    def test_explicit_pair_matrix_respected(self, species, mixed_atoms, mixed_nlist):
+        a, b = species
+        cross = JohnsonFePotential(D=0.3, a=1.4)
+        with_matrix = AlloyEAM(
+            elements=("Fe", "X"),
+            species=(a, b),
+            pair_matrix=[[a, cross], [cross, b]],
+        )
+        without = AlloyEAM(elements=("Fe", "X"), species=(a, b))
+        fa = compute_alloy_eam_forces(with_matrix, mixed_atoms.copy(), mixed_nlist)
+        fb = compute_alloy_eam_forces(without, mixed_atoms.copy(), mixed_nlist)
+        assert not np.allclose(fa.forces, fb.forces)
+
+    def test_empty_pair_list(self, alloy):
+        from repro.geometry.box import Box
+
+        atoms = Atoms(
+            box=Box((50.0, 50.0, 50.0)),
+            positions=np.array([[0.0, 0.0, 0.0], [25.0, 25.0, 25.0]]),
+            types=np.array([0, 1], dtype=np.int32),
+            masses=np.array([55.8, 63.5]),
+        )
+        nlist = build_neighbor_list(atoms.positions, atoms.box, alloy.cutoff, 0.3)
+        result = compute_alloy_eam_forces(alloy, atoms, nlist)
+        assert np.all(result.forces == 0.0)
+        assert result.pair_energy == 0.0

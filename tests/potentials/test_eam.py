@@ -1,0 +1,159 @@
+"""The three-phase EAM computation: correctness of the reference kernels."""
+
+import numpy as np
+import pytest
+
+from repro.md.neighbor.verlet import build_neighbor_list, full_from_half
+from repro.potentials.eam import (
+    compute_eam_energy,
+    compute_eam_forces_serial,
+    eam_density_phase,
+    eam_embedding_phase,
+    eam_force_phase,
+    force_pair_coefficients,
+    pair_geometry,
+)
+from repro.utils.timers import Counter
+
+
+class TestDensityPhase:
+    def test_perfect_crystal_uniform_density(self, perfect_system, potential):
+        positions, box = perfect_system
+        nlist = build_neighbor_list(positions, box, potential.cutoff, 0.3)
+        rho = eam_density_phase(potential, positions, box, nlist)
+        assert np.allclose(rho, rho[0])
+        assert rho[0] > 0.0
+
+    def test_half_and_full_lists_agree(self, small_atoms, potential, small_nlist):
+        full = full_from_half(small_nlist)
+        rho_half = eam_density_phase(
+            potential, small_atoms.positions, small_atoms.box, small_nlist
+        )
+        rho_full = eam_density_phase(
+            potential, small_atoms.positions, small_atoms.box, full
+        )
+        assert np.allclose(rho_half, rho_full, atol=1e-12)
+
+    def test_crystal_density_matches_shell_sum(self, perfect_system, potential):
+        positions, box = perfect_system
+        nlist = build_neighbor_list(positions, box, potential.cutoff, 0.3)
+        rho = eam_density_phase(potential, positions, box, nlist)
+        expected = 8 * potential.density(np.array([2.8665 * np.sqrt(3) / 2]))[
+            0
+        ] + 6 * potential.density(np.array([2.8665]))[0]
+        assert rho[0] == pytest.approx(expected, rel=1e-10)
+
+    def test_counter_accounting(self, small_atoms, potential, small_nlist):
+        counter = Counter()
+        eam_density_phase(
+            potential, small_atoms.positions, small_atoms.box, small_nlist, counter
+        )
+        assert counter.get("density_pairs") == small_nlist.n_pairs
+        assert counter.get("rho_updates") == 2 * small_nlist.n_pairs
+
+
+class TestEmbeddingPhase:
+    def test_energy_is_sum_of_embeds(self, potential):
+        rho = np.array([1.0, 4.0, 9.0])
+        energy, fp = eam_embedding_phase(potential, rho)
+        assert energy == pytest.approx(float(np.sum(potential.embed(rho))))
+        assert np.allclose(fp, potential.embed_deriv(rho))
+
+
+class TestForcePhase:
+    def test_perfect_crystal_zero_forces(self, perfect_system, potential):
+        positions, box = perfect_system
+        nlist = build_neighbor_list(positions, box, potential.cutoff, 0.3)
+        rho = eam_density_phase(potential, positions, box, nlist)
+        _, fp = eam_embedding_phase(potential, rho)
+        forces = eam_force_phase(potential, positions, box, nlist, fp)
+        assert np.max(np.abs(forces)) < 1e-10
+
+    def test_newtons_third_law_total(self, small_atoms, potential, small_nlist):
+        result = compute_eam_forces_serial(
+            potential, small_atoms.copy(), small_nlist
+        )
+        assert np.allclose(result.forces.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_half_and_full_lists_agree(self, small_atoms, potential, small_nlist):
+        full = full_from_half(small_nlist)
+        rho = eam_density_phase(
+            potential, small_atoms.positions, small_atoms.box, small_nlist
+        )
+        _, fp = eam_embedding_phase(potential, rho)
+        f_half = eam_force_phase(
+            potential, small_atoms.positions, small_atoms.box, small_nlist, fp
+        )
+        f_full = eam_force_phase(
+            potential, small_atoms.positions, small_atoms.box, full, fp
+        )
+        assert np.allclose(f_half, f_full, atol=1e-12)
+
+
+class TestForcesAreEnergyGradient:
+    @pytest.mark.parametrize("atom,axis", [(0, 0), (7, 1), (42, 2)])
+    def test_finite_difference(self, small_atoms, potential, atom, axis):
+        atoms = small_atoms.copy()
+        nlist = build_neighbor_list(
+            atoms.positions, atoms.box, potential.cutoff, skin=0.3
+        )
+        result = compute_eam_forces_serial(potential, atoms, nlist)
+        eps = 1e-6
+
+        def energy_at(offset):
+            shifted = atoms.copy()
+            shifted.positions[atom, axis] += offset
+            nl = build_neighbor_list(
+                shifted.positions, shifted.box, potential.cutoff, skin=0.3
+            )
+            return compute_eam_energy(potential, shifted, nl)
+
+        fd = -(energy_at(eps) - energy_at(-eps)) / (2 * eps)
+        assert result.forces[atom, axis] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+
+
+class TestEnergies:
+    def test_energy_matches_force_computation(self, small_atoms, potential, small_nlist):
+        atoms = small_atoms.copy()
+        result = compute_eam_forces_serial(potential, atoms, small_nlist)
+        assert compute_eam_energy(potential, atoms, small_nlist) == pytest.approx(
+            result.potential_energy
+        )
+
+    def test_crystal_cohesion_negative(self, perfect_system, potential):
+        from repro.md.atoms import Atoms
+
+        positions, box = perfect_system
+        atoms = Atoms(box=box, positions=positions)
+        nlist = build_neighbor_list(positions, box, potential.cutoff, 0.3)
+        energy = compute_eam_energy(potential, atoms, nlist)
+        assert energy / len(atoms) < 0.0
+
+    def test_atoms_state_updated(self, small_atoms, potential, small_nlist):
+        atoms = small_atoms.copy()
+        result = compute_eam_forces_serial(potential, atoms, small_nlist)
+        assert np.array_equal(atoms.forces, result.forces)
+        assert np.array_equal(atoms.rho, result.rho)
+        assert np.array_equal(atoms.fp, result.fp)
+
+
+class TestPairGeometry:
+    def test_minimum_image_applied(self):
+        from repro.geometry.box import Box
+
+        box = Box((10.0, 10.0, 10.0))
+        positions = np.array([[0.5, 0.0, 0.0], [9.5, 0.0, 0.0]])
+        delta, r = pair_geometry(
+            positions, box, np.array([0]), np.array([1])
+        )
+        assert r[0] == pytest.approx(1.0)
+        assert delta[0, 0] == pytest.approx(1.0)
+
+    def test_force_coefficient_symmetry(self, potential):
+        """coeff(i,j) must equal coeff(j,i) — the half-list invariant."""
+        r = np.array([2.5, 3.0])
+        fp_a = np.array([-0.3, -0.2])
+        fp_b = np.array([-0.1, -0.4])
+        ab = force_pair_coefficients(potential, r, fp_a, fp_b)
+        ba = force_pair_coefficients(potential, r, fp_b, fp_a)
+        assert np.allclose(ab, ba)

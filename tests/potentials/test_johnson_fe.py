@@ -1,0 +1,104 @@
+"""Analytic Fe EAM: smoothness, cutoff behaviour, physical sanity."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.potentials.johnson_fe import JohnsonFePotential, fe_potential
+
+
+@pytest.fixture(scope="module")
+def pot():
+    return fe_potential()
+
+
+def numeric_derivative(fn, x, h=1e-6):
+    return (fn(x + h) - fn(x - h)) / (2 * h)
+
+
+class TestCutoff:
+    def test_zero_at_and_beyond_cutoff(self, pot):
+        r = np.linspace(pot.cutoff, pot.cutoff + 2.0, 40)
+        assert np.all(pot.density(r) == 0.0)
+        assert np.all(pot.pair_energy(r) == 0.0)
+        assert np.all(pot.density_deriv(r) == 0.0)
+        assert np.all(pot.pair_energy_deriv(r) == 0.0)
+
+    def test_consistency_guard_passes(self, pot):
+        pot.check_cutoff_consistency()
+
+    def test_cutoff_between_bcc_shells(self, pot):
+        assert units.FE_BCC_2NN_DIST < pot.cutoff
+        assert pot.cutoff < units.FE_BCC_LATTICE_A * np.sqrt(2.0)
+
+    def test_continuous_at_cutoff(self, pot):
+        eps = 1e-7
+        assert abs(pot.density(np.array([pot.cutoff - eps]))[0]) < 1e-4
+        assert abs(pot.pair_energy(np.array([pot.cutoff - eps]))[0]) < 1e-4
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("r", [2.0, 2.4824, 2.8665, 3.3, 3.55])
+    def test_density_derivative_matches_fd(self, pot, r):
+        fd = numeric_derivative(pot.density, np.array([r]))[0]
+        assert pot.density_deriv(np.array([r]))[0] == pytest.approx(fd, rel=1e-5)
+
+    @pytest.mark.parametrize("r", [2.0, 2.4824, 2.8665, 3.3, 3.55])
+    def test_pair_derivative_matches_fd(self, pot, r):
+        fd = numeric_derivative(pot.pair_energy, np.array([r]))[0]
+        assert pot.pair_energy_deriv(np.array([r]))[0] == pytest.approx(
+            fd, rel=1e-5
+        )
+
+    @pytest.mark.parametrize("rho", [0.5, 5.0, 12.0, 40.0])
+    def test_embedding_derivative_matches_fd(self, pot, rho):
+        fd = numeric_derivative(pot.embed, np.array([rho]))[0]
+        assert pot.embed_deriv(np.array([rho]))[0] == pytest.approx(fd, rel=1e-5)
+
+
+class TestPhysicalShape:
+    def test_density_positive_and_decreasing(self, pot):
+        r = np.linspace(1.5, 3.1, 50)
+        phi = pot.density(r)
+        assert np.all(phi > 0.0)
+        assert np.all(np.diff(phi) < 0.0)
+
+    def test_pair_minimum_near_re(self, pot):
+        r = np.linspace(2.0, 3.1, 500)
+        v = pot.pair_energy(r)
+        r_min = r[np.argmin(v)]
+        assert r_min == pytest.approx(pot.re, abs=0.05)
+
+    def test_pair_repulsive_at_short_range(self, pot):
+        assert pot.pair_energy(np.array([1.5]))[0] > 0.0
+
+    def test_embedding_negative_and_concave_direction(self, pot):
+        rho = np.linspace(1.0, 30.0, 20)
+        f = pot.embed(rho)
+        assert np.all(f < 0.0)
+        assert np.all(np.diff(f) < 0.0)  # more density -> more binding
+
+    def test_embedding_deriv_negative(self, pot):
+        assert np.all(pot.embed_deriv(np.linspace(0.5, 30, 20)) < 0.0)
+
+    def test_embed_handles_zero_density(self, pot):
+        assert pot.embed(np.array([0.0]))[0] == 0.0
+        assert np.isfinite(pot.embed_deriv(np.array([0.0]))[0])
+
+    def test_crystal_is_bound(self, pot):
+        """Cohesive energy of the perfect bcc crystal is negative."""
+        shells = [(units.FE_BCC_NN_DIST, 8), (units.FE_BCC_2NN_DIST, 6)]
+        rho = sum(c * pot.density(np.array([d]))[0] for d, c in shells)
+        pair = 0.5 * sum(c * pot.pair_energy(np.array([d]))[0] for d, c in shells)
+        e_coh = pair + pot.embed(np.array([rho]))[0]
+        assert e_coh < 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_switch_window(self):
+        with pytest.raises(ValueError):
+            JohnsonFePotential(r_switch=3.8, r_cut=3.6)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            JohnsonFePotential(D=-1.0)

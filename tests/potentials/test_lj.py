@@ -1,0 +1,58 @@
+"""Lennard-Jones pair baseline."""
+
+import numpy as np
+import pytest
+
+from repro.potentials.lj import LennardJones
+
+
+@pytest.fixture(scope="module")
+def lj():
+    return LennardJones()
+
+
+def test_zero_beyond_cutoff(lj):
+    r = np.linspace(lj.cutoff, lj.cutoff + 3.0, 30)
+    assert np.all(lj.pair_energy(r) == 0.0)
+    assert np.all(lj.pair_energy_deriv(r) == 0.0)
+
+
+def test_minimum_at_two_to_sixth_sigma(lj):
+    r = np.linspace(2.2, 3.5, 2000)
+    v = lj.pair_energy(r)
+    r_min = r[np.argmin(v)]
+    assert r_min == pytest.approx(2 ** (1 / 6) * lj.sigma, abs=0.01)
+
+
+def test_well_depth(lj):
+    r_min = 2 ** (1 / 6) * lj.sigma
+    assert lj.pair_energy(np.array([r_min]))[0] == pytest.approx(
+        -lj.epsilon, rel=1e-6
+    )
+
+
+def test_repulsive_core(lj):
+    assert lj.pair_energy(np.array([0.8 * lj.sigma]))[0] > 0.0
+
+
+def test_derivative_matches_fd(lj):
+    for r in (2.3, 2.8, 3.5, 5.0):
+        h = 1e-6
+        fd = (
+            lj.pair_energy(np.array([r + h]))[0]
+            - lj.pair_energy(np.array([r - h]))[0]
+        ) / (2 * h)
+        assert lj.pair_energy_deriv(np.array([r]))[0] == pytest.approx(
+            fd, rel=1e-5, abs=1e-9
+        )
+
+
+def test_continuous_at_cutoff(lj):
+    assert abs(lj.pair_energy(np.array([lj.cutoff - 1e-8]))[0]) < 1e-6
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        LennardJones(epsilon=-1.0)
+    with pytest.raises(ValueError):
+        LennardJones(r_switch=6.0, r_cut=5.5)

@@ -1,0 +1,108 @@
+"""Natural cubic spline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.potentials.spline import CubicSpline
+
+
+class TestConstruction:
+    def test_rejects_too_few_knots(self):
+        with pytest.raises(ValueError):
+            CubicSpline(np.linspace(0, 1, 3), np.zeros(3))
+
+    def test_rejects_nonuniform_grid(self):
+        with pytest.raises(ValueError):
+            CubicSpline(np.array([0.0, 1.0, 2.5, 3.0]), np.zeros(4))
+
+    def test_rejects_decreasing_grid(self):
+        with pytest.raises(ValueError):
+            CubicSpline(np.array([0.0, -1.0, -2.0, -3.0]), np.zeros(4))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CubicSpline(np.linspace(0, 1, 5), np.zeros(4))
+
+
+class TestInterpolation:
+    def test_exact_at_knots(self):
+        x = np.linspace(0, 4, 20)
+        y = np.sin(x)
+        spline = CubicSpline(x, y)
+        assert np.allclose(spline(x), y, atol=1e-12)
+
+    def test_interpolates_smooth_function(self):
+        x = np.linspace(0, np.pi, 60)
+        spline = CubicSpline(x, np.sin(x))
+        dense = np.linspace(0.01, np.pi - 0.01, 500)
+        assert np.max(np.abs(spline(dense) - np.sin(dense))) < 1e-5
+
+    def test_derivative_of_smooth_function(self):
+        x = np.linspace(0, np.pi, 80)
+        spline = CubicSpline(x, np.sin(x))
+        dense = np.linspace(0.2, np.pi - 0.2, 200)
+        assert np.max(np.abs(spline.derivative(dense) - np.cos(dense))) < 1e-4
+
+    def test_linear_function_reproduced_exactly(self):
+        x = np.linspace(0, 10, 10)
+        spline = CubicSpline(x, 3.0 * x + 1.0)
+        dense = np.linspace(0, 10, 77)
+        assert np.allclose(spline(dense), 3.0 * dense + 1.0, atol=1e-10)
+        assert np.allclose(spline.derivative(dense), 3.0, atol=1e-10)
+
+    def test_zero_outside_table(self):
+        x = np.linspace(1.0, 2.0, 8)
+        spline = CubicSpline(x, np.ones(8))
+        assert spline(np.array([0.5]))[0] == 0.0
+        assert spline(np.array([2.5]))[0] == 0.0
+        assert spline.derivative(np.array([0.5]))[0] == 0.0
+
+    def test_knots_accessor(self):
+        x = np.linspace(0, 1, 6)
+        assert np.allclose(CubicSpline(x, np.zeros(6)).knots(), x)
+
+    def test_derivative_matches_finite_difference_of_spline(self):
+        x = np.linspace(0, 5, 40)
+        rng = np.random.default_rng(4)
+        spline = CubicSpline(x, rng.normal(size=40))
+        pts = np.linspace(0.3, 4.7, 50)
+        h = 1e-6
+        fd = (spline(pts + h) - spline(pts - h)) / (2 * h)
+        assert np.allclose(spline.derivative(pts), fd, atol=1e-5)
+
+
+@given(
+    st.integers(5, 40),
+    st.floats(0.1, 10.0),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30)
+def test_spline_hits_random_knots(n, span, seed):
+    x = np.linspace(0.0, span, n)
+    y = np.random.default_rng(seed).normal(size=n)
+    spline = CubicSpline(x, y)
+    assert np.allclose(spline(x), y, atol=1e-9)
+
+
+class TestAgainstScipy:
+    """Cross-validation against scipy's natural cubic spline."""
+
+    @pytest.fixture(scope="class")
+    def both(self):
+        from scipy.interpolate import CubicSpline as ScipySpline
+
+        x = np.linspace(0.5, 4.0, 50)
+        y = np.exp(-x) * np.sin(3 * x)
+        return CubicSpline(x, y), ScipySpline(x, y, bc_type="natural")
+
+    def test_values_match(self, both):
+        ours, scipys = both
+        r = np.linspace(0.6, 3.9, 300)
+        assert np.allclose(ours(r), scipys(r), atol=1e-10)
+
+    def test_derivatives_match(self, both):
+        ours, scipys = both
+        r = np.linspace(0.6, 3.9, 300)
+        assert np.allclose(ours.derivative(r), scipys(r, 1), atol=1e-9)

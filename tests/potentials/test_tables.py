@@ -1,0 +1,114 @@
+"""Tabulated EAM potentials and setfl I/O."""
+
+import numpy as np
+import pytest
+
+from repro.md.neighbor.verlet import build_neighbor_list
+from repro.potentials.eam import compute_eam_forces_serial
+from repro.potentials.johnson_fe import fe_potential
+from repro.potentials.tables import TabulatedEAM, read_setfl, tabulate, write_setfl
+
+
+@pytest.fixture(scope="module")
+def analytic():
+    return fe_potential()
+
+
+@pytest.fixture(scope="module")
+def tabulated(analytic):
+    return tabulate(analytic, n_r=3000, n_rho=2000, rho_max=60.0)
+
+
+class TestTabulate:
+    def test_cutoff_preserved(self, analytic, tabulated):
+        assert tabulated.cutoff == pytest.approx(analytic.cutoff)
+
+    def test_density_matches_analytic(self, analytic, tabulated):
+        r = np.linspace(1.5, 3.5, 100)
+        assert np.allclose(
+            tabulated.density(r), analytic.density(r), atol=1e-6
+        )
+
+    def test_pair_matches_analytic(self, analytic, tabulated):
+        r = np.linspace(1.5, 3.5, 100)
+        assert np.allclose(
+            tabulated.pair_energy(r), analytic.pair_energy(r), atol=1e-6
+        )
+
+    def test_embed_matches_analytic(self, analytic, tabulated):
+        rho = np.linspace(0.5, 50.0, 100)
+        assert np.allclose(
+            tabulated.embed(rho), analytic.embed(rho), atol=1e-5
+        )
+
+    def test_derivatives_close(self, analytic, tabulated):
+        r = np.linspace(1.8, 3.4, 60)
+        assert np.allclose(
+            tabulated.density_deriv(r), analytic.density_deriv(r), atol=1e-4
+        )
+
+    def test_zero_beyond_cutoff(self, tabulated):
+        r = np.linspace(tabulated.cutoff + 1e-9, tabulated.cutoff + 2, 20)
+        assert np.all(tabulated.density(r) == 0.0)
+        assert np.all(tabulated.pair_energy(r) == 0.0)
+
+    def test_embed_clips_above_table(self, tabulated):
+        # densities beyond the table clamp to the last knot, not explode
+        high = tabulated.embed(np.array([1e6]))
+        assert np.isfinite(high[0])
+
+    def test_rejects_tiny_tables(self, analytic):
+        with pytest.raises(ValueError):
+            tabulate(analytic, n_r=4)
+
+
+class TestForcesThroughTables:
+    def test_forces_match_analytic(self, analytic, tabulated, small_atoms):
+        atoms_a = small_atoms.copy()
+        atoms_t = small_atoms.copy()
+        nlist = build_neighbor_list(
+            atoms_a.positions, atoms_a.box, analytic.cutoff, skin=0.3
+        )
+        fa = compute_eam_forces_serial(analytic, atoms_a, nlist).forces
+        ft = compute_eam_forces_serial(tabulated, atoms_t, nlist).forces
+        assert np.max(np.abs(fa - ft)) < 5e-4
+
+
+class TestSetflRoundTrip:
+    def test_round_trip(self, tabulated, tmp_path):
+        path = tmp_path / "fe.setfl"
+        write_setfl(tabulated, path)
+        loaded = read_setfl(path)
+        r = np.linspace(1.5, 3.5, 50)
+        assert np.allclose(loaded.density(r), tabulated.density(r), atol=1e-9)
+        assert np.allclose(
+            loaded.pair_energy(r), tabulated.pair_energy(r), atol=1e-7
+        )
+        rho = np.linspace(0.0, 50.0, 50)
+        assert np.allclose(loaded.embed(rho), tabulated.embed(rho), atol=1e-9)
+
+    def test_cutoff_round_trips(self, tabulated, tmp_path):
+        path = tmp_path / "fe.setfl"
+        write_setfl(tabulated, path)
+        assert read_setfl(path).cutoff == pytest.approx(tabulated.cutoff)
+
+    def test_comments_ignored(self, tabulated, tmp_path):
+        path = tmp_path / "fe.setfl"
+        write_setfl(tabulated, path)
+        text = "# extra leading comment\n" + path.read_text()
+        path.write_text(text)
+        read_setfl(path)
+
+    def test_truncated_file_rejected(self, tabulated, tmp_path):
+        path = tmp_path / "fe.setfl"
+        write_setfl(tabulated, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[: len(lines) // 2]))
+        with pytest.raises(ValueError, match="truncated"):
+            read_setfl(path)
+
+    def test_multi_element_rejected(self, tmp_path):
+        path = tmp_path / "bad.setfl"
+        path.write_text("2 Fe Cu\n")
+        with pytest.raises(ValueError, match="single-element"):
+            read_setfl(path)

@@ -1,0 +1,75 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        assert set(sub.choices) == {
+            "table1",
+            "fig9",
+            "reordering",
+            "census",
+            "quickstart",
+            "hybrid",
+        }
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_census(self, capsys):
+        assert main(["census"]) == 0
+        out = capsys.readouterr().out
+        assert "small" in out
+        assert "1-D" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SDC (2-dimensional)" in out
+        assert "blank pattern matches: True" in out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "sdc-2d" in out
+        assert "critical-section" in out
+
+    def test_reordering(self, capsys):
+        assert main(["reordering"]) == 0
+        out = capsys.readouterr().out
+        assert "serial gain" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart", "--cells", "6", "--steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "energy drift" in out
+
+    def test_hybrid(self, capsys):
+        assert main(["hybrid", "--case", "large3", "--nodes", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "efficiency" in out
+
+
+def test_module_invocation():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "census"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "small" in proc.stdout

@@ -1,0 +1,160 @@
+"""Non-uniform density and open boundaries — SDC's stated limitation.
+
+The paper: SDC "has the same disadvantage of Spatial Decomposition method,
+which is overload imbalance.  However, under condition of simulation
+system has uniformity of density, the overload balance can be achieved."
+These tests exercise the *other* condition: vacuum gaps and free surfaces,
+showing (a) the physics machinery stays correct, and (b) the measured
+workload/imbalance metrics quantify exactly the degradation the paper
+warns about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.coloring import lattice_coloring
+from repro.core.domain import decompose
+from repro.core.partition import build_pair_partition, build_partition
+from repro.core.schedule import build_schedule, load_imbalance
+from repro.core.strategies import SDCStrategy, SerialStrategy
+from repro.geometry.box import Box
+from repro.geometry.lattice import bcc_lattice, perturb_positions
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import build_neighbor_list
+from repro.parallel.machine import paper_machine
+from repro.parallel.sim_exec import simulate
+from repro.parallel.workload import flat_workload, measure_workload
+from repro.potentials import compute_eam_forces_serial, fe_potential
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def slab_system():
+    """A crystal slab centered in a 4x-taller box: vacuum above and below.
+
+    The slab occupies the second quarter of the z axis so it never touches
+    the periodic boundary — a genuine two-surface film.
+    """
+    positions, solid_box = bcc_lattice(2.8665, (8, 8, 4))
+    lz = solid_box.lengths[2]
+    box = Box((solid_box.lengths[0], solid_box.lengths[1], 4 * lz))
+    positions = positions + np.array([0.0, 0.0, lz])
+    rng = default_rng(41)
+    positions = perturb_positions(positions, box, 0.03, rng)
+    return Atoms(box=box, positions=positions)
+
+
+@pytest.fixture(scope="module")
+def slab_nlist(slab_system, potential):
+    return build_neighbor_list(
+        slab_system.positions, slab_system.box, potential.cutoff, skin=0.3
+    )
+
+
+class TestSlabPhysics:
+    def test_sdc_still_correct_on_slab(self, slab_system, slab_nlist, potential):
+        """Correctness is density-independent — only balance suffers."""
+        ref = compute_eam_forces_serial(potential, slab_system.copy(), slab_nlist)
+        strategy = SDCStrategy(
+            dims=1, n_threads=2, axes=[2], validate_conflicts=True, adaptive=False
+        )
+        result = strategy.compute(potential, slab_system.copy(), slab_nlist)
+        assert np.allclose(result.forces, ref.forces, atol=1e-12)
+
+    def test_surface_atoms_undercoordinated(self, slab_system, slab_nlist):
+        per_atom = np.zeros(slab_system.n_atoms, dtype=int)
+        i_idx, j_idx = slab_nlist.pair_arrays()
+        np.add.at(per_atom, i_idx, 1)
+        np.add.at(per_atom, j_idx, 1)
+        z = slab_system.positions[:, 2]
+        interior = per_atom[(z > 3.0) & (z < z.max() - 3.0)]
+        surface = per_atom[z > z.max() - 1.0]
+        assert interior.mean() > surface.mean()
+
+    def test_surface_atoms_feel_inward_force(self, slab_system, slab_nlist, potential):
+        result = compute_eam_forces_serial(
+            potential, slab_system.copy(), slab_nlist
+        )
+        z = slab_system.positions[:, 2]
+        top = z > z.max() - 0.5
+        # net force on the top surface layer points into the slab (-z)
+        assert result.forces[top, 2].mean() < 0.0
+
+
+class TestSlabImbalance:
+    def test_vacuum_subdomains_empty(self, slab_system, slab_nlist):
+        grid = decompose(slab_system.box, 3.9, dims=1, axes=[2])
+        partition = build_partition(slab_nlist.reference_positions, grid)
+        counts = partition.counts()
+        assert counts.min() == 0  # vacuum
+        assert counts.max() > 0  # bulk
+
+    def test_measured_imbalance_quantified(self, slab_system, slab_nlist):
+        grid = decompose(slab_system.box, 3.9, dims=1, axes=[2])
+        partition = build_partition(slab_nlist.reference_positions, grid)
+        pairs = build_pair_partition(partition, slab_nlist)
+        schedule = build_schedule(lattice_coloring(grid))
+        worst = max(
+            load_imbalance(pairs.pair_counts()[members], 2)
+            for members in schedule.phases
+            if pairs.pair_counts()[members].sum() > 0
+        )
+        assert worst > 1.3  # far from balanced
+
+    def test_simulated_speedup_suffers_vs_uniform(
+        self, slab_system, slab_nlist, potential
+    ):
+        """The imbalance shows up in simulated SDC performance."""
+        machine = paper_machine().with_overrides(
+            fork_join_base_cycles=2_000.0, fork_join_per_thread_cycles=500.0,
+            phase_base_cycles=500.0, phase_per_thread_cycles=250.0,
+        )
+        grid = decompose(slab_system.box, 3.9, dims=1, axes=[2])
+        partition = build_partition(slab_nlist.reference_positions, grid)
+        pairs = build_pair_partition(partition, slab_nlist)
+        schedule = build_schedule(lattice_coloring(grid))
+        stats = measure_workload(pairs, schedule, slab_nlist)
+        plan = SDCStrategy(dims=1, n_threads=2).plan(stats, machine, 2)
+        serial_stats = flat_workload(
+            slab_system.n_atoms,
+            stats.n_half_pairs / slab_system.n_atoms,
+            locality=stats.locality,
+        )
+        serial_plan = SerialStrategy().plan(serial_stats, machine, 1)
+        t1 = simulate(serial_plan, machine, 1).total_cycles
+        t2 = simulate(plan, machine, 2).total_cycles
+        speedup = t1 / t2
+        # uniform systems reach ~1.8+ at 2 threads; the slab cannot
+        assert speedup < 1.6
+
+
+class TestOpenBoundaries:
+    def test_neighbor_list_on_open_box(self, potential):
+        """Fully open boundaries: no images, edges see fewer neighbors."""
+        positions, solid_box = bcc_lattice(2.8665, (5, 5, 5))
+        open_box = Box(tuple(solid_box.lengths), periodic=(False, False, False))
+        nlist = build_neighbor_list(positions, open_box, potential.cutoff, 0.3)
+        brute_pairs = 0
+        from repro.md.neighbor.verlet import brute_force_neighbor_list
+
+        brute = brute_force_neighbor_list(
+            positions, open_box, potential.cutoff, skin=0.3
+        )
+        assert nlist.csr == brute.csr
+        # open cluster has fewer pairs than the periodic crystal
+        periodic = build_neighbor_list(
+            positions, solid_box, potential.cutoff, 0.3
+        )
+        assert nlist.n_pairs < periodic.n_pairs
+
+    def test_cluster_momentum_conserved(self, potential):
+        positions, solid_box = bcc_lattice(2.8665, (4, 4, 4))
+        open_box = Box(
+            tuple(solid_box.lengths * 1.5), periodic=(False, False, False)
+        )
+        atoms = Atoms(box=open_box, positions=positions + 2.0)
+        nlist = build_neighbor_list(
+            atoms.positions, open_box, potential.cutoff, 0.3
+        )
+        result = compute_eam_forces_serial(potential, atoms, nlist)
+        assert np.allclose(result.forces.sum(axis=0), 0.0, atol=1e-11)

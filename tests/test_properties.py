@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+These complement the per-module suites by exploring randomized inputs:
+
+* SDC conflict-freedom over random valid decompositions — the paper's
+  central safety claim.
+* The conflict checker's completeness over *invalid* decompositions.
+* Neighbor-list symmetry under random renumbering.
+* Simulator invariants (speedup bounds, determinism, monotonicity).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring import lattice_coloring, validate_coloring
+from repro.core.conflict import check_schedule_conflicts
+from repro.core.domain import DecompositionError, SubdomainGrid, decompose
+from repro.core.partition import build_pair_partition, build_partition
+from repro.core.schedule import build_schedule
+from repro.geometry.box import Box
+from repro.md.neighbor.verlet import build_neighbor_list
+from repro.parallel.machine import MachineConfig
+from repro.parallel.plan import SimPlan, uniform_phase
+from repro.parallel.sim_exec import simulate
+from repro.utils.rng import default_rng
+
+
+def random_gas(n_atoms, box_lengths, seed):
+    rng = default_rng(seed)
+    box = Box(box_lengths)
+    positions = rng.uniform(0, 1, size=(n_atoms, 3)) * box.lengths
+    return positions, box
+
+
+class TestSDCConflictFreedomProperty:
+    """The headline invariant, explored over random geometries."""
+
+    @given(
+        seed=st.integers(0, 10**6),
+        dims=st.sampled_from([1, 2, 3]),
+        cutoff=st.floats(1.5, 3.0),
+        lx=st.floats(18.0, 35.0),
+        ly=st.floats(18.0, 35.0),
+        lz=st.floats(18.0, 35.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_valid_decomposition_never_conflicts(
+        self, seed, dims, cutoff, lx, ly, lz
+    ):
+        positions, box = random_gas(300, (lx, ly, lz), seed)
+        skin = 0.2
+        reach = cutoff + skin
+        try:
+            grid = decompose(box, reach, dims)
+        except DecompositionError:
+            assume(False)
+            return
+        nlist = build_neighbor_list(positions, box, cutoff, skin=skin)
+        partition = build_partition(nlist.reference_positions, grid)
+        pairs = build_pair_partition(partition, nlist)
+        coloring = lattice_coloring(grid)
+        validate_coloring(grid, coloring)
+        report = check_schedule_conflicts(pairs, build_schedule(coloring))
+        assert report.ok, report.conflicts[:3]
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_undersized_subdomains_conflict(self, seed):
+        """Violating the > 2*reach constraint must produce conflicts.
+
+        Dense systems + 6 slabs of width < 2*reach: halos necessarily
+        overlap within a color.
+        """
+        positions, box = random_gas(500, (24.0, 24.0, 24.0), seed)
+        nlist = build_neighbor_list(positions, box, cutoff=3.2, skin=0.2)
+        # 6 slabs of width 4.0 < 2 * 3.4: constructor would refuse, so lie
+        # about the reach to build the unsafe grid
+        grid = SubdomainGrid(box=box, counts=(6, 1, 1), reach=1.9)
+        partition = build_partition(nlist.reference_positions, grid)
+        pairs = build_pair_partition(partition, nlist)
+        report = check_schedule_conflicts(
+            pairs, build_schedule(lattice_coloring(grid))
+        )
+        assert not report.ok
+
+
+class TestStrategyEquivalenceProperty:
+    @given(
+        seed=st.integers(0, 10**6),
+        n_threads=st.integers(1, 6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_all_strategies_agree_on_random_gas(self, seed, n_threads):
+        from repro.core.strategies import (
+            ArrayPrivatizationStrategy,
+            CriticalSectionStrategy,
+            RedundantComputationStrategy,
+        )
+        from repro.md.atoms import Atoms
+        from repro.potentials import fe_potential
+        from repro.potentials.eam import compute_eam_forces_serial
+
+        positions, box = random_gas(200, (14.0, 14.0, 14.0), seed)
+        atoms = Atoms(box=box, positions=positions)
+        pot = fe_potential()
+        nlist = build_neighbor_list(positions, box, pot.cutoff, skin=0.3)
+        ref = compute_eam_forces_serial(pot, atoms.copy(), nlist)
+        for strategy in (
+            CriticalSectionStrategy(n_threads=n_threads),
+            ArrayPrivatizationStrategy(n_threads=n_threads),
+            RedundantComputationStrategy(n_threads=n_threads),
+        ):
+            result = strategy.compute(pot, atoms.copy(), nlist)
+            assert np.allclose(result.forces, ref.forces, atol=1e-10)
+            assert np.allclose(result.rho, ref.rho, atol=1e-10)
+
+
+class TestSimulatorProperties:
+    @given(
+        n_tasks=st.integers(1, 200),
+        compute=st.floats(1.0, 1e6),
+        memory=st.floats(0.0, 1e6),
+        threads=st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_speedup_bounded_by_threads(self, n_tasks, compute, memory, threads):
+        machine = MachineConfig()
+        phases = [
+            uniform_phase(
+                "w", n_tasks, compute_per_task=compute, memory_per_task=memory
+            )
+        ]
+        serial = SimPlan(name="s", phases=phases, serial_overheads=True)
+        parallel = SimPlan(name="p", phases=phases, n_parallel_regions=1)
+        t1 = simulate(serial, machine, 1)
+        tp = simulate(parallel, machine, threads)
+        assert t1.total_cycles / tp.total_cycles <= threads + 1e-9
+
+    @given(
+        threads=st.integers(1, 16),
+        scale=st.floats(1.1, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_work_takes_longer(self, threads, scale):
+        machine = MachineConfig()
+        small = SimPlan(
+            name="a", phases=[uniform_phase("w", 32, compute_per_task=100.0)]
+        )
+        big = SimPlan(
+            name="b",
+            phases=[uniform_phase("w", 32, compute_per_task=100.0 * scale)],
+        )
+        assert (
+            simulate(big, machine, threads).total_cycles
+            > simulate(small, machine, threads).total_cycles
+        )
+
+    @given(
+        threads=st.integers(2, 16),
+        locality=st.floats(0.2, 0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_worse_locality_never_faster(self, threads, locality):
+        machine = MachineConfig()
+
+        def plan(loc):
+            return SimPlan(
+                name="x",
+                phases=[
+                    uniform_phase(
+                        "w", 32, memory_per_task=500.0, locality=loc
+                    )
+                ],
+            )
+
+        good = simulate(plan(1.0), machine, threads)
+        bad = simulate(plan(locality), machine, threads)
+        assert bad.total_cycles >= good.total_cycles
+
+
+class TestNeighborListProperties:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_pair_symmetry_under_renumbering(self, seed):
+        """remap(perm) . remap(perm^-1) is the identity."""
+        from repro.core.reorder import remap_neighbor_list
+        from repro.utils.arrays import invert_permutation
+
+        positions, box = random_gas(120, (12.0, 12.0, 12.0), seed)
+        nlist = build_neighbor_list(positions, box, cutoff=3.0, skin=0.2)
+        rng = default_rng(seed + 1)
+        perm = rng.permutation(nlist.n_atoms)
+        back = remap_neighbor_list(
+            remap_neighbor_list(nlist, perm), invert_permutation(perm)
+        )
+        assert back.csr == nlist.csr
+
+    @given(
+        seed=st.integers(0, 10**6),
+        cutoff=st.floats(2.0, 3.4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_in_cutoff(self, seed, cutoff):
+        positions, box = random_gas(120, (12.0, 12.0, 12.0), seed)
+        small = build_neighbor_list(positions, box, cutoff=2.0, skin=0.0)
+        large = build_neighbor_list(positions, box, cutoff=cutoff, skin=0.0)
+        assert large.n_pairs >= small.n_pairs
+
+
+class TestLatticeColoringProperty:
+    @given(
+        cx=st.sampled_from([1, 2, 4, 6]),
+        cy=st.sampled_from([1, 2, 4, 6]),
+        cz=st.sampled_from([1, 2, 4, 6]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_parity_coloring_always_proper(self, cx, cy, cz):
+        counts = (cx, cy, cz)
+        assume(any(c > 1 for c in counts))
+        edge = 10.0
+        box = Box((cx * edge, cy * edge, cz * edge))
+        grid = SubdomainGrid(box=box, counts=counts, reach=4.0)
+        validate_coloring(grid, lattice_coloring(grid))

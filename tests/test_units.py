@@ -1,0 +1,46 @@
+"""Unit-system constants and conversions."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_boltzmann_constant_in_ev_per_k():
+    assert units.KB_EV_PER_K == pytest.approx(8.617333262e-5)
+
+
+def test_kinetic_round_trip():
+    ke = units.temperature_to_kinetic_energy(300.0, 1000)
+    assert units.kinetic_energy_to_temperature(ke, 1000) == pytest.approx(300.0)
+
+
+def test_kinetic_energy_scales_with_atoms():
+    assert units.temperature_to_kinetic_energy(100.0, 200) == pytest.approx(
+        2 * units.temperature_to_kinetic_energy(100.0, 100)
+    )
+
+
+def test_temperature_of_zero_energy_is_zero():
+    assert units.kinetic_energy_to_temperature(0.0, 10) == 0.0
+
+
+def test_temperature_requires_atoms():
+    with pytest.raises(ValueError):
+        units.kinetic_energy_to_temperature(1.0, 0)
+
+
+def test_bcc_first_neighbor_distance():
+    assert units.FE_BCC_NN_DIST == pytest.approx(
+        units.FE_BCC_LATTICE_A * math.sqrt(3) / 2
+    )
+
+
+def test_mvv_conversion_roundtrip():
+    # 1 amu at 1 Å/ps has kinetic energy 0.5 * MVV_TO_EV
+    assert units.MVV_TO_EV * units.EVA_TO_AMU_APS2 == pytest.approx(1.0)
+
+
+def test_paper_timestep_is_ten_attoseconds():
+    assert units.PAPER_TIMESTEP_PS == pytest.approx(1e-5)

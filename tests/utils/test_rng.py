@@ -1,0 +1,77 @@
+"""Deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.utils.rng import (
+    all_seeds,
+    default_rng,
+    spawn_rngs,
+    velocity_from_temperature,
+)
+
+
+def test_default_rng_is_deterministic():
+    assert default_rng(3).integers(0, 1000) == default_rng(3).integers(0, 1000)
+
+
+def test_default_seed_is_zero_not_entropy():
+    assert default_rng().integers(0, 10**9) == default_rng(0).integers(0, 10**9)
+
+
+def test_spawn_rngs_are_independent():
+    a, b = spawn_rngs(42, 2)
+    assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+
+def test_spawn_rngs_count():
+    assert len(spawn_rngs(1, 5)) == 5
+    assert spawn_rngs(1, 0) == []
+
+
+def test_spawn_rngs_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn_rngs(1, -1)
+
+
+class TestVelocityFromTemperature:
+    def _draw(self, temperature, n=500):
+        return velocity_from_temperature(
+            default_rng(5),
+            n,
+            units.FE_MASS_AMU,
+            temperature,
+            units.MVV_TO_EV,
+            units.KB_EV_PER_K,
+        )
+
+    def test_exact_temperature(self):
+        v = self._draw(300.0)
+        ke = 0.5 * units.FE_MASS_AMU * units.MVV_TO_EV * float(np.sum(v * v))
+        t = units.kinetic_energy_to_temperature(ke, 500)
+        assert t == pytest.approx(300.0)
+
+    def test_zero_net_momentum(self):
+        v = self._draw(300.0)
+        assert np.allclose(v.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_zero_temperature_gives_zero_velocities(self):
+        assert np.all(self._draw(0.0) == 0.0)
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            self._draw(-1.0)
+
+    def test_requires_atoms(self):
+        with pytest.raises(ValueError):
+            velocity_from_temperature(
+                default_rng(0), 0, 1.0, 10.0, units.MVV_TO_EV, units.KB_EV_PER_K
+            )
+
+
+def test_all_seeds_stable_per_label():
+    seeds_a = all_seeds(7, ["build", "velocity"])
+    seeds_b = all_seeds(7, ["build", "velocity"])
+    assert seeds_a == seeds_b
+    assert seeds_a["build"] != seeds_a["velocity"]

@@ -1,0 +1,79 @@
+"""Stopwatch and Counter accounting."""
+
+import time
+
+import pytest
+
+from repro.utils.timers import Counter, Stopwatch
+
+
+class TestStopwatch:
+    def test_section_accumulates(self):
+        sw = Stopwatch()
+        with sw.section("x"):
+            time.sleep(0.001)
+        with sw.section("x"):
+            pass
+        assert sw.total("x") > 0.0
+        assert sw.count("x") == 2
+
+    def test_unknown_section_is_zero(self):
+        sw = Stopwatch()
+        assert sw.total("missing") == 0.0
+        assert sw.count("missing") == 0
+
+    def test_manual_add(self):
+        sw = Stopwatch()
+        sw.add("phase", 1.5)
+        sw.add("phase", 0.5)
+        assert sw.total("phase") == pytest.approx(2.0)
+
+    def test_reset(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.reset()
+        assert sw.total("a") == 0.0
+        assert sw.names() == []
+
+    def test_report_contains_sections(self):
+        sw = Stopwatch()
+        sw.add("forces", 0.25)
+        assert "forces" in sw.report()
+
+    def test_report_empty(self):
+        assert "no sections" in Stopwatch().report()
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("pairs", 10)
+        c.add("pairs", 5)
+        assert c.get("pairs") == 15
+
+    def test_default_increment_is_one(self):
+        c = Counter()
+        c.add("x")
+        assert c.get("x") == 1
+
+    def test_unknown_counter_is_zero(self):
+        assert Counter().get("nope") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add("x", -1)
+
+    def test_merge(self):
+        a, b = Counter(), Counter()
+        a.add("x", 2)
+        b.add("x", 3)
+        b.add("y", 1)
+        a.merge(b)
+        assert a.get("x") == 5
+        assert a.get("y") == 1
+
+    def test_reset(self):
+        c = Counter()
+        c.add("x", 4)
+        c.reset()
+        assert c.get("x") == 0
