@@ -1,0 +1,39 @@
+"""Runtime analysis: execution events, dynamic race detection, differential
+strategy equivalence.
+
+The static conflict checker (:mod:`repro.core.conflict`) proves a planned
+schedule safe *before* execution; this package verifies the same claims on
+the executed program:
+
+* :mod:`repro.analysis.events` — ordered log of backend phase/task events.
+* :mod:`repro.analysis.shadow` — write-recording reduction arrays.
+* :mod:`repro.analysis.racecheck` — the dynamic race detector and the
+  ``repro racecheck`` engine.
+* :mod:`repro.analysis.differential` — randomized cross-strategy
+  equivalence harness.
+"""
+
+from repro.analysis.events import EventLog, ExecutionEvent
+from repro.analysis.racecheck import (
+    RaceCheckReport,
+    RaceConflict,
+    WriteRecorder,
+    run_instrumented,
+    run_racecheck,
+    sweep_racecheck,
+)
+from repro.analysis.shadow import ShadowArray, TaskWriteLog, wrap_array
+
+__all__ = [
+    "EventLog",
+    "ExecutionEvent",
+    "RaceCheckReport",
+    "RaceConflict",
+    "WriteRecorder",
+    "run_instrumented",
+    "run_racecheck",
+    "sweep_racecheck",
+    "ShadowArray",
+    "TaskWriteLog",
+    "wrap_array",
+]

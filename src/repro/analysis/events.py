@@ -1,0 +1,118 @@
+"""Execution event log — the observability seed over backend phases.
+
+Backends emit ``phase-begin`` / ``task-begin`` / ``task-end`` /
+``phase-end`` callbacks through :class:`~repro.parallel.backends.base.PhaseObserver`;
+:class:`EventLog` turns them into an ordered, thread-safe record that tests
+and tools can assert against (did every task end?  did phases overlap?)
+and that :class:`~repro.analysis.racecheck.WriteRecorder` builds on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.parallel.backends.base import PhaseObserver
+
+__all__ = ["ExecutionEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class ExecutionEvent:
+    """One observed execution transition.
+
+    Attributes
+    ----------
+    kind:
+        ``"phase-begin"``, ``"task-begin"``, ``"task-end"`` or
+        ``"phase-end"``.
+    phase:
+        backend phase index (0-based, counted from observer attach).
+    task:
+        task index within the phase; None for phase-level events.
+    thread:
+        name of the thread the event fired on.
+    timestamp:
+        ``time.monotonic()`` at the event.
+    """
+
+    kind: str
+    phase: int
+    task: Optional[int]
+    thread: str
+    timestamp: float
+
+
+class EventLog(PhaseObserver):
+    """Append-only, thread-safe log of execution events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: List[ExecutionEvent] = []
+        #: task count announced per phase at phase-begin
+        self.phase_sizes: Dict[int, int] = {}
+
+    def _emit(self, kind: str, phase: int, task: Optional[int]) -> None:
+        event = ExecutionEvent(
+            kind=kind,
+            phase=phase,
+            task=task,
+            thread=threading.current_thread().name,
+            timestamp=time.monotonic(),
+        )
+        with self._lock:
+            self.events.append(event)
+
+    # --- PhaseObserver -------------------------------------------------------
+
+    def on_phase_begin(self, phase: int, n_tasks: int) -> None:
+        with self._lock:
+            self.phase_sizes[phase] = n_tasks
+        self._emit("phase-begin", phase, None)
+
+    def on_task_begin(self, phase: int, task: int) -> None:
+        self._emit("task-begin", phase, task)
+
+    def on_task_end(self, phase: int, task: int) -> None:
+        self._emit("task-end", phase, task)
+
+    def on_phase_end(self, phase: int) -> None:
+        self._emit("phase-end", phase, None)
+
+    # --- queries -------------------------------------------------------------
+
+    @property
+    def n_phases(self) -> int:
+        """Number of phases that have begun."""
+        return len(self.phase_sizes)
+
+    def of_phase(self, phase: int) -> List[ExecutionEvent]:
+        """All events of one phase, in emission order."""
+        return [e for e in self.events if e.phase == phase]
+
+    def completed_tasks(self, phase: int) -> List[int]:
+        """Task ids of ``phase`` that emitted ``task-end``."""
+        return sorted(
+            e.task
+            for e in self.events
+            if e.phase == phase and e.kind == "task-end" and e.task is not None
+        )
+
+    def is_well_formed(self) -> bool:
+        """Every begun phase ended after all its announced tasks ended."""
+        for phase, n_tasks in self.phase_sizes.items():
+            events = self.of_phase(phase)
+            if not events or events[0].kind != "phase-begin":
+                return False
+            if events[-1].kind != "phase-end":
+                return False
+            if self.completed_tasks(phase) != list(range(n_tasks)):
+                return False
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+            self.phase_sizes.clear()

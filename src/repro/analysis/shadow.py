@@ -1,0 +1,183 @@
+"""Shadow reduction arrays: record every scatter write as it happens.
+
+:class:`ShadowArray` is an ``ndarray`` subclass that behaves bit-for-bit
+like the array it wraps but reports the *flat element indices* of every
+write — ``np.add.at`` / ``np.subtract.at`` scatters, slice and fancy-index
+assignment, and ``out=`` targets — to an attached recorder.  Views taken
+from a shadow (``forces[:, axis]``, a private row ``private_rho[k]``)
+remain shadows and map their writes back into the root array's flat index
+space, so two tasks writing the same *memory* are detected even when they
+reach it through different views, while writes to different elements of
+one atom's force row stay distinct (they are not a race).
+
+The recorder contract is a single method::
+
+    recorder.record_write(name: str, flat: np.ndarray) -> None
+
+called with the root-flat element indices of each write.  Fancy-indexed
+*copies* of a shadow (``rho[rows]`` with an index array) do not share
+memory with the root and are deliberately not recorded.
+
+This module depends only on NumPy so the fork-based process backend can
+import it without pulling in the rest of the analysis layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["ShadowArray", "TaskWriteLog", "wrap_array"]
+
+
+class ShadowArray(np.ndarray):
+    """An ndarray that reports its writes to a recorder.
+
+    Never instantiate directly — use :func:`wrap_array`, which keeps the
+    plain root array accessible for unrecorded (baseline/canary) access.
+    """
+
+    _recorder = None
+    _name: Optional[str] = None
+    _root: Optional[np.ndarray] = None
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is None:
+            return
+        self._recorder = getattr(obj, "_recorder", None)
+        self._name = getattr(obj, "_name", None)
+        self._root = getattr(obj, "_root", None)
+
+    # --- index mapping -------------------------------------------------------
+
+    def _attached(self) -> bool:
+        """True when this shadow still aliases the root's memory."""
+        return (
+            self._recorder is not None
+            and self._root is not None
+            and np.may_share_memory(self, self._root)
+        )
+
+    def _flat_offset(self) -> int:
+        """Element offset of this view's data pointer within the root."""
+        root = self._root
+        assert root is not None
+        delta = (
+            self.__array_interface__["data"][0]
+            - root.__array_interface__["data"][0]
+        )
+        return int(delta // root.itemsize)
+
+    def _flat_of_axis0(self, idx) -> np.ndarray:
+        """Root-flat element indices written by indexing axis 0 with ``idx``.
+
+        Supports the access patterns the strategies use: 1-D strided views
+        (``rho``, ``forces[:, axis]``, ``private_rho[k]``) and row-aligned
+        2-D views (``forces`` itself).  Anything fancier raises — an
+        instrumentation gap must fail loudly, not under-record.
+        """
+        root = self._root
+        assert root is not None
+        idx = np.asarray(idx)
+        if idx.dtype == np.bool_:
+            idx = np.flatnonzero(idx)
+        off = self._flat_offset()
+        if self.ndim == 1:
+            step = self.strides[0] // root.itemsize
+            return off + step * idx.ravel().astype(np.int64)
+        if self.ndim == 2 and self.strides[1] == root.itemsize:
+            row_step = self.strides[0] // root.itemsize
+            starts = off + row_step * idx.ravel().astype(np.int64)
+            return (starts[:, None] + np.arange(self.shape[1])).ravel()
+        raise NotImplementedError(
+            f"cannot map writes of a {self.ndim}-D view with strides "
+            f"{self.strides} back to the shadow root"
+        )
+
+    def _flat_all(self) -> np.ndarray:
+        """Root-flat indices of every element of this view."""
+        return self._flat_of_axis0(np.arange(self.shape[0]))
+
+    def _record(self, flat: np.ndarray) -> None:
+        if len(flat):
+            self._recorder.record_write(self._name, flat)
+
+    # --- write interception --------------------------------------------------
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        if method == "at":
+            target, idx = inputs[0], inputs[1]
+            if isinstance(target, ShadowArray) and target._attached():
+                target._record(target._flat_of_axis0(idx))
+        out = kwargs.get("out")
+        if out is not None:
+            outs = out if isinstance(out, tuple) else (out,)
+            plain_out = []
+            for o in outs:
+                if isinstance(o, ShadowArray):
+                    if o._attached():
+                        o._record(o._flat_all())
+                    plain_out.append(o.view(np.ndarray))
+                else:
+                    plain_out.append(o)
+            kwargs["out"] = tuple(plain_out)
+        plain = [
+            x.view(np.ndarray) if isinstance(x, ShadowArray) else x
+            for x in inputs
+        ]
+        return getattr(ufunc, method)(*plain, **kwargs)
+
+    def __setitem__(self, key, value) -> None:
+        if self._attached():
+            if isinstance(key, tuple):
+                # no strategy writes through tuple keys; refuse to guess
+                raise NotImplementedError(
+                    "tuple-key assignment on a ShadowArray is not recorded"
+                )
+            if isinstance(key, slice):
+                idx = np.arange(*key.indices(self.shape[0]))
+            else:
+                idx = key
+            self._record(self._flat_of_axis0(idx))
+        self.view(np.ndarray)[key] = value
+
+
+class TaskWriteLog:
+    """Minimal single-context recorder: one bucket per array name.
+
+    Used inside forked workers, where one process *is* one task and the
+    per-phase bookkeeping lives in the parent.
+    """
+
+    def __init__(self) -> None:
+        self._writes: Dict[str, List[np.ndarray]] = {}
+
+    def record_write(self, name: str, flat: np.ndarray) -> None:
+        self._writes.setdefault(name, []).append(
+            np.asarray(flat, dtype=np.int64).copy()
+        )
+
+    def flat(self, name: str) -> np.ndarray:
+        """Sorted unique flat indices written under ``name``."""
+        chunks = self._writes.get(name)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks))
+
+    def names(self) -> List[str]:
+        return sorted(self._writes)
+
+
+def wrap_array(array: np.ndarray, name: str, recorder) -> ShadowArray:
+    """Wrap ``array`` so every write is reported to ``recorder``.
+
+    ``array`` itself remains the plain root: read it (or ``np.asarray``
+    the returned shadow) to inspect state without triggering recording.
+    """
+    root = np.ascontiguousarray(array)
+    shadow = root.view(ShadowArray)
+    shadow._recorder = recorder
+    shadow._name = name
+    shadow._root = root
+    return shadow

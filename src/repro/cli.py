@@ -9,6 +9,8 @@ them without writing code:
 * ``census``     — the Section II.B subdomain census.
 * ``quickstart`` — a short real MD run through SDC.
 * ``hybrid``     — the future-work MPI+OpenMP scaling model.
+* ``racecheck``  — dynamic write-set race detection + differential
+  strategy equivalence (exit 1 on any conflict/divergence).
 """
 
 from __future__ import annotations
@@ -92,6 +94,83 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_racecheck(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.racecheck import run_racecheck
+
+    strategies = args.strategy or ["sdc"]
+    if args.all:
+        from repro.core.strategies import STRATEGY_REGISTRY
+
+        strategies = sorted(n for n in STRATEGY_REGISTRY if n != "serial")
+    workloads = args.workload or ["uniform"]
+
+    from repro.core.domain import DecompositionError
+
+    reports = []
+    for strategy in strategies:
+        for workload in workloads:
+            try:
+                reports.append(
+                    run_racecheck(
+                        strategy=strategy,
+                        workload=workload,
+                        cells=args.cells,
+                        backend=args.backend,
+                        n_threads=args.threads,
+                        dims=args.dims,
+                        inject=args.inject,
+                        seed=args.seed,
+                        tolerance=args.tolerance,
+                    )
+                )
+            except (ValueError, DecompositionError) as exc:
+                print(f"error: {strategy} on {workload}: {exc}", file=sys.stderr)
+                return 2
+
+    header = (
+        f"{'strategy':<22} {'workload':<9} {'backend':<9} "
+        f"{'phases':>6} {'conflicts':>9} {'canary':>6} "
+        f"{'max|dF|':>10}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in reports:
+        verdict = "ok" if r.ok else "FAIL"
+        if not r.lock_free and not r.race_free:
+            verdict += " (overlaps expected: synchronized strategy)"
+        force_err = (
+            f"{r.max_force_error:.2e}" if r.max_force_error is not None else "-"
+        )
+        print(
+            f"{r.strategy:<22} {r.workload:<9} {r.backend:<9} "
+            f"{r.n_phases:>6} {r.n_conflicting_elements:>9} "
+            f"{'ok' if r.canary_ok else 'FAIL':>6} {force_err:>10}  {verdict}"
+        )
+    failures = [r for r in reports if not r.ok]
+    for r in failures:
+        for c in r.conflicts[:5]:
+            print(
+                f"  conflict: strategy={r.strategy} phase={c.phase} "
+                f"tasks=({c.task_a},{c.task_b}) index={c.index} "
+                f"array={c.array}"
+            )
+    if args.json:
+        payload = json.dumps([r.to_dict() for r in reports], indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.json}")
+    print(
+        f"\n{len(reports) - len(failures)}/{len(reports)} runs clean"
+        + (f"; {len(failures)} FAILED" if failures else "")
+    )
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -125,6 +204,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--nodes", type=int, nargs="+", default=[1, 2, 4, 8]
     )
     hybrid.set_defaults(func=_cmd_hybrid)
+
+    race = sub.add_parser(
+        "racecheck",
+        help="dynamic race detection + strategy equivalence sweep",
+    )
+    race.add_argument(
+        "--strategy",
+        action="append",
+        help="strategy to check (repeatable; default sdc)",
+    )
+    race.add_argument(
+        "--all",
+        action="store_true",
+        help="sweep every registered strategy except serial",
+    )
+    race.add_argument(
+        "--workload",
+        action="append",
+        choices=["uniform", "void", "slab"],
+        help="workload to check (repeatable; default uniform)",
+    )
+    race.add_argument("--cells", type=int, default=6)
+    race.add_argument(
+        "--backend",
+        choices=["serial", "threads", "processes"],
+        default="serial",
+    )
+    race.add_argument("--threads", type=int, default=4)
+    race.add_argument("--dims", type=int, default=2, choices=[1, 2, 3])
+    race.add_argument(
+        "--inject",
+        choices=["none", "merge-colors", "drop-barrier", "small-subdomains"],
+        default="none",
+        help="corrupt the SDC schedule and let the detector catch it",
+    )
+    race.add_argument("--seed", type=int, default=0)
+    race.add_argument("--tolerance", type=float, default=1e-8)
+    race.add_argument(
+        "--json", help="write the JSON report here ('-' for stdout)"
+    )
+    race.set_defaults(func=_cmd_racecheck)
     return parser
 
 

@@ -44,6 +44,8 @@ class AtomicStrategy(ReductionStrategy):
     """
 
     name = "atomic"
+    # overlapping writes are expected — each update is its own atomic RMW
+    lock_free = False
 
     def __init__(
         self,
@@ -68,7 +70,7 @@ class AtomicStrategy(ReductionStrategy):
         n = atoms.n_atoms
         chunks = atom_chunks(n, self.n_threads)
 
-        rho = np.zeros(n)
+        rho = self._array("rho", n)
 
         def density_task(rows: np.ndarray):
             def run() -> None:
@@ -99,7 +101,7 @@ class AtomicStrategy(ReductionStrategy):
         )
         embedding_energy = float(np.sum(emb_parts))
 
-        forces = np.zeros((n, 3))
+        forces = self._array("forces", (n, 3))
 
         def force_task(rows: np.ndarray):
             def run() -> None:

@@ -33,6 +33,36 @@ class ReductionStrategy(ABC):
     #: registry key, e.g. ``"sdc"`` or ``"critical-section"``
     name: ClassVar[str] = "abstract"
 
+    #: whether the strategy relies on disjoint write sets (True) or on
+    #: explicit synchronization of overlapping writes (False).  The
+    #: dynamic race detector treats same-phase overlaps as failures only
+    #: for lock-free strategies.
+    lock_free: ClassVar[bool] = True
+
+    #: optional write instrument (e.g. the racecheck recorder); when set,
+    #: :meth:`_array` hands out shadow-wrapped reduction arrays.
+    _instrument = None
+
+    def attach_instrument(self, recorder) -> None:
+        """Record reduction-array writes through ``recorder``.
+
+        ``recorder`` must expose ``wrap(name, array) -> ndarray``
+        (see :class:`repro.analysis.racecheck.WriteRecorder`).
+        """
+        self._instrument = recorder
+
+    def detach_instrument(self) -> None:
+        """Stop instrumenting new reduction arrays (idempotent)."""
+        self._instrument = None
+
+    def _array(self, name: str, shape) -> np.ndarray:
+        """Allocate a zeroed reduction array, shadow-wrapped when
+        an instrument is attached."""
+        array = np.zeros(shape)
+        if self._instrument is None:
+            return array
+        return self._instrument.wrap(name, array)
+
     @abstractmethod
     def compute(
         self,
@@ -79,6 +109,10 @@ class ReductionStrategy(ABC):
         pair_energy: float,
     ) -> EAMComputation:
         """Store results into ``atoms`` and wrap them up."""
+        # drop any shadow instrumentation before results leave the strategy
+        rho = np.asarray(rho)
+        fp = np.asarray(fp)
+        forces = np.asarray(forces)
         atoms.rho[:] = rho
         atoms.fp[:] = fp
         atoms.forces[:] = forces

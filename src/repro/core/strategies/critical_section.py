@@ -39,6 +39,8 @@ class CriticalSectionStrategy(ReductionStrategy):
     """Every conflicting scatter guarded by one global critical section."""
 
     name = "critical-section"
+    # overlapping writes are the point — they are serialized by the lock
+    lock_free = False
 
     def __init__(
         self,
@@ -70,7 +72,7 @@ class CriticalSectionStrategy(ReductionStrategy):
         n = atoms.n_atoms
         chunks = atom_chunks(n, self.n_threads)
 
-        rho = np.zeros(n)
+        rho = self._array("rho", n)
 
         def density_task(rows: np.ndarray):
             def run() -> None:
@@ -102,7 +104,7 @@ class CriticalSectionStrategy(ReductionStrategy):
         )
         embedding_energy = float(np.sum(emb_parts))
 
-        forces = np.zeros((n, 3))
+        forces = self._array("forces", (n, 3))
 
         def force_task(rows: np.ndarray):
             def run() -> None:

@@ -168,7 +168,7 @@ class LocalWriteStrategy(ReductionStrategy):
         n = atoms.n_atoms
         n_sub = self._grid.n_subdomains
 
-        rho = np.zeros(n)
+        rho = self._array("rho", n)
 
         def density_task(s: int):
             def run() -> None:
@@ -191,10 +191,10 @@ class LocalWriteStrategy(ReductionStrategy):
         # own atoms, so no colors and no intermediate barriers
         self.backend.run_phase([density_task(s) for s in range(n_sub)])
 
-        embedding_energy = float(np.sum(potential.embed(rho)))
-        fp = potential.embed_deriv(rho)
+        embedding_energy = float(np.sum(potential.embed(np.asarray(rho))))
+        fp = potential.embed_deriv(np.asarray(rho))
 
-        forces = np.zeros((n, 3))
+        forces = self._array("forces", (n, 3))
 
         def force_task(s: int):
             def run() -> None:

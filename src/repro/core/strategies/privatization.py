@@ -65,7 +65,9 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
         chunks = atom_chunks(n, self.n_threads)
 
         # --- density: private rho copies, then ordered merge -----------------
-        private_rho = np.zeros((self.n_threads, n))
+        # instrumented as one shadow: each task may only write its own row,
+        # so the detector sees disjoint flat ranges when SAP is correct
+        private_rho = self._array("rho_private", (self.n_threads, n))
 
         def density_task(k: int, rows: np.ndarray):
             def run() -> None:
@@ -85,7 +87,7 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
         )
         # merge in thread order (the real code merges under a critical
         # section; fixed order keeps results deterministic)
-        rho = private_rho.sum(axis=0)
+        rho = np.asarray(private_rho).sum(axis=0)
 
         fp = np.empty(n)
         emb_parts = np.zeros(len(chunks))
@@ -103,7 +105,7 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
         embedding_energy = float(np.sum(emb_parts))
 
         # --- forces: private force copies, then ordered merge --------------------
-        private_forces = np.zeros((self.n_threads, n, 3))
+        private_forces = self._array("forces_private", (self.n_threads, n, 3))
 
         def force_task(k: int, rows: np.ndarray):
             def run() -> None:
@@ -123,7 +125,7 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
         self.backend.run_phase(
             [force_task(k, rows) for k, rows in enumerate(chunks)]
         )
-        forces = private_forces.sum(axis=0)
+        forces = np.asarray(private_forces).sum(axis=0)
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

@@ -73,7 +73,7 @@ class RedundantComputationStrategy(ReductionStrategy):
         n = atoms.n_atoms
         chunks = atom_chunks(n, self.n_threads)
 
-        rho = np.zeros(n)
+        rho = self._array("rho", n)
 
         def density_task(rows: np.ndarray):
             def run() -> None:
@@ -109,7 +109,7 @@ class RedundantComputationStrategy(ReductionStrategy):
         )
         embedding_energy = float(np.sum(emb_parts))
 
-        forces = np.zeros((n, 3))
+        forces = self._array("forces", (n, 3))
 
         def force_task(rows: np.ndarray):
             def run() -> None:

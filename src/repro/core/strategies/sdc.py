@@ -12,7 +12,7 @@ Execution structure per force evaluation (paper Figs. 7-8):
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -64,6 +64,15 @@ class SDCStrategy(ReductionStrategy):
         run the conflict checker on every new decomposition and raise if a
         same-color write overlap exists (a correctness tripwire; cheap
         relative to forces, but off by default).
+    schedule_transform:
+        optional hook applied to the freshly built :class:`ColorSchedule`
+        before execution.  Exists for fault injection — racecheck tests
+        corrupt valid schedules (merge colors, drop barriers) and assert
+        the dynamic detector catches the resulting races.
+    grid_factory:
+        optional ``(box, reach) -> SubdomainGrid`` override of the
+        decomposition, the second fault-injection hook (e.g. subdomain
+        edges below ``2 * reach``).
     """
 
     name = "sdc"
@@ -77,6 +86,10 @@ class SDCStrategy(ReductionStrategy):
         adaptive: bool = True,
         validate_conflicts: bool = False,
         max_per_axis: Optional[int] = None,
+        schedule_transform: Optional[
+            Callable[[ColorSchedule], ColorSchedule]
+        ] = None,
+        grid_factory: Optional[Callable[..., SubdomainGrid]] = None,
     ) -> None:
         if dims not in (1, 2, 3):
             raise ValueError(f"dims must be 1, 2 or 3, got {dims}")
@@ -89,6 +102,8 @@ class SDCStrategy(ReductionStrategy):
         self.adaptive = adaptive
         self.validate_conflicts = validate_conflicts
         self.max_per_axis = max_per_axis
+        self.schedule_transform = schedule_transform
+        self.grid_factory = grid_factory
         self._cached_nlist_id: Optional[int] = None
         self._grid: Optional[SubdomainGrid] = None
         self._pairs: Optional[PairPartition] = None
@@ -105,7 +120,9 @@ class SDCStrategy(ReductionStrategy):
         if self._cached_nlist_id == id(nlist) and self._pairs is not None:
             return
         reach = nlist.cutoff + nlist.skin
-        if self.adaptive:
+        if self.grid_factory is not None:
+            grid = self.grid_factory(atoms.box, reach)
+        elif self.adaptive:
             grid = decompose_balanced(
                 atoms.box, reach, self.dims, self.n_threads, axes=self.axes
             )
@@ -122,6 +139,8 @@ class SDCStrategy(ReductionStrategy):
         partition = build_partition(nlist.reference_positions, grid)
         pairs = build_pair_partition(partition, nlist)
         schedule = build_schedule(coloring)
+        if self.schedule_transform is not None:
+            schedule = self.schedule_transform(schedule)
         if self.validate_conflicts:
             report = check_schedule_conflicts(pairs, schedule)
             if not report.ok:
@@ -158,7 +177,7 @@ class SDCStrategy(ReductionStrategy):
         n = atoms.n_atoms
 
         # phase 1: densities, color by color
-        rho = np.zeros(n)
+        rho = self._array("rho", n)
 
         def density_task(subdomain: int):
             def run() -> None:
@@ -193,7 +212,7 @@ class SDCStrategy(ReductionStrategy):
         embedding_energy = float(np.sum(emb_parts))
 
         # phase 3: forces, color by color
-        forces = np.zeros((n, 3))
+        forces = self._array("forces", (n, 3))
 
         def force_task(subdomain: int):
             def run() -> None:

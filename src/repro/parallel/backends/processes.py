@@ -49,9 +49,25 @@ def _open_array(name: str, shape: Tuple[int, ...]) -> Tuple[np.ndarray, shared_m
     return np.ndarray(shape, dtype=np.float64, buffer=segment.buf), segment
 
 
-def _density_worker(subdomains: Sequence[int]) -> None:
+def _worker_shadow(array: np.ndarray, name: str):
+    """Wrap a worker's view of a shared array in a write recorder.
+
+    Returns ``(array_to_use, log)``; ``log`` is None when recording is
+    off.  The shadow writes through to the same shared memory — only the
+    index bookkeeping is worker-local.
+    """
+    if not _FORK_STATE.get("record"):
+        return array, None
+    from repro.analysis.shadow import TaskWriteLog, wrap_array
+
+    log = TaskWriteLog()
+    return wrap_array(array, name, log), log
+
+
+def _density_worker(subdomains: Sequence[int]) -> Optional[List[int]]:
     state = _FORK_STATE
     rho, segment = _open_array(state["rho_name"], (state["n_atoms"],))
+    rho, log = _worker_shadow(rho, "rho")
     try:
         potential = state["potential"]
         positions = state["positions"]
@@ -65,15 +81,17 @@ def _density_worker(subdomains: Sequence[int]) -> None:
             phi = potential.density(r)
             np.add.at(rho, i_idx, phi)
             np.add.at(rho, j_idx, phi)
+        return log.flat("rho").tolist() if log is not None else None
     finally:
         del rho
         segment.close()
 
 
-def _force_worker(subdomains: Sequence[int]) -> None:
+def _force_worker(subdomains: Sequence[int]) -> Optional[List[int]]:
     state = _FORK_STATE
     forces, fseg = _open_array(state["forces_name"], (state["n_atoms"], 3))
     fp, pseg = _open_array(state["fp_name"], (state["n_atoms"],))
+    forces, log = _worker_shadow(forces, "forces")
     try:
         potential = state["potential"]
         positions = state["positions"]
@@ -89,6 +107,7 @@ def _force_worker(subdomains: Sequence[int]) -> None:
             for axis in range(3):
                 np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
                 np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
+        return log.flat("forces").tolist() if log is not None else None
     finally:
         del forces, fp
         fseg.close()
@@ -110,6 +129,7 @@ class ProcessSDCCalculator:
         n_workers: int = 2,
         axes: Optional[Sequence[int]] = None,
         adaptive: bool = True,
+        record_writes: bool = False,
     ) -> None:
         if dims not in (1, 2, 3):
             raise ValueError(f"dims must be 1, 2 or 3, got {dims}")
@@ -121,6 +141,12 @@ class ProcessSDCCalculator:
         self.n_workers = n_workers
         self.axes = list(axes) if axes is not None else None
         self.adaptive = adaptive
+        #: when True, workers shadow their shared-array views and ship the
+        #: flat write indices back; ``last_write_record`` then holds one
+        #: ``(kind, per_chunk_write_sets)`` entry per color phase for the
+        #: dynamic race detector (repro.analysis.racecheck)
+        self.record_writes = record_writes
+        self.last_write_record: List[Tuple[str, List[List[int]]]] = []
 
     def _decompose(self, atoms: Atoms, nlist: NeighborList):
         reach = nlist.cutoff + nlist.skin
@@ -170,7 +196,9 @@ class ProcessSDCCalculator:
                 rho_name=rho_seg.name,
                 fp_name=fp_seg.name,
                 forces_name=forces_seg.name,
+                record=self.record_writes,
             )
+            self.last_write_record = []
             ctx = mp.get_context("fork")
             with ctx.Pool(self.n_workers) as pool:
                 # phase 1: densities, color by color (pool.map = barrier)
@@ -180,7 +208,9 @@ class ProcessSDCCalculator:
                         for c in static_assignment(len(members), self.n_workers)
                         if len(c)
                     ]
-                    pool.map(_density_worker, chunks)
+                    writes = pool.map(_density_worker, chunks)
+                    if self.record_writes:
+                        self.last_write_record.append(("density", writes))
                 # phase 2: embedding in the parent (no dependences)
                 embedding_energy = float(np.sum(potential.embed(rho)))
                 fp[:] = potential.embed_deriv(rho)
@@ -191,7 +221,9 @@ class ProcessSDCCalculator:
                         for c in static_assignment(len(members), self.n_workers)
                         if len(c)
                     ]
-                    pool.map(_force_worker, chunks)
+                    writes = pool.map(_force_worker, chunks)
+                    if self.record_writes:
+                        self.last_write_record.append(("force", writes))
 
             i_idx, j_idx = nlist.pair_arrays()
             if len(i_idx):

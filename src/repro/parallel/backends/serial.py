@@ -18,5 +18,9 @@ class SerialBackend(ExecutionBackend):
     """Run every closure in the calling thread, in order."""
 
     def run_phase(self, closures: Sequence[TaskClosure]) -> None:
-        for closure in closures:
-            closure()
+        closures, end_phase = self._begin_phase(closures)
+        try:
+            for closure in closures:
+                closure()
+        finally:
+            end_phase()

@@ -36,12 +36,16 @@ class ThreadBackend(ExecutionBackend):
             raise RuntimeError("backend already closed")
         if not closures:
             return
-        futures = [self._pool.submit(c) for c in closures]
-        done, _ = wait(futures)
-        for future in done:
-            exc = future.exception()
-            if exc is not None:
-                raise exc
+        closures, end_phase = self._begin_phase(closures)
+        try:
+            futures = [self._pool.submit(c) for c in closures]
+            done, _ = wait(futures)
+            for future in done:
+                exc = future.exception()
+                if exc is not None:
+                    raise exc
+        finally:
+            end_phase()
 
     def close(self) -> None:
         if self._pool is not None:

@@ -1,0 +1,90 @@
+"""The differential equivalence harness: strategies vs serial kernels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.differential import (
+    DEFAULT_STRATEGIES,
+    DifferentialRecord,
+    random_workload,
+    run_differential,
+)
+
+
+class TestRandomWorkload:
+    def test_deterministic_per_seed(self):
+        desc_a, atoms_a = random_workload(17)
+        desc_b, atoms_b = random_workload(17)
+        assert desc_a == desc_b
+        assert atoms_a.n_atoms == atoms_b.n_atoms
+        assert (atoms_a.positions == atoms_b.positions).all()
+
+    def test_seeds_vary_the_family(self):
+        descriptions = {random_workload(s)[0] for s in range(8)}
+        assert len(descriptions) > 1
+
+    def test_workloads_are_sdc_decomposable(self):
+        """Every generated system must fit the strictest strategy."""
+        from repro.core.domain import decompose
+
+        for seed in range(4):
+            _, atoms = random_workload(seed)
+            grid = decompose(atoms.box, 3.9, 2)
+            assert grid.n_subdomains >= 4
+
+
+class TestDifferentialHarness:
+    def test_quick_subset_is_equivalent(self):
+        records = run_differential(
+            strategies=["sdc", "array-privatization"], n_workloads=2
+        )
+        assert len(records) == 4
+        for r in records:
+            assert isinstance(r, DifferentialRecord)
+            assert r.ok, (r.strategy, r.workload, r.max_force_error)
+            assert r.max_force_error < 1e-12
+            assert r.energy_error < 1e-12
+
+    def test_default_roster_excludes_serial(self):
+        assert "serial" not in DEFAULT_STRATEGIES
+        assert "sdc" in DEFAULT_STRATEGIES
+        assert len(DEFAULT_STRATEGIES) >= 5
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ValueError):
+            run_differential(n_workloads=0)
+
+    def test_tolerance_controls_verdict(self):
+        def record(tolerance):
+            return DifferentialRecord(
+                strategy="sdc",
+                workload="uniform(cells=6)",
+                seed=0,
+                n_atoms=432,
+                max_force_error=1e-15,
+                max_rho_error=1e-15,
+                energy_error=1e-15,
+                tolerance=tolerance,
+            )
+
+        assert record(1e-8).ok
+        assert not record(1e-16).ok
+
+
+@pytest.mark.slow
+class TestDifferentialSweep:
+    def test_every_strategy_on_many_workloads(self):
+        records = run_differential(n_workloads=4)
+        assert len(records) == 4 * len(DEFAULT_STRATEGIES)
+        bad = [r for r in records if not r.ok]
+        assert not bad, [(r.strategy, r.workload) for r in bad]
+
+    def test_thread_backend_sweep(self):
+        records = run_differential(
+            strategies=["sdc", "localwrite"],
+            n_workloads=2,
+            backend="threads",
+            n_threads=4,
+        )
+        assert all(r.ok for r in records)

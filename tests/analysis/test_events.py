@@ -1,0 +1,131 @@
+"""The execution-event layer: phase/task hooks on every backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.events import EventLog
+from repro.core.strategies import SDCStrategy
+from repro.parallel.backends.serial import SerialBackend
+from repro.parallel.backends.threads import ThreadBackend
+
+
+def _run_phases(backend, sizes):
+    sink = []
+    for size in sizes:
+        backend.run_phase(
+            [(lambda k=k: sink.append(k)) for k in range(size)]
+        )
+    return sink
+
+
+class TestEventLogOnSerialBackend:
+    def test_records_every_phase_and_task(self):
+        backend = SerialBackend()
+        log = EventLog()
+        backend.attach_observer(log)
+        _run_phases(backend, [3, 1, 4])
+        assert log.n_phases == 3
+        assert log.phase_sizes == {0: 3, 1: 1, 2: 4}
+        assert log.completed_tasks(0) == [0, 1, 2]
+        assert log.completed_tasks(2) == [0, 1, 2, 3]
+        assert log.is_well_formed()
+
+    def test_events_are_ordered_within_a_phase(self):
+        backend = SerialBackend()
+        log = EventLog()
+        backend.attach_observer(log)
+        _run_phases(backend, [2])
+        kinds = [e.kind for e in log.of_phase(0)]
+        # serial: task intervals never interleave
+        assert kinds == [
+            "phase-begin",
+            "task-begin",
+            "task-end",
+            "task-begin",
+            "task-end",
+            "phase-end",
+        ]
+
+    def test_detach_stops_recording(self):
+        backend = SerialBackend()
+        log = EventLog()
+        backend.attach_observer(log)
+        _run_phases(backend, [1])
+        backend.detach_observer()
+        _run_phases(backend, [1])
+        assert log.n_phases == 1
+
+    def test_reattach_restarts_phase_numbering(self):
+        backend = SerialBackend()
+        log = EventLog()
+        backend.attach_observer(log)
+        _run_phases(backend, [1, 1])
+        log.clear()
+        backend.attach_observer(log)
+        _run_phases(backend, [2])
+        assert log.phase_sizes == {0: 2}
+
+    def test_task_end_fires_on_raise(self):
+        backend = SerialBackend()
+        log = EventLog()
+        backend.attach_observer(log)
+
+        def boom() -> None:
+            raise RuntimeError("task failure")
+
+        with pytest.raises(RuntimeError):
+            backend.run_phase([boom])
+        kinds = [e.kind for e in log.events]
+        assert kinds == ["phase-begin", "task-begin", "task-end", "phase-end"]
+
+
+class TestEventLogOnThreadBackend:
+    def test_all_tasks_complete_on_threads(self):
+        backend = ThreadBackend(4)
+        log = EventLog()
+        backend.attach_observer(log)
+        try:
+            _run_phases(backend, [8, 5])
+        finally:
+            backend.close()
+        assert log.n_phases == 2
+        assert log.completed_tasks(0) == list(range(8))
+        assert log.completed_tasks(1) == list(range(5))
+        assert log.is_well_formed()
+
+    def test_phase_boundaries_bracket_tasks(self):
+        """phase-begin precedes and phase-end follows every task event."""
+        backend = ThreadBackend(3)
+        log = EventLog()
+        backend.attach_observer(log)
+        try:
+            _run_phases(backend, [6])
+        finally:
+            backend.close()
+        events = log.of_phase(0)
+        assert events[0].kind == "phase-begin"
+        assert events[-1].kind == "phase-end"
+        assert all(
+            e.kind in ("task-begin", "task-end") for e in events[1:-1]
+        )
+
+
+class TestEventLogThroughStrategy:
+    def test_sdc_compute_emits_balanced_phases(
+        self, potential, sdc_atoms, sdc_nlist
+    ):
+        log = EventLog()
+        strategy = SDCStrategy(dims=2, n_threads=2)
+        strategy.backend.attach_observer(log)
+        try:
+            result = strategy.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        finally:
+            strategy.backend.detach_observer()
+        assert np.all(np.isfinite(result.forces))
+        assert log.is_well_formed()
+        # density colors + embedding + force colors
+        assert log.n_phases >= 3
+        for phase, size in log.phase_sizes.items():
+            assert log.completed_tasks(phase) == list(range(size))

@@ -1,0 +1,295 @@
+"""The dynamic race detector: positive, negative, and CLI paths.
+
+The acceptance pair for the detector:
+
+* a valid SDC decomposition runs with **zero** conflicts and a clean
+  canary on every backend;
+* a corrupted schedule (dropped barrier, merged colors, sub-``2*reach``
+  subdomains) is flagged with concrete ``(phase, task_a, task_b, index)``
+  tuples and a non-zero CLI exit code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.racecheck import (
+    RaceCheckReport,
+    WriteRecorder,
+    merge_color_phases,
+    run_instrumented,
+    run_racecheck,
+    undersized_grid_factory,
+)
+from repro.cli import main
+from repro.core.strategies import SDCStrategy
+from repro.core.strategies.base import ReductionStrategy
+from repro.parallel.backends.serial import SerialBackend
+
+pytestmark = pytest.mark.racecheck
+
+
+# --------------------------------------------------------------------------
+# positive path: valid decompositions are observed race-free
+# --------------------------------------------------------------------------
+
+
+class TestValidScheduleIsClean:
+    def test_sdc_zero_conflicts(self, potential, sdc_atoms, sdc_nlist):
+        strategy = SDCStrategy(dims=2, n_threads=4)
+        result, recorder = run_instrumented(
+            strategy, potential, sdc_atoms.copy(), sdc_nlist
+        )
+        report = recorder.report(strategy="sdc", lock_free=True)
+        assert report.race_free
+        assert report.canary_ok
+        assert report.conflicts == []
+        assert report.n_phases > 1  # density + force color phases
+        # the instrumented run still computes the right physics
+        assert np.all(np.isfinite(result.forces))
+
+    def test_run_racecheck_ok_and_equivalent(self):
+        report = run_racecheck(strategy="sdc", workload="uniform", cells=6)
+        assert report.ok
+        assert report.race_free and report.canary_ok and report.equivalent
+        assert report.max_force_error is not None
+        assert report.max_force_error < 1e-10
+
+    def test_phase_records_account_for_writes(self):
+        report = run_racecheck(strategy="sdc", workload="uniform", cells=6)
+        assert len(report.phases) == report.n_phases
+        # color phases scatter into rho/forces; only the embedding
+        # parallel-for (which writes the unwrapped fp array) may be silent
+        assert sum(1 for p in report.phases if p.n_written > 0) >= (
+            report.n_phases - 1
+        )
+        assert all(p.n_conflicts == 0 for p in report.phases)
+        assert all(p.canary_ok for p in report.phases)
+
+    def test_report_json_round_trip(self):
+        report = run_racecheck(strategy="sdc", workload="uniform", cells=6)
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is True
+        assert payload["strategy"] == "sdc"
+        assert payload["n_conflicting_elements"] == 0
+        assert len(payload["phases"]) == report.n_phases
+
+    def test_synchronized_strategies_overlap_but_pass(self):
+        """CS/atomic overlap by design; ok() must not punish them."""
+        report = run_racecheck(strategy="critical-section", cells=6)
+        assert not report.lock_free
+        assert not report.race_free  # overlaps were really observed
+        assert report.canary_ok and report.equivalent
+        assert report.ok
+
+
+# --------------------------------------------------------------------------
+# negative path: a deliberately racy strategy stub
+# --------------------------------------------------------------------------
+
+
+class _RacyStub(ReductionStrategy):
+    """Two same-phase tasks both accumulate into atom 0 — a textbook race."""
+
+    name = "racy-stub"
+    lock_free = True
+
+    def __init__(self) -> None:
+        self.backend = SerialBackend()
+
+    def compute(self, potential, atoms, nlist):
+        rho = self._array("rho", atoms.n_atoms)
+
+        def task(value):
+            def run() -> None:
+                np.add.at(rho, np.array([0, 1]), value)
+
+            return run
+
+        self.backend.run_phase([task(1.0), task(2.0)])
+        return None
+
+    def plan(self, stats, machine, n_threads):  # pragma: no cover
+        raise NotImplementedError
+
+
+class _CanaryStub(ReductionStrategy):
+    """A task that mutates the raw buffer behind the shadow's back."""
+
+    name = "canary-stub"
+    lock_free = True
+
+    def __init__(self) -> None:
+        self.backend = SerialBackend()
+
+    def compute(self, potential, atoms, nlist):
+        rho = self._array("rho", atoms.n_atoms)
+        raw = np.asarray(rho)  # plain view: writes bypass recording
+
+        def stealthy() -> None:
+            raw[5] = 42.0
+
+        self.backend.run_phase([stealthy])
+        return None
+
+    def plan(self, stats, machine, n_threads):  # pragma: no cover
+        raise NotImplementedError
+
+
+class TestRacyStrategyIsFlagged:
+    def test_same_phase_overlap_reported(self, potential, small_atoms, small_nlist):
+        _, recorder = run_instrumented(
+            _RacyStub(), potential, small_atoms.copy(), small_nlist
+        )
+        report = recorder.report(strategy="racy-stub", lock_free=True)
+        assert not report.ok
+        assert not report.race_free
+        assert report.n_conflicting_elements == 2
+        tuples = {c.as_tuple for c in report.conflicts}
+        assert tuples == {(0, 0, 1, 0), (0, 0, 1, 1)}
+        assert all(c.array == "rho" for c in report.conflicts)
+
+    def test_unrecorded_mutation_trips_canary(
+        self, potential, small_atoms, small_nlist
+    ):
+        _, recorder = run_instrumented(
+            _CanaryStub(), potential, small_atoms.copy(), small_nlist
+        )
+        report = recorder.report(strategy="canary-stub", lock_free=True)
+        assert report.race_free  # only one task, no overlap possible
+        assert not report.canary_ok
+        assert not report.ok
+        (violation,) = report.canary_violations
+        assert violation.array == "rho"
+        assert 5 in violation.first_indices
+
+    def test_conflict_cap_keeps_exact_counts(
+        self, potential, small_atoms, small_nlist
+    ):
+        recorder = WriteRecorder(max_reported=1)
+        _, recorder = run_instrumented(
+            _RacyStub(), potential, small_atoms.copy(), small_nlist, recorder
+        )
+        report = recorder.report()
+        assert len(report.conflicts) == 1  # capped materialization
+        assert report.n_conflicting_elements == 2  # exact count
+
+
+# --------------------------------------------------------------------------
+# negative path: fault-injected SDC schedules
+# --------------------------------------------------------------------------
+
+
+class TestInjectedFaultsAreCaught:
+    @pytest.mark.parametrize(
+        "inject", ["merge-colors", "drop-barrier", "small-subdomains"]
+    )
+    def test_injection_reports_conflicts(self, inject):
+        report = run_racecheck(strategy="sdc", cells=6, inject=inject)
+        assert not report.ok
+        assert not report.race_free
+        assert report.n_conflicting_elements > 0
+        # conflicts carry the concrete evidence tuples
+        assert report.conflicts
+        for c in report.conflicts:
+            phase, task_a, task_b, index = c.as_tuple
+            assert phase >= 0 and task_a != task_b and index >= 0
+        # physics still matches: serial in-order execution hides the race,
+        # which is exactly why the write-set check (not the numbers) is
+        # the detector
+        assert report.equivalent
+
+    def test_merge_color_phases_shrinks_schedule(self):
+        from repro.core.coloring import lattice_coloring
+        from repro.core.domain import decompose
+        from repro.core.schedule import build_schedule
+        from repro.geometry.box import Box
+
+        grid = decompose(Box((40.0, 40.0, 40.0)), 3.9, 2)
+        schedule = build_schedule(lattice_coloring(grid))
+        merged = merge_color_phases(schedule)
+        assert len(merged.phases) == len(schedule.phases) - 1
+        assert sum(len(p) for p in merged.phases) == sum(
+            len(p) for p in schedule.phases
+        )
+        with pytest.raises(ValueError):
+            merge_color_phases(schedule, first=len(schedule.phases) - 1)
+
+    def test_undersized_factory_violates_edge_constraint(self):
+        from repro.geometry.box import Box
+
+        box = Box((40.0, 40.0, 40.0))
+        reach = 3.9
+        grid = undersized_grid_factory(dims=2)(box, reach)
+        edges = [
+            box.lengths[a] / grid.counts[a]
+            for a in range(3)
+            if grid.counts[a] > 1
+        ]
+        assert min(edges) <= 2 * reach
+
+
+# --------------------------------------------------------------------------
+# CLI acceptance pair
+# --------------------------------------------------------------------------
+
+
+class TestRacecheckCLI:
+    def test_valid_run_exits_zero(self, capsys):
+        assert main(["racecheck", "--strategy", "sdc"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 runs clean" in out
+        assert "FAIL" not in out
+
+    @pytest.mark.parametrize("inject", ["drop-barrier", "small-subdomains"])
+    def test_corrupted_run_exits_nonzero(self, capsys, inject):
+        assert main(["racecheck", "--strategy", "sdc", "--inject", inject]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "conflict:" in out  # the evidence tuples are printed
+
+    def test_json_report_to_stdout(self, capsys):
+        assert main(["racecheck", "--strategy", "sdc", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        start = out.index("[")
+        payload = json.loads(out[start : out.rindex("]") + 1])
+        assert payload[0]["strategy"] == "sdc"
+        assert payload[0]["ok"] is True
+
+    def test_json_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert (
+            main(["racecheck", "--strategy", "sdc", "--json", str(target)])
+            == 0
+        )
+        payload = json.loads(target.read_text())
+        assert payload[0]["race_free"] is True
+
+
+# --------------------------------------------------------------------------
+# exhaustive sweep (slow)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestExhaustiveSweep:
+    def test_all_strategies_all_workloads(self):
+        from repro.analysis.racecheck import sweep_racecheck
+
+        reports = sweep_racecheck(cells=6)
+        assert len(reports) == 6 * 3  # registry minus serial x workloads
+        bad = [r for r in reports if not r.ok]
+        assert not bad, [(r.strategy, r.workload) for r in bad]
+        # lock-free strategies must be literally race-free everywhere
+        for r in reports:
+            if r.lock_free:
+                assert r.race_free, (r.strategy, r.workload)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_sdc_on_parallel_backends(self, backend):
+        report = run_racecheck(strategy="sdc", cells=6, backend=backend)
+        assert report.ok
+        assert report.race_free

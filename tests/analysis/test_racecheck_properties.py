@@ -1,0 +1,126 @@
+"""Property-based tests: the dynamic detector vs randomized corruption.
+
+The static checker's property suite (tests/test_properties.py) explores
+planned schedules; here hypothesis drives the *runtime* detector — any
+schedule corruption (merged adjacent colors = dropped barrier, subdomain
+edges below ``2 * reach``) must surface as observed write-set conflicts,
+and any valid decomposition must run observably race-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.racecheck import (
+    WriteRecorder,
+    merge_color_phases,
+    run_instrumented,
+    undersized_grid_factory,
+)
+from repro.core.strategies import SDCStrategy
+from repro.harness.workloads import uniform_crystal
+from repro.md.neighbor.verlet import build_neighbor_list
+from repro.potentials.johnson_fe import fe_potential
+
+pytestmark = pytest.mark.racecheck
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """One decomposable crystal shared by every hypothesis example."""
+    potential = fe_potential()
+    atoms = uniform_crystal(6, seed=3)
+    nlist = build_neighbor_list(
+        atoms.positions,
+        atoms.box,
+        cutoff=potential.cutoff,
+        skin=0.3,
+        half=True,
+    )
+    return potential, atoms, nlist
+
+
+def _check(strategy, workload, check_untouched=False):
+    potential, atoms, nlist = workload
+    _, recorder = run_instrumented(
+        strategy,
+        potential,
+        atoms.copy(),
+        nlist,
+        recorder=WriteRecorder(check_untouched=check_untouched),
+    )
+    return recorder.report(strategy=strategy.name, lock_free=True)
+
+
+class TestCorruptionsAreAlwaysCaught:
+    @given(first=st.integers(0, 2))
+    @settings(max_examples=8, deadline=None)
+    def test_merged_adjacent_colors_conflict(self, first, workload):
+        """Merging ANY two adjacent color phases races on a dense crystal."""
+        strategy = SDCStrategy(
+            dims=2,
+            n_threads=4,
+            schedule_transform=lambda s: merge_color_phases(
+                s, min(first, len(s.phases) - 2)
+            ),
+        )
+        report = _check(strategy, workload)
+        assert not report.race_free
+        assert report.n_conflicting_elements > 0
+        merged_phases = {c.phase for c in report.conflicts}
+        assert merged_phases  # evidence names the offending phases
+
+    @given(factor=st.integers(2, 3), dims=st.sampled_from([1, 2]))
+    @settings(max_examples=8, deadline=None)
+    def test_undersized_subdomains_conflict(self, factor, dims, workload):
+        """Edges below 2*reach put same-color halos in overlap."""
+        strategy = SDCStrategy(
+            dims=dims,
+            n_threads=4,
+            grid_factory=undersized_grid_factory(dims=dims, factor=factor),
+        )
+        report = _check(strategy, workload)
+        assert not report.race_free
+        for c in report.conflicts:
+            assert c.task_a != c.task_b
+            assert c.array in ("rho", "forces")
+
+
+class TestValidDecompositionsStayClean:
+    @given(
+        dims=st.sampled_from([1, 2, 3]),
+        n_threads=st.integers(1, 6),
+        adaptive=st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_any_valid_sdc_config_is_race_free(
+        self, dims, n_threads, adaptive, workload
+    ):
+        strategy = SDCStrategy(
+            dims=dims, n_threads=n_threads, adaptive=adaptive
+        )
+        report = _check(strategy, workload, check_untouched=True)
+        assert report.race_free
+        assert report.canary_ok
+        assert report.conflicts == []
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=5, deadline=None)
+    def test_random_perturbations_stay_race_free(self, seed):
+        """Dynamic race-freedom holds for any atom jitter, not one fixture."""
+        potential = fe_potential()
+        atoms = uniform_crystal(6, perturbation=0.08, seed=seed)
+        nlist = build_neighbor_list(
+            atoms.positions,
+            atoms.box,
+            cutoff=potential.cutoff,
+            skin=0.3,
+            half=True,
+        )
+        report = _check(
+            SDCStrategy(dims=2, n_threads=4), (potential, atoms, nlist)
+        )
+        assert report.race_free

@@ -18,6 +18,7 @@ class TestParser:
             "census",
             "quickstart",
             "hybrid",
+            "racecheck",
         }
 
     def test_command_required(self):
