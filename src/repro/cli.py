@@ -11,6 +11,9 @@ them without writing code:
 * ``hybrid``     — the future-work MPI+OpenMP scaling model.
 * ``racecheck``  — dynamic write-set race detection + differential
   strategy equivalence (exit 1 on any conflict/divergence).
+* ``bench``      — real wall-clock strategy × backend sweep with
+  per-phase profiling (writes ``BENCH_forces.json`` /
+  ``BENCH_reordering.json``).
 """
 
 from __future__ import annotations
@@ -171,6 +174,71 @@ def _cmd_racecheck(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.harness.bench import (
+        QUICK_BACKENDS,
+        QUICK_CASES,
+        QUICK_STRATEGIES,
+        bench_forces,
+        render_bench_table,
+        reordering_records,
+        write_bench_json,
+    )
+    from repro.harness.cases import case_by_key
+    from repro.harness.reordering import measure_reordering
+
+    if args.quick:
+        cases = list(args.case or QUICK_CASES)
+        strategies = list(args.strategy or QUICK_STRATEGIES)
+        backends = list(args.backend or QUICK_BACKENDS)
+        warmup = min(args.warmup, 1)
+        repeats = min(args.repeats, 3)
+        reorder_case = "tiny"
+    else:
+        from repro.harness.bench import (
+            DEFAULT_BACKENDS,
+            DEFAULT_CASES,
+            DEFAULT_STRATEGIES,
+        )
+
+        cases = list(args.case or DEFAULT_CASES)
+        strategies = list(args.strategy or DEFAULT_STRATEGIES)
+        backends = list(args.backend or DEFAULT_BACKENDS)
+        warmup = args.warmup
+        repeats = args.repeats
+        reorder_case = "demo"
+
+    records = bench_forces(
+        cases=cases,
+        strategies=strategies,
+        backends=backends,
+        n_workers=args.threads,
+        warmup=warmup,
+        repeats=repeats,
+        on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
+    )
+    print(render_bench_table(records))
+
+    reorder = measure_reordering(
+        case=case_by_key(reorder_case),
+        n_threads=args.threads,
+        warmup=warmup,
+        repeats=repeats,
+    )
+    print()
+    print(reorder.render())
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    forces_path = os.path.join(args.output_dir, "BENCH_forces.json")
+    reorder_path = os.path.join(args.output_dir, "BENCH_reordering.json")
+    write_bench_json(forces_path, [r.to_dict() for r in records])
+    write_bench_json(reorder_path, reordering_records(reorder))
+    print(f"\nwrote {forces_path}\nwrote {reorder_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -245,6 +313,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", help="write the JSON report here ('-' for stdout)"
     )
     race.set_defaults(func=_cmd_racecheck)
+
+    bench = sub.add_parser(
+        "bench",
+        help="real wall-clock strategy x backend sweep (per-phase medians)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke configuration: tiny case, {serial,sdc-2d} x "
+        "{serial,threads}, <=3 repeats",
+    )
+    bench.add_argument(
+        "--case",
+        action="append",
+        help="case key to sweep (repeatable; default depends on --quick)",
+    )
+    bench.add_argument(
+        "--strategy",
+        action="append",
+        help="strategy key (serial, sdc-1d/2d/3d, critical-section, "
+        "array-privatization, redundant-computation, atomic, localwrite)",
+    )
+    bench.add_argument(
+        "--backend",
+        action="append",
+        choices=["serial", "threads", "processes"],
+        help="backend to sweep (repeatable)",
+    )
+    bench.add_argument("--threads", type=int, default=2)
+    bench.add_argument("--warmup", type=int, default=1)
+    bench.add_argument("--repeats", type=int, default=5)
+    bench.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory for BENCH_forces.json / BENCH_reordering.json",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

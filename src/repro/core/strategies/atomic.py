@@ -84,7 +84,8 @@ class AtomicStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase([density_task(rows) for rows in chunks])
+        with self._phase("density"):
+            self.backend.run_phase([density_task(rows) for rows in chunks])
 
         fp = np.empty(n)
         emb_parts = np.zeros(len(chunks))
@@ -96,9 +97,10 @@ class AtomicStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase(
-            [embed_task(k, rows) for k, rows in enumerate(chunks)]
-        )
+        with self._phase("embedding"):
+            self.backend.run_phase(
+                [embed_task(k, rows) for k, rows in enumerate(chunks)]
+            )
         embedding_energy = float(np.sum(emb_parts))
 
         forces = self._array("forces", (n, 3))
@@ -109,7 +111,9 @@ class AtomicStrategy(ReductionStrategy):
                 if len(i_idx) == 0:
                     return
                 delta, r = pair_geometry(positions, box, i_idx, j_idx)
-                coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+                coeff = force_pair_coefficients(
+                    potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+                )
                 pair_forces = coeff[:, None] * delta
                 for axis in range(3):
                     np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
@@ -117,7 +121,8 @@ class AtomicStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase([force_task(rows) for rows in chunks])
+        with self._phase("force"):
+            self.backend.run_phase([force_task(rows) for rows in chunks])
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

@@ -25,6 +25,7 @@ from repro.parallel.plan import SimPlan
 from repro.parallel.workload import WorkloadStats
 from repro.potentials.base import EAMPotential
 from repro.potentials.eam import EAMComputation, pair_geometry
+from repro.utils.profiler import NULL_PHASE, PhaseProfiler
 
 
 class ReductionStrategy(ABC):
@@ -42,6 +43,40 @@ class ReductionStrategy(ABC):
     #: optional write instrument (e.g. the racecheck recorder); when set,
     #: :meth:`_array` hands out shadow-wrapped reduction arrays.
     _instrument = None
+
+    #: optional wall-clock profiler; when set, :meth:`_phase` times the
+    #: strategy's phase regions under their canonical names
+    _profiler: "PhaseProfiler | None" = None
+
+    def attach_profiler(self, profiler: PhaseProfiler) -> None:
+        """Record per-phase wall-clock through ``profiler``.
+
+        Also attaches a :class:`~repro.utils.profiler.ProfilingObserver`
+        to the strategy's backend (when it has one) so barrier slack is
+        charged to ``color-barrier``.
+        """
+        from repro.utils.profiler import ProfilingObserver
+
+        self._profiler = profiler
+        backend = getattr(self, "backend", None)
+        if backend is not None:
+            backend.attach_observer(ProfilingObserver(profiler))
+
+    def detach_profiler(self) -> None:
+        """Stop profiling (idempotent)."""
+        self._profiler = None
+        backend = getattr(self, "backend", None)
+        if backend is not None and backend.observer is not None:
+            from repro.utils.profiler import ProfilingObserver
+
+            if isinstance(backend.observer, ProfilingObserver):
+                backend.detach_observer()
+
+    def _phase(self, name: str):
+        """Context manager timing a phase region (no-op when unprofiled)."""
+        if self._profiler is None:
+            return NULL_PHASE
+        return self._profiler.phase(name)
 
     def attach_instrument(self, recorder) -> None:
         """Record reduction-array writes through ``recorder``.

@@ -160,7 +160,8 @@ class LocalWriteStrategy(ReductionStrategy):
     ) -> EAMComputation:
         if not nlist.half:
             raise ValueError("LOCALWRITE consumes half neighbor lists")
-        self._prepare(atoms, nlist)
+        with self._phase("neighbor-rebuild"):
+            self._prepare(atoms, nlist)
         assert self._tables is not None and self._grid is not None
         tables = self._tables
         positions = atoms.positions
@@ -189,10 +190,12 @@ class LocalWriteStrategy(ReductionStrategy):
 
         # single fully parallel phase: every subdomain writes only its
         # own atoms, so no colors and no intermediate barriers
-        self.backend.run_phase([density_task(s) for s in range(n_sub)])
+        with self._phase("density"):
+            self.backend.run_phase([density_task(s) for s in range(n_sub)])
 
-        embedding_energy = float(np.sum(potential.embed(np.asarray(rho))))
-        fp = potential.embed_deriv(np.asarray(rho))
+        with self._phase("embedding"):
+            embedding_energy = float(np.sum(potential.embed(np.asarray(rho))))
+            fp = potential.embed_deriv(np.asarray(rho))
 
         forces = self._array("forces", (n, 3))
 
@@ -202,7 +205,7 @@ class LocalWriteStrategy(ReductionStrategy):
                 if len(i_in):
                     delta, r = pair_geometry(positions, box, i_in, j_in)
                     coeff = force_pair_coefficients(
-                        potential, r, fp[i_in], fp[j_in]
+                        potential, r, fp[i_in], fp[j_in], pair_ids=(i_in, j_in)
                     )
                     pf = coeff[:, None] * delta
                     for axis in range(3):
@@ -212,7 +215,7 @@ class LocalWriteStrategy(ReductionStrategy):
                 if len(i_b):
                     delta, r = pair_geometry(positions, box, i_b, j_b)
                     coeff = force_pair_coefficients(
-                        potential, r, fp[i_b], fp[j_b]
+                        potential, r, fp[i_b], fp[j_b], pair_ids=(i_b, j_b)
                     )
                     pf = coeff[:, None] * delta
                     own = np.where(side == 0, i_b, j_b)
@@ -224,7 +227,8 @@ class LocalWriteStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase([force_task(s) for s in range(n_sub)])
+        with self._phase("force"):
+            self.backend.run_phase([force_task(s) for s in range(n_sub)])
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

@@ -82,12 +82,13 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase(
-            [density_task(k, rows) for k, rows in enumerate(chunks)]
-        )
-        # merge in thread order (the real code merges under a critical
-        # section; fixed order keeps results deterministic)
-        rho = np.asarray(private_rho).sum(axis=0)
+        with self._phase("density"):
+            self.backend.run_phase(
+                [density_task(k, rows) for k, rows in enumerate(chunks)]
+            )
+            # merge in thread order (the real code merges under a critical
+            # section; fixed order keeps results deterministic)
+            rho = np.asarray(private_rho).sum(axis=0)
 
         fp = np.empty(n)
         emb_parts = np.zeros(len(chunks))
@@ -99,9 +100,10 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase(
-            [embed_task(k, rows) for k, rows in enumerate(chunks)]
-        )
+        with self._phase("embedding"):
+            self.backend.run_phase(
+                [embed_task(k, rows) for k, rows in enumerate(chunks)]
+            )
         embedding_energy = float(np.sum(emb_parts))
 
         # --- forces: private force copies, then ordered merge --------------------
@@ -113,7 +115,9 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
                 if len(i_idx) == 0:
                     return
                 delta, r = pair_geometry(positions, box, i_idx, j_idx)
-                coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+                coeff = force_pair_coefficients(
+                    potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+                )
                 pair_forces = coeff[:, None] * delta
                 mine = private_forces[k]
                 for axis in range(3):
@@ -122,10 +126,11 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase(
-            [force_task(k, rows) for k, rows in enumerate(chunks)]
-        )
-        forces = np.asarray(private_forces).sum(axis=0)
+        with self._phase("force"):
+            self.backend.run_phase(
+                [force_task(k, rows) for k, rows in enumerate(chunks)]
+            )
+            forces = np.asarray(private_forces).sum(axis=0)
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

@@ -67,7 +67,8 @@ class RedundantComputationStrategy(ReductionStrategy):
         atoms: Atoms,
         nlist: NeighborList,
     ) -> EAMComputation:
-        full = self._full_list(nlist)
+        with self._phase("neighbor-rebuild"):
+            full = self._full_list(nlist)
         positions = atoms.positions
         box = atoms.box
         n = atoms.n_atoms
@@ -90,9 +91,10 @@ class RedundantComputationStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase(
-            [density_task(rows) for rows in chunks if len(rows)]
-        )
+        with self._phase("density"):
+            self.backend.run_phase(
+                [density_task(rows) for rows in chunks if len(rows)]
+            )
 
         fp = np.empty(n)
         emb_parts = np.zeros(len(chunks))
@@ -104,9 +106,10 @@ class RedundantComputationStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase(
-            [embed_task(k, rows) for k, rows in enumerate(chunks)]
-        )
+        with self._phase("embedding"):
+            self.backend.run_phase(
+                [embed_task(k, rows) for k, rows in enumerate(chunks)]
+            )
         embedding_energy = float(np.sum(emb_parts))
 
         forces = self._array("forces", (n, 3))
@@ -117,7 +120,9 @@ class RedundantComputationStrategy(ReductionStrategy):
                 if len(i_idx) == 0:
                     return
                 delta, r = pair_geometry(positions, box, i_idx, j_idx)
-                coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+                coeff = force_pair_coefficients(
+                    potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+                )
                 pair_forces = coeff[:, None] * delta
                 forces[rows] = segment_sum(
                     pair_forces, i_idx - rows[0], len(rows)
@@ -125,7 +130,10 @@ class RedundantComputationStrategy(ReductionStrategy):
 
             return run
 
-        self.backend.run_phase([force_task(rows) for rows in chunks if len(rows)])
+        with self._phase("force"):
+            self.backend.run_phase(
+                [force_task(rows) for rows in chunks if len(rows)]
+            )
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

@@ -168,7 +168,8 @@ class SDCStrategy(ReductionStrategy):
     ) -> EAMComputation:
         if not nlist.half:
             raise ValueError("SDC consumes half neighbor lists")
-        self._prepare(atoms, nlist)
+        with self._phase("neighbor-rebuild"):
+            self._prepare(atoms, nlist)
         assert self._pairs is not None and self._schedule is not None
         pairs = self._pairs
         schedule = self._schedule
@@ -191,8 +192,11 @@ class SDCStrategy(ReductionStrategy):
 
             return run
 
-        for members in schedule.phases:
-            self.backend.run_phase([density_task(int(s)) for s in members])
+        with self._phase("density"):
+            for members in schedule.phases:
+                self.backend.run_phase(
+                    [density_task(int(s)) for s in members]
+                )
 
         # phase 2: embedding, plain parallel for
         fp = np.empty(n)
@@ -206,9 +210,10 @@ class SDCStrategy(ReductionStrategy):
             return run
 
         chunks = atom_chunks(n, self.n_threads)
-        self.backend.run_phase(
-            [embed_task(k, rows) for k, rows in enumerate(chunks)]
-        )
+        with self._phase("embedding"):
+            self.backend.run_phase(
+                [embed_task(k, rows) for k, rows in enumerate(chunks)]
+            )
         embedding_energy = float(np.sum(emb_parts))
 
         # phase 3: forces, color by color
@@ -220,7 +225,9 @@ class SDCStrategy(ReductionStrategy):
                 if len(i_idx) == 0:
                     return
                 delta, r = pair_geometry(positions, box, i_idx, j_idx)
-                coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+                coeff = force_pair_coefficients(
+                    potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+                )
                 pair_forces = coeff[:, None] * delta
                 for axis in range(3):
                     np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
@@ -228,8 +235,11 @@ class SDCStrategy(ReductionStrategy):
 
             return run
 
-        for members in schedule.phases:
-            self.backend.run_phase([force_task(int(s)) for s in members])
+        with self._phase("force"):
+            for members in schedule.phases:
+                self.backend.run_phase(
+                    [force_task(int(s)) for s in members]
+                )
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

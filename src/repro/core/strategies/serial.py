@@ -31,7 +31,9 @@ class SerialStrategy(ReductionStrategy):
         atoms: Atoms,
         nlist: NeighborList,
     ) -> EAMComputation:
-        return compute_eam_forces_serial(potential, atoms, nlist)
+        return compute_eam_forces_serial(
+            potential, atoms, nlist, profiler=self._profiler
+        )
 
     def plan(
         self,

@@ -1,0 +1,336 @@
+"""Real wall-clock benchmark sweep: strategy × backend × workload.
+
+The simulated machine (``repro.parallel.sim_exec``) reproduces the
+*paper's* numbers; this module measures what the Python realization
+actually costs on the current host.  Every cell of the sweep runs the
+warmup/repeat protocol of :class:`repro.utils.profiler.PhaseProfiler` and
+reports per-phase medians (density / embedding / force / neighbor-rebuild
+/ color-barrier) plus a ``total`` row with pair throughput.
+
+Outputs (``repro bench``):
+
+* ``BENCH_forces.json`` — per-phase force-kernel timings, one record per
+  (case, strategy, backend, n_workers, phase);
+* ``BENCH_reordering.json`` — the measured Section II.D sorted-vs-shuffled
+  comparison (:func:`repro.harness.reordering.measure_reordering`);
+* a human-readable table on stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.cases import Case, case_by_key
+from repro.harness.reordering import MeasuredReorderingResult, measure_reordering
+from repro.utils.profiler import PhaseProfiler
+
+#: sweep axes of the quick (CI smoke) configuration
+QUICK_CASES = ("tiny",)
+QUICK_STRATEGIES = ("serial", "sdc-2d")
+QUICK_BACKENDS = ("serial", "threads")
+
+#: default full sweep
+DEFAULT_CASES = ("tiny", "mini")
+DEFAULT_STRATEGIES = ("serial", "sdc-2d", "critical-section", "localwrite")
+DEFAULT_BACKENDS = ("serial", "threads")
+
+#: strategy keys the sweep understands (sdc split by dimensionality)
+KNOWN_STRATEGIES = (
+    "serial",
+    "sdc-1d",
+    "sdc-2d",
+    "sdc-3d",
+    "critical-section",
+    "array-privatization",
+    "redundant-computation",
+    "atomic",
+    "localwrite",
+)
+KNOWN_BACKENDS = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One measured phase of one sweep cell."""
+
+    case: str
+    strategy: str
+    backend: str
+    n_workers: int
+    phase: str
+    median_s: float
+    iqr_s: float
+    n_samples: int
+    #: half-list pair throughput; only the ``total`` phase carries it
+    pairs_per_s: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class BenchSkip(RuntimeError):
+    """A sweep cell that cannot run (unsupported combination)."""
+
+
+def _make_serial_on_backend(
+    backend, potential, atoms, nlist, profiler: PhaseProfiler
+) -> Callable[[], object]:
+    """Serial kernels dispatched as single-task phases through ``backend``.
+
+    This is what "serial strategy on the threads backend" means: the same
+    three-phase structure, each phase one closure, so the backend's
+    dispatch/join overhead (and the observer's barrier accounting) is
+    measured against the pure in-process call.
+    """
+    from repro.potentials.eam import (
+        eam_density_and_pair_energy_phase,
+        eam_embedding_phase,
+        eam_force_phase,
+    )
+
+    state: Dict[str, object] = {}
+
+    def density() -> None:
+        state["rho"], state["pair_energy"] = eam_density_and_pair_energy_phase(
+            potential, atoms.positions, atoms.box, nlist
+        )
+
+    def embed() -> None:
+        state["emb"], state["fp"] = eam_embedding_phase(
+            potential, state["rho"]
+        )
+
+    def force() -> None:
+        state["forces"] = eam_force_phase(
+            potential, atoms.positions, atoms.box, nlist, state["fp"]
+        )
+
+    def compute() -> object:
+        with profiler.phase("density"):
+            backend.run_phase([density])
+        with profiler.phase("embedding"):
+            backend.run_phase([embed])
+        with profiler.phase("force"):
+            backend.run_phase([force])
+        return state["forces"]
+
+    return compute
+
+
+def _make_cell(
+    strategy_key: str,
+    backend_key: str,
+    n_workers: int,
+    potential,
+    atoms,
+    nlist,
+    profiler: PhaseProfiler,
+) -> Tuple[Callable[[], object], Callable[[], None]]:
+    """Build (compute closure, cleanup) for one sweep cell."""
+    from repro.core.strategies import STRATEGY_REGISTRY
+    from repro.parallel.backends.serial import SerialBackend
+    from repro.parallel.backends.threads import ThreadBackend
+
+    if strategy_key not in KNOWN_STRATEGIES:
+        raise BenchSkip(f"unknown strategy {strategy_key!r}")
+    if backend_key not in KNOWN_BACKENDS:
+        raise BenchSkip(f"unknown backend {backend_key!r}")
+
+    if backend_key == "processes":
+        if not strategy_key.startswith("sdc"):
+            raise BenchSkip("processes backend only runs SDC")
+        from repro.parallel.backends.processes import ProcessSDCCalculator
+
+        dims = int(strategy_key[-2]) if strategy_key != "sdc" else 2
+        calc = ProcessSDCCalculator(dims=dims, n_workers=n_workers)
+        calc.attach_profiler(profiler)
+        return (
+            lambda: calc.compute(potential, atoms, nlist),
+            calc.detach_profiler,
+        )
+
+    backend = (
+        SerialBackend() if backend_key == "serial" else ThreadBackend(n_workers)
+    )
+
+    if strategy_key == "serial":
+        compute = _make_serial_on_backend(
+            backend, potential, atoms, nlist, profiler
+        )
+        return compute, backend.close
+
+    if strategy_key.startswith("sdc-"):
+        strategy = STRATEGY_REGISTRY["sdc"](
+            dims=int(strategy_key[-2]), n_threads=n_workers, backend=backend
+        )
+    else:
+        strategy = STRATEGY_REGISTRY[strategy_key](
+            n_threads=n_workers, backend=backend
+        )
+    strategy.attach_profiler(profiler)
+
+    def cleanup() -> None:
+        strategy.detach_profiler()
+        backend.close()
+
+    return lambda: strategy.compute(potential, atoms, nlist), cleanup
+
+
+def bench_forces(
+    cases: Sequence[str] = DEFAULT_CASES,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    n_workers: int = 2,
+    warmup: int = 1,
+    repeats: int = 5,
+    on_skip: Optional[Callable[[str], None]] = None,
+) -> List[BenchRecord]:
+    """Run the sweep; returns one record per (cell, phase)."""
+    from repro.md.neighbor.verlet import build_neighbor_list
+    from repro.potentials import fe_potential
+
+    potential = fe_potential()
+    records: List[BenchRecord] = []
+    for case_key in cases:
+        case = case_by_key(case_key)
+        atoms = case.build()
+        nlist = build_neighbor_list(
+            atoms.positions, atoms.box, potential.cutoff
+        )
+        n_pairs = nlist.n_pairs
+        for strategy_key in strategies:
+            for backend_key in backends:
+                workers = 1 if backend_key == "serial" else n_workers
+                profiler = PhaseProfiler()
+                try:
+                    compute, cleanup = _make_cell(
+                        strategy_key,
+                        backend_key,
+                        workers,
+                        potential,
+                        atoms,
+                        nlist,
+                        profiler,
+                    )
+                except BenchSkip as skip:
+                    if on_skip is not None:
+                        on_skip(
+                            f"{case_key}/{strategy_key}/{backend_key}: {skip}"
+                        )
+                    continue
+                try:
+                    stats = profiler.measure(
+                        compute, warmup=warmup, repeats=repeats
+                    )
+                finally:
+                    cleanup()
+                names = profiler.phase_names()
+                if "total" not in names:
+                    names.append("total")
+                for phase in names:
+                    s = stats[phase]
+                    records.append(
+                        BenchRecord(
+                            case=case_key,
+                            strategy=strategy_key,
+                            backend=backend_key,
+                            n_workers=workers,
+                            phase=phase,
+                            median_s=s.median_s,
+                            iqr_s=s.iqr_s,
+                            n_samples=s.n_samples,
+                            pairs_per_s=(
+                                n_pairs / s.median_s
+                                if phase == "total" and s.median_s > 0
+                                else None
+                            ),
+                        )
+                    )
+    return records
+
+
+def reordering_records(
+    result: MeasuredReorderingResult,
+) -> List[Dict[str, object]]:
+    """Flatten the measured reordering result into JSON records."""
+    rows = [
+        ("serial", "sorted", result.serial_sorted_s, result.serial_sorted_iqr_s),
+        (
+            "serial",
+            "shuffled",
+            result.serial_shuffled_s,
+            result.serial_shuffled_iqr_s,
+        ),
+        (
+            "sdc-2d",
+            "sorted",
+            result.parallel_sorted_s,
+            result.parallel_sorted_iqr_s,
+        ),
+        (
+            "sdc-2d",
+            "shuffled",
+            result.parallel_shuffled_s,
+            result.parallel_shuffled_iqr_s,
+        ),
+    ]
+    records: List[Dict[str, object]] = [
+        {
+            "case": result.case.key,
+            "strategy": strategy,
+            "layout": layout,
+            "n_workers": 1 if strategy == "serial" else result.n_threads,
+            "phase": "total",
+            "median_s": median,
+            "iqr_s": iqr,
+            "n_samples": result.repeats,
+        }
+        for strategy, layout, median, iqr in rows
+    ]
+    records.append(
+        {
+            "case": result.case.key,
+            "serial_gain_percent": result.serial_gain_percent,
+            "parallel_gain_percent": result.parallel_gain_percent,
+            "max_force_dev": result.max_force_dev,
+        }
+    )
+    return records
+
+
+def write_bench_json(path, records: Sequence[Dict[str, object]]) -> None:
+    """Write records with a host/environment header (schema v1)."""
+    payload = {
+        "schema": "repro-bench-v1",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "records": list(records),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def render_bench_table(records: Sequence[BenchRecord]) -> str:
+    """Human-readable sweep table, one row per (cell, phase)."""
+    if not records:
+        return "(no benchmark records)"
+    header = (
+        f"{'case':<6} {'strategy':<22} {'backend':<9} {'w':>2} "
+        f"{'phase':<16} {'median':>12} {'iqr':>12} {'pairs/s':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        pairs = f"{r.pairs_per_s:,.0f}" if r.pairs_per_s else ""
+        lines.append(
+            f"{r.case:<6} {r.strategy:<22} {r.backend:<9} {r.n_workers:>2} "
+            f"{r.phase:<16} {r.median_s:>10.6f} s {r.iqr_s:>10.6f} s "
+            f"{pairs:>12}"
+        )
+    return "\n".join(lines)

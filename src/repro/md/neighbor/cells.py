@@ -15,6 +15,10 @@ import numpy as np
 
 from repro.geometry.box import Box
 
+#: relative tolerance for snapping ``box.length / min_cell_size`` to an
+#: integer before flooring (guards against losing a cell to FP noise)
+CELL_COUNT_RTOL = 1e-9
+
 
 def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     """Concatenate ``[arange(s, s+l) for s, l in zip(starts, lengths)]`` fast.
@@ -145,9 +149,18 @@ def build_cell_list(
     if min_cell_size <= 0:
         raise ValueError(f"min_cell_size must be positive, got {min_cell_size}")
     positions = box.wrap(np.asarray(positions, dtype=np.float64))
-    n_cells = np.maximum(
-        1, np.floor(box.lengths / min_cell_size).astype(np.int64)
+    # snap the cells-per-axis ratio to the nearest integer when it lands
+    # within a relative tolerance below it: a box of length 3*h - epsilon
+    # must still get 3 cells, not lose one to FP noise in the division
+    # (the lost cell would shrink the grid and inflate candidate pairs)
+    ratio = box.lengths / min_cell_size
+    nearest = np.rint(ratio)
+    snapped = np.where(
+        np.abs(ratio - nearest) <= CELL_COUNT_RTOL * np.maximum(ratio, 1.0),
+        nearest,
+        np.floor(ratio),
     )
+    n_cells = np.maximum(1, snapped.astype(np.int64))
     cell_size = box.lengths / n_cells
     # integer cell coordinates; clip guards against pos == L after rounding
     coords = np.floor(positions / cell_size).astype(np.int64)

@@ -184,6 +184,42 @@ def build_neighbor_list(
     )
 
 
+def build_reordered_neighbor_list(
+    positions: np.ndarray,
+    box: Box,
+    cutoff: float,
+    skin: float = 0.3,
+    half: bool = True,
+) -> Tuple[NeighborList, np.ndarray, np.ndarray]:
+    """Build the Section II.D cache-optimized layout: sorted atoms + CSR list.
+
+    Bins ``positions`` into link cells, renumbers atoms in cell order
+    (the :attr:`CellList.order` permutation), and builds the neighbor
+    list *in the new numbering* — so both the atom arrays and the
+    per-row ``j`` streams walk memory almost sequentially.  Rows come out
+    CSR-sorted (ascending ``j`` within each row) by construction.
+
+    Returns ``(nlist, perm, inverse)``:
+
+    * ``nlist`` — neighbor list over the reordered atoms;
+    * ``perm`` — apply with :meth:`repro.md.atoms.Atoms.reorder` (new
+      index ``k`` was old ``perm[k]``);
+    * ``inverse`` — maps old indices to new (``inverse[perm[k]] == k``),
+      the output map: ``result_old = result_new[inverse]``.
+    """
+    from repro.utils.arrays import invert_permutation
+
+    positions = box.wrap(np.asarray(positions, dtype=np.float64))
+    reach = cutoff + skin
+    cells = build_cell_list(positions, box, reach)
+    perm = cells.order.copy()
+    inverse = invert_permutation(perm)
+    nlist = build_neighbor_list(
+        positions[perm], box, cutoff, skin=skin, half=half
+    )
+    return nlist, perm, inverse
+
+
 def brute_force_neighbor_list(
     positions: np.ndarray,
     box: Box,

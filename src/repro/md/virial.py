@@ -52,7 +52,9 @@ def virial_tensor(
     rho = eam_density_phase(potential, positions, box, nlist)
     _, fp = eam_embedding_phase(potential, rho)
     delta, r = pair_geometry(positions, box, i_idx, j_idx)
-    coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+    coeff = force_pair_coefficients(
+        potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+    )
     pair_forces = coeff[:, None] * delta
     tensor = pair_forces.T @ delta
     if not nlist.half:

@@ -22,6 +22,7 @@ sizes.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from multiprocessing import shared_memory
 from typing import List, Optional, Sequence, Tuple
 
@@ -38,6 +39,11 @@ from repro.potentials.eam import (
     EAMComputation,
     force_pair_coefficients,
     pair_geometry,
+)
+from repro.utils.profiler import (
+    NULL_PHASE,
+    PHASE_BARRIER,
+    PhaseProfiler,
 )
 
 # state inherited by workers at fork time (read-only in workers)
@@ -64,10 +70,13 @@ def _worker_shadow(array: np.ndarray, name: str):
     return wrap_array(array, name, log), log
 
 
-def _density_worker(subdomains: Sequence[int]) -> Optional[List[int]]:
+def _density_worker(
+    subdomains: Sequence[int],
+) -> Tuple[float, Optional[List[int]]]:
     state = _FORK_STATE
     rho, segment = _open_array(state["rho_name"], (state["n_atoms"],))
     rho, log = _worker_shadow(rho, "rho")
+    start = time.perf_counter()
     try:
         potential = state["potential"]
         positions = state["positions"]
@@ -81,17 +90,21 @@ def _density_worker(subdomains: Sequence[int]) -> Optional[List[int]]:
             phi = potential.density(r)
             np.add.at(rho, i_idx, phi)
             np.add.at(rho, j_idx, phi)
-        return log.flat("rho").tolist() if log is not None else None
+        elapsed = time.perf_counter() - start
+        return elapsed, (log.flat("rho").tolist() if log is not None else None)
     finally:
         del rho
         segment.close()
 
 
-def _force_worker(subdomains: Sequence[int]) -> Optional[List[int]]:
+def _force_worker(
+    subdomains: Sequence[int],
+) -> Tuple[float, Optional[List[int]]]:
     state = _FORK_STATE
     forces, fseg = _open_array(state["forces_name"], (state["n_atoms"], 3))
     fp, pseg = _open_array(state["fp_name"], (state["n_atoms"],))
     forces, log = _worker_shadow(forces, "forces")
+    start = time.perf_counter()
     try:
         potential = state["potential"]
         positions = state["positions"]
@@ -102,12 +115,17 @@ def _force_worker(subdomains: Sequence[int]) -> Optional[List[int]]:
             if len(i_idx) == 0:
                 continue
             delta, r = pair_geometry(positions, box, i_idx, j_idx)
-            coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+            coeff = force_pair_coefficients(
+                potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+            )
             pair_forces = coeff[:, None] * delta
             for axis in range(3):
                 np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
                 np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
-        return log.flat("forces").tolist() if log is not None else None
+        elapsed = time.perf_counter() - start
+        return elapsed, (
+            log.flat("forces").tolist() if log is not None else None
+        )
     finally:
         del forces, fp
         fseg.close()
@@ -147,6 +165,29 @@ class ProcessSDCCalculator:
         #: dynamic race detector (repro.analysis.racecheck)
         self.record_writes = record_writes
         self.last_write_record: List[Tuple[str, List[List[int]]]] = []
+        self._profiler: Optional[PhaseProfiler] = None
+
+    def attach_profiler(self, profiler: PhaseProfiler) -> None:
+        """Record per-phase wall-clock (and barrier slack) into *profiler*."""
+        self._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        self._profiler = None
+
+    def _phase(self, name: str):
+        if self._profiler is None:
+            return NULL_PHASE
+        return self._profiler.phase(name)
+
+    def _run_color_phase(self, pool, worker, chunks) -> List[Optional[List[int]]]:
+        """One color phase: map chunks, charge barrier slack, return writes."""
+        start = time.perf_counter()
+        results = pool.map(worker, chunks)
+        wall = time.perf_counter() - start
+        if self._profiler is not None and results:
+            longest = max(elapsed for elapsed, _ in results)
+            self._profiler.add(PHASE_BARRIER, max(0.0, wall - longest))
+        return [writes for _, writes in results]
 
     def _decompose(self, atoms: Atoms, nlist: NeighborList):
         reach = nlist.cutoff + nlist.skin
@@ -171,7 +212,8 @@ class ProcessSDCCalculator:
         if not nlist.half:
             raise ValueError("SDC consumes half neighbor lists")
         n = atoms.n_atoms
-        pairs, schedule = self._decompose(atoms, nlist)
+        with self._phase("neighbor-rebuild"):
+            pairs, schedule = self._decompose(atoms, nlist)
 
         rho_seg = shared_memory.SharedMemory(create=True, size=max(n, 1) * 8)
         fp_seg = shared_memory.SharedMemory(create=True, size=max(n, 1) * 8)
@@ -202,28 +244,39 @@ class ProcessSDCCalculator:
             ctx = mp.get_context("fork")
             with ctx.Pool(self.n_workers) as pool:
                 # phase 1: densities, color by color (pool.map = barrier)
-                for members in schedule.phases:
-                    chunks = [
-                        members[c].tolist()
-                        for c in static_assignment(len(members), self.n_workers)
-                        if len(c)
-                    ]
-                    writes = pool.map(_density_worker, chunks)
-                    if self.record_writes:
-                        self.last_write_record.append(("density", writes))
+                with self._phase("density"):
+                    for members in schedule.phases:
+                        chunks = [
+                            members[c].tolist()
+                            for c in static_assignment(
+                                len(members), self.n_workers
+                            )
+                            if len(c)
+                        ]
+                        writes = self._run_color_phase(
+                            pool, _density_worker, chunks
+                        )
+                        if self.record_writes:
+                            self.last_write_record.append(("density", writes))
                 # phase 2: embedding in the parent (no dependences)
-                embedding_energy = float(np.sum(potential.embed(rho)))
-                fp[:] = potential.embed_deriv(rho)
+                with self._phase("embedding"):
+                    embedding_energy = float(np.sum(potential.embed(rho)))
+                    fp[:] = potential.embed_deriv(rho)
                 # phase 3: forces, color by color
-                for members in schedule.phases:
-                    chunks = [
-                        members[c].tolist()
-                        for c in static_assignment(len(members), self.n_workers)
-                        if len(c)
-                    ]
-                    writes = pool.map(_force_worker, chunks)
-                    if self.record_writes:
-                        self.last_write_record.append(("force", writes))
+                with self._phase("force"):
+                    for members in schedule.phases:
+                        chunks = [
+                            members[c].tolist()
+                            for c in static_assignment(
+                                len(members), self.n_workers
+                            )
+                            if len(c)
+                        ]
+                        writes = self._run_color_phase(
+                            pool, _force_worker, chunks
+                        )
+                        if self.record_writes:
+                            self.last_write_record.append(("force", writes))
 
             i_idx, j_idx = nlist.pair_arrays()
             if len(i_idx):

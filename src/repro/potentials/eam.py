@@ -31,7 +31,13 @@ from repro.md.atoms import Atoms
 from repro.md.neighbor.verlet import NeighborList
 from repro.potentials.base import EAMPotential
 from repro.utils.arrays import segment_sum
+from repro.utils.profiler import NULL_PHASE, PhaseProfiler
 from repro.utils.timers import Counter
+
+#: pairs closer than this (Å) are treated as overlapping atoms — any
+#: spline/derivative evaluation there is extrapolated garbage and the
+#: ``1/r`` force scaling amplifies it into astronomically large forces
+MIN_PAIR_SEPARATION = 1e-6
 
 
 # --------------------------------------------------------------------------
@@ -92,8 +98,31 @@ def scatter_rho_owned(
     What the Redundant Computation strategy does: every directed pair
     contributes only to its own row ``i``, so no write conflicts exist
     (but every ``phi`` is computed twice system-wide).
+
+    Raises
+    ------
+    IndexError
+        if any index falls outside ``[0, n_atoms)`` or the accumulator
+        does not cover all ``n_atoms`` rows.  Out-of-range indices used
+        to be silently truncated away, dropping their density
+        contributions without a trace.
     """
-    rho += np.bincount(i_idx, weights=phi, minlength=n_atoms)[: len(rho)]
+    if len(rho) != n_atoms:
+        raise IndexError(
+            f"owned-row density scatter needs a {n_atoms}-row accumulator, "
+            f"got {len(rho)} rows"
+        )
+    i_idx = np.asarray(i_idx)
+    if len(i_idx):
+        lo = int(i_idx.min())
+        hi = int(i_idx.max())
+        if lo < 0 or hi >= n_atoms:
+            bad = hi if hi >= n_atoms else lo
+            raise IndexError(
+                f"owned-row density scatter got atom index {bad}, outside "
+                f"the valid range [0, {n_atoms})"
+            )
+    rho += np.bincount(i_idx, weights=phi, minlength=n_atoms)
 
 
 def force_pair_coefficients(
@@ -101,17 +130,41 @@ def force_pair_coefficients(
     r: np.ndarray,
     fp_i: np.ndarray,
     fp_j: np.ndarray,
+    pair_ids: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    min_separation: float = MIN_PAIR_SEPARATION,
 ) -> np.ndarray:
     """Scalar force coefficient per pair (Eq. 2 of the paper).
 
     ``coeff = -(V'(r) + (F'_i + F'_j) phi'(r)) / r`` so that the force
     contribution on atom i is ``coeff * delta_ij`` (and ``-coeff * delta_ij``
     on atom j).
+
+    ``pair_ids`` is the optional ``(i_idx, j_idx)`` pair slice aligned with
+    ``r``, used only to name atoms in the overlap diagnostic below.
+
+    Raises
+    ------
+    ValueError
+        if any pair is separated by less than ``min_separation`` Å.
+        Overlapping atoms used to be silently clamped to ``r = 1e-12``,
+        turning the ``1/r`` scaling into astronomically large garbage
+        forces with no diagnostic.
     """
+    if len(r) and float(np.min(r)) < min_separation:
+        k = int(np.argmin(r))
+        if pair_ids is not None:
+            i_idx, j_idx = pair_ids
+            where = f"atoms {int(i_idx[k])} and {int(j_idx[k])}"
+        else:
+            where = f"pair slot {k}"
+        raise ValueError(
+            f"overlapping atoms: {where} are separated by {float(r[k]):.3e} Å "
+            f"(< {min_separation:g} Å); the EAM force coefficient diverges "
+            "as 1/r — fix the initial configuration or the timestep"
+        )
     vp = potential.pair_energy_deriv(r)
     dp = potential.density_deriv(r)
-    r_safe = np.maximum(r, 1e-12)
-    return -(vp + (fp_i + fp_j) * dp) / r_safe
+    return -(vp + (fp_i + fp_j) * dp) / r
 
 
 def scatter_force_half(
@@ -151,11 +204,32 @@ def eam_density_phase(
     counter: Optional[Counter] = None,
 ) -> np.ndarray:
     """Phase 1: electron densities from a half (or full) neighbor list."""
+    rho, _ = eam_density_and_pair_energy_phase(
+        potential, positions, box, nlist, counter, want_pair_energy=False
+    )
+    return rho
+
+
+def eam_density_and_pair_energy_phase(
+    potential: EAMPotential,
+    positions: np.ndarray,
+    box: Box,
+    nlist: NeighborList,
+    counter: Optional[Counter] = None,
+    want_pair_energy: bool = True,
+) -> Tuple[np.ndarray, float]:
+    """Phase 1 with the pair-energy sum fused in.
+
+    The pair energy ``sum V(r)`` needs exactly the pair distances phase 1
+    already computed, so evaluating it here (reusing the cached ``r``)
+    saves a third ``pair_arrays``/``pair_geometry`` pass over every pair.
+    Returns ``(rho, pair_energy)``; the energy is 0.0 when not requested.
+    """
     n = len(positions)
     rho = np.zeros(n)
     i_idx, j_idx = nlist.pair_arrays()
     if len(i_idx) == 0:
-        return rho
+        return rho, 0.0
     _, r = pair_geometry(positions, box, i_idx, j_idx)
     phi = density_pair_values(potential, r)
     if nlist.half:
@@ -163,10 +237,14 @@ def eam_density_phase(
         rho += np.bincount(j_idx, weights=phi, minlength=n)
     else:
         rho += np.bincount(i_idx, weights=phi, minlength=n)
+    pair_energy = 0.0
+    if want_pair_energy:
+        v = potential.pair_energy(r)
+        pair_energy = float(np.sum(v)) * (1.0 if nlist.half else 0.5)
     if counter is not None:
         counter.add("density_pairs", len(i_idx))
         counter.add("rho_updates", (2 if nlist.half else 1) * len(i_idx))
-    return rho
+    return rho, pair_energy
 
 
 def eam_embedding_phase(
@@ -201,7 +279,9 @@ def eam_force_phase(
     if len(i_idx) == 0:
         return forces
     delta, r = pair_geometry(positions, box, i_idx, j_idx)
-    coeff = force_pair_coefficients(potential, r, fp[i_idx], fp[j_idx])
+    coeff = force_pair_coefficients(
+        potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+    )
     pair_forces = coeff[:, None] * delta
     if nlist.half:
         forces += segment_sum(pair_forces, i_idx, n)
@@ -241,25 +321,29 @@ def compute_eam_forces_serial(
     atoms: Atoms,
     nlist: NeighborList,
     counter: Optional[Counter] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> EAMComputation:
     """Full serial EAM evaluation; also updates ``atoms`` in place.
 
     This is the reference every parallel strategy must reproduce; it is
     also the timing baseline of the paper ("runtimes of serial programs on
-    one core").
+    one core").  The pair energy is evaluated inside phase 1 (fused with
+    the density pass, reusing the pair distances) rather than in a third
+    sweep over the pair list.  When ``profiler`` is given, each phase's
+    wall-clock is recorded under its canonical name.
     """
     positions = atoms.positions
     box = atoms.box
-    rho = eam_density_phase(potential, positions, box, nlist, counter)
-    emb_energy, fp = eam_embedding_phase(potential, rho, counter)
-    forces = eam_force_phase(potential, positions, box, nlist, fp, counter)
-    i_idx, j_idx = nlist.pair_arrays()
-    if len(i_idx):
-        _, r = pair_geometry(positions, box, i_idx, j_idx)
-        v = potential.pair_energy(r)
-        pair_energy = float(np.sum(v)) * (1.0 if nlist.half else 0.5)
-    else:
-        pair_energy = 0.0
+    with profiler.phase("density") if profiler else NULL_PHASE:
+        rho, pair_energy = eam_density_and_pair_energy_phase(
+            potential, positions, box, nlist, counter
+        )
+    with profiler.phase("embedding") if profiler else NULL_PHASE:
+        emb_energy, fp = eam_embedding_phase(potential, rho, counter)
+    with profiler.phase("force") if profiler else NULL_PHASE:
+        forces = eam_force_phase(
+            potential, positions, box, nlist, fp, counter
+        )
     atoms.rho[:] = rho
     atoms.fp[:] = fp
     atoms.forces[:] = forces
@@ -278,14 +362,8 @@ def compute_eam_energy(
     nlist: NeighborList,
 ) -> float:
     """Total potential energy only (used by finite-difference force tests)."""
-    positions = atoms.positions
-    box = atoms.box
-    rho = eam_density_phase(potential, positions, box, nlist)
+    rho, pair_energy = eam_density_and_pair_energy_phase(
+        potential, atoms.positions, atoms.box, nlist
+    )
     emb_energy = float(np.sum(potential.embed(rho)))
-    i_idx, j_idx = nlist.pair_arrays()
-    if len(i_idx) == 0:
-        return emb_energy
-    _, r = pair_geometry(positions, box, i_idx, j_idx)
-    v = potential.pair_energy(r)
-    pair_energy = float(np.sum(v)) * (1.0 if nlist.half else 0.5)
     return pair_energy + emb_energy

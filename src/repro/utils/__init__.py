@@ -8,7 +8,7 @@ from repro.utils.arrays import (
     segment_sum,
 )
 from repro.utils.rng import default_rng, spawn_rngs
-from repro.utils.timers import Counter, Stopwatch
+from repro.utils.timers import Counter, Stopwatch, median_iqr
 from repro.utils.validation import (
     check_finite,
     check_positive,
@@ -26,6 +26,7 @@ __all__ = [
     "spawn_rngs",
     "Counter",
     "Stopwatch",
+    "median_iqr",
     "check_finite",
     "check_positive",
     "check_shape",

@@ -1,0 +1,305 @@
+"""Per-phase wall-clock profiling with warmup/repeat/median-IQR protocol.
+
+The simulated machine (:mod:`repro.parallel.sim_exec`) predicts runtimes;
+this module *measures* them.  A :class:`PhaseProfiler` accumulates
+wall-clock per named phase — the canonical EAM phases plus the two
+overheads the paper's discussion cares about:
+
+* ``density`` / ``embedding`` / ``force`` — the three kernel phases
+  (Section II.C);
+* ``neighbor-rebuild`` — cell binning, Verlet list construction, and the
+  SDC decomposition/partition rebuild keyed to it;
+* ``color-barrier`` — time threads spend waiting at the implicit barrier
+  between SDC color phases (phase wall-clock minus the longest task).
+
+Measurement follows the standard repeat protocol: a few *warmup*
+evaluations are discarded (page faults, allocator warm state, NumPy
+dispatch caches), then each of ``repeats`` evaluations contributes one
+sample per phase, summarized as median and interquartile range
+(:func:`repro.utils.timers.median_iqr`).
+
+The profiler threads through the stack in three ways:
+
+1. the serial kernels accept ``profiler=`` directly
+   (:func:`repro.potentials.eam.compute_eam_forces_serial`);
+2. every :class:`~repro.core.strategies.base.ReductionStrategy` exposes
+   ``attach_profiler`` and wraps its phase regions;
+3. :class:`ProfilingObserver` plugs into the backend
+   :class:`~repro.parallel.backends.base.PhaseObserver` hook surface and
+   charges barrier slack to ``color-barrier``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.utils.timers import median_iqr
+
+#: canonical phase names, in reporting order
+PHASE_DENSITY = "density"
+PHASE_EMBEDDING = "embedding"
+PHASE_FORCE = "force"
+PHASE_NEIGHBOR = "neighbor-rebuild"
+PHASE_BARRIER = "color-barrier"
+CANONICAL_PHASES: Tuple[str, ...] = (
+    PHASE_DENSITY,
+    PHASE_EMBEDDING,
+    PHASE_FORCE,
+    PHASE_NEIGHBOR,
+    PHASE_BARRIER,
+)
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Summary of one phase's per-repeat wall-clock samples."""
+
+    phase: str
+    n_samples: int
+    median_s: float
+    iqr_s: float
+    min_s: float
+    max_s: float
+
+    @staticmethod
+    def from_samples(phase: str, samples: List[float]) -> "PhaseStats":
+        """Summarize raw per-repeat seconds into the reported statistics."""
+        med, iqr = median_iqr(samples)
+        return PhaseStats(
+            phase=phase,
+            n_samples=len(samples),
+            median_s=med,
+            iqr_s=iqr,
+            min_s=min(samples),
+            max_s=max(samples),
+        )
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall-clock, one sample set per repeat.
+
+    Within one *repeat*, every ``phase(name)`` section (and every
+    ``add``) accumulates into that repeat's running total for ``name``;
+    ``end_repeat`` flushes the totals as one sample each.  Warmup repeats
+    are timed but discarded.
+
+    >>> prof = PhaseProfiler()
+    >>> with prof.repeat():
+    ...     with prof.phase("density"):
+    ...         pass
+    >>> prof.stats()["density"].n_samples
+    1
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+        self._current: Dict[str, float] = {}
+        self._in_repeat = False
+        self._discard = False
+        self._lock = threading.Lock()
+
+    # --- sample collection ----------------------------------------------------
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall-clock to phase ``name``.
+
+        Thread-safe: observer callbacks may charge from worker threads.
+        Outside an explicit repeat, each ``add`` lands in an implicit
+        always-open repeat (flushed lazily by :meth:`stats`).
+        """
+        if seconds < 0:
+            # clock skew across threads can produce tiny negatives; clamp
+            seconds = 0.0
+        with self._lock:
+            self._current[name] = self._current.get(name, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one section under phase ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    # --- repeat protocol --------------------------------------------------------
+
+    def begin_repeat(self, warmup: bool = False) -> None:
+        """Open a repeat; a warmup repeat's totals are discarded at the end."""
+        if self._in_repeat:
+            raise RuntimeError("previous repeat still open")
+        self._current = {}
+        self._in_repeat = True
+        self._discard = warmup
+
+    def end_repeat(self) -> None:
+        """Close the current repeat, flushing its totals as one sample each."""
+        if not self._in_repeat:
+            raise RuntimeError("no repeat open")
+        with self._lock:
+            if not self._discard:
+                for name, total in self._current.items():
+                    self._samples.setdefault(name, []).append(total)
+            self._current = {}
+        self._in_repeat = False
+        self._discard = False
+
+    @contextmanager
+    def repeat(self, warmup: bool = False) -> Iterator[None]:
+        """Context-manager form of ``begin_repeat``/``end_repeat``."""
+        self.begin_repeat(warmup=warmup)
+        try:
+            yield
+        finally:
+            self.end_repeat()
+
+    def measure(
+        self,
+        fn: Callable[[], object],
+        warmup: int = 1,
+        repeats: int = 5,
+    ) -> Dict[str, PhaseStats]:
+        """Run ``fn`` with the repeat protocol and return per-phase stats.
+
+        ``fn`` is expected to exercise code instrumented against this
+        profiler; each recorded call additionally contributes a ``total``
+        phase covering the whole evaluation.
+        """
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        for _ in range(warmup):
+            with self.repeat(warmup=True):
+                fn()
+        for _ in range(repeats):
+            with self.repeat():
+                with self.phase("total"):
+                    fn()
+        return self.stats()
+
+    # --- reporting ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all samples and any open repeat."""
+        with self._lock:
+            self._samples = {}
+            self._current = {}
+        self._in_repeat = False
+        self._discard = False
+
+    def phase_names(self) -> List[str]:
+        """Recorded phase names: canonical order first, extras appended."""
+        with self._lock:
+            seen = set(self._samples)
+        ordered = [p for p in CANONICAL_PHASES if p in seen]
+        ordered += sorted(seen - set(ordered))
+        return ordered
+
+    def stats(self) -> Dict[str, PhaseStats]:
+        """Per-phase summaries of all flushed samples.
+
+        A pending implicit repeat (bare ``add``/``phase`` calls outside
+        ``repeat()``) is flushed as one sample first.
+        """
+        with self._lock:
+            if not self._in_repeat and self._current:
+                for name, total in self._current.items():
+                    self._samples.setdefault(name, []).append(total)
+                self._current = {}
+            samples = {k: list(v) for k, v in self._samples.items()}
+        return {
+            name: PhaseStats.from_samples(name, sample)
+            for name, sample in samples.items()
+        }
+
+    def report(self) -> str:
+        """Human-readable per-phase table (median / IQR / samples)."""
+        stats = self.stats()
+        if not stats:
+            return "(no phases profiled)"
+        names = self.phase_names()
+        if "total" in stats and "total" not in names:
+            names.append("total")
+        width = max(len(n) for n in names)
+        lines = [
+            f"{'phase':<{width}}  {'median':>12}  {'iqr':>12}  {'n':>3}"
+        ]
+        for name in names:
+            s = stats[name]
+            lines.append(
+                f"{name:<{width}}  {s.median_s:>10.6f} s  {s.iqr_s:>10.6f} s"
+                f"  {s.n_samples:>3}"
+            )
+        return "\n".join(lines)
+
+
+class ProfilingObserver:
+    """Backend observer charging color-barrier slack to a profiler.
+
+    Implements the
+    :class:`~repro.parallel.backends.base.PhaseObserver` hook surface
+    structurally (backends only call the four hooks, never isinstance) —
+    deliberately not a subclass, so this module stays import-light and
+    free of the ``utils`` ↔ ``parallel`` package cycle.
+
+    For every backend phase the observer measures the phase wall-clock
+    (``on_phase_begin`` to ``on_phase_end``) and each task's duration on
+    its worker; the difference between the phase wall-clock and the
+    longest task is the time the other workers spent blocked at the
+    implicit barrier — recorded under ``color-barrier``.  Single-task
+    phases (the serial backend's degenerate case) still contribute their
+    dispatch overhead, which is the honest cost of the barrier structure.
+    """
+
+    def __init__(self, profiler: PhaseProfiler) -> None:
+        self.profiler = profiler
+        self._lock = threading.Lock()
+        self._phase_start: Dict[int, float] = {}
+        self._task_start: Dict[Tuple[int, int], float] = {}
+        self._task_elapsed: Dict[int, float] = {}
+
+    def on_phase_begin(self, phase: int, n_tasks: int) -> None:
+        with self._lock:
+            self._phase_start[phase] = time.perf_counter()
+            self._task_elapsed[phase] = 0.0
+
+    def on_task_begin(self, phase: int, task: int) -> None:
+        with self._lock:
+            self._task_start[(phase, task)] = time.perf_counter()
+
+    def on_task_end(self, phase: int, task: int) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            start = self._task_start.pop((phase, task), None)
+            if start is None:
+                return
+            elapsed = now - start
+            if elapsed > self._task_elapsed.get(phase, 0.0):
+                self._task_elapsed[phase] = elapsed
+
+    def on_phase_end(self, phase: int) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            start = self._phase_start.pop(phase, None)
+            longest = self._task_elapsed.pop(phase, 0.0)
+        if start is None:
+            return
+        self.profiler.add(PHASE_BARRIER, max(0.0, (now - start) - longest))
+
+
+class _NullContext:
+    """Tiny ``nullcontext`` stand-in (keeps strategy hot paths allocation-free)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+NULL_PHASE = _NullContext()

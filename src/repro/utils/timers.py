@@ -10,7 +10,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def median_iqr(samples: Sequence[float]) -> Tuple[float, float]:
+    """Median and interquartile range of a sample set.
+
+    The robust summary pair the wall-clock benchmarks report: the median
+    ignores one-off scheduling hiccups, the IQR (Q3 - Q1) quantifies the
+    run-to-run spread without being blown up by a single outlier.
+    """
+    if len(samples) == 0:
+        raise ValueError("median_iqr needs at least one sample")
+    arr = np.asarray(samples, dtype=np.float64)
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return float(med), float(q3 - q1)
 
 
 class Stopwatch:

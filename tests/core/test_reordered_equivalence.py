@@ -1,0 +1,125 @@
+"""Section II.D reordered layout: physics identical to the baseline layout.
+
+The cell-order permutation changes only *where* each atom lives in memory.
+Mapping the reordered results back through the inverse permutation must
+reproduce the baseline forces/energies to tight tolerance on every
+execution path: serial kernel, thread backend, process backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import SDCStrategy
+from repro.harness.cases import case_by_key
+from repro.md.neighbor.verlet import (
+    build_neighbor_list,
+    build_reordered_neighbor_list,
+)
+from repro.parallel.backends.threads import ThreadBackend
+from repro.potentials import fe_potential
+from repro.potentials.eam import compute_eam_forces_serial
+
+
+@pytest.fixture(scope="module")
+def layouts():
+    """Baseline system plus its cell-sorted relayout (and the maps)."""
+    atoms = case_by_key("tiny").build(seed=3)
+    pot = fe_potential()
+    nlist = build_neighbor_list(atoms.positions, atoms.box, pot.cutoff, 0.3)
+    baseline = compute_eam_forces_serial(pot, atoms.copy(), nlist)
+
+    reordered = atoms.copy()
+    nlist_r, perm, inverse = build_reordered_neighbor_list(
+        atoms.positions, atoms.box, pot.cutoff, skin=0.3
+    )
+    reordered.reorder(perm)
+    return pot, baseline, reordered, nlist_r, perm, inverse
+
+
+class TestPermutationMaps:
+    def test_inverse_really_inverts(self, layouts):
+        _, _, _, _, perm, inverse = layouts
+        n = len(perm)
+        assert np.array_equal(perm[inverse], np.arange(n))
+        assert np.array_equal(inverse[perm], np.arange(n))
+
+    def test_reorder_tracks_ids(self, layouts):
+        _, _, reordered, _, perm, _ = layouts
+        assert np.array_equal(reordered.ids, perm)
+
+    def test_csr_rows_sorted(self, layouts):
+        """The reordered list is CSR-sorted — ascending j within each row."""
+        _, _, _, nlist_r, _, _ = layouts
+        for i in range(nlist_r.n_atoms):
+            row = nlist_r.neighbors_of(i)
+            assert np.all(np.diff(row) > 0)
+
+    def test_same_pair_count(self, layouts):
+        _, baseline, reordered, nlist_r, _, _ = layouts
+        pot = fe_potential()
+        nlist = build_neighbor_list(
+            reordered.box.wrap(reordered.positions[np.argsort(reordered.ids)]),
+            reordered.box,
+            pot.cutoff,
+            0.3,
+        )
+        assert nlist_r.n_pairs == nlist.n_pairs
+
+
+class TestReorderedEquivalence:
+    def test_serial_kernel(self, layouts):
+        pot, baseline, reordered, nlist_r, _, inverse = layouts
+        result = compute_eam_forces_serial(pot, reordered.copy(), nlist_r)
+        assert np.allclose(
+            result.forces[inverse], baseline.forces, rtol=1e-10, atol=1e-12
+        )
+        assert np.allclose(
+            result.rho[inverse], baseline.rho, rtol=1e-10, atol=1e-12
+        )
+        assert result.potential_energy == pytest.approx(
+            baseline.potential_energy, rel=1e-12
+        )
+
+    def test_threads_backend(self, layouts):
+        pot, baseline, reordered, nlist_r, _, inverse = layouts
+        with ThreadBackend(2) as backend:
+            strategy = SDCStrategy(dims=2, n_threads=2, backend=backend)
+            result = strategy.compute(pot, reordered.copy(), nlist_r)
+        assert np.allclose(
+            result.forces[inverse], baseline.forces, rtol=1e-10, atol=1e-12
+        )
+        assert result.potential_energy == pytest.approx(
+            baseline.potential_energy, rel=1e-12
+        )
+
+    def test_processes_backend(self, layouts):
+        pot, baseline, reordered, nlist_r, _, inverse = layouts
+        from repro.parallel.backends.processes import ProcessSDCCalculator
+
+        calc = ProcessSDCCalculator(dims=2, n_workers=2)
+        result = calc.compute(pot, reordered.copy(), nlist_r)
+        assert np.allclose(
+            result.forces[inverse], baseline.forces, rtol=1e-10, atol=1e-12
+        )
+        assert result.potential_energy == pytest.approx(
+            baseline.potential_energy, rel=1e-12
+        )
+
+    def test_locality_beats_shuffled(self, layouts):
+        """The sorted layout must score far better locality than shuffled.
+
+        (The lattice construction order is itself near-spatial, so the
+        honest adversary is a random permutation, as in the measured
+        reordering harness.)
+        """
+        from repro.core.reorder import locality_score
+        from repro.utils.rng import default_rng
+
+        _, _, reordered, nlist_r, _, _ = layouts
+        pot = fe_potential()
+        shuffled = reordered.copy()
+        shuffled.reorder(default_rng(11).permutation(shuffled.n_atoms))
+        nlist_shuffled = build_neighbor_list(
+            shuffled.positions, shuffled.box, pot.cutoff, 0.3
+        )
+        assert locality_score(nlist_r) > locality_score(nlist_shuffled)

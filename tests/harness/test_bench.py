@@ -1,0 +1,153 @@
+"""The real wall-clock benchmark sweep behind ``repro bench``."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.bench import (
+    BenchRecord,
+    bench_forces,
+    render_bench_table,
+    reordering_records,
+    write_bench_json,
+)
+from repro.harness.cases import case_by_key
+from repro.harness.reordering import measure_reordering
+
+
+@pytest.fixture(scope="module")
+def quick_records():
+    return bench_forces(
+        cases=("tiny",),
+        strategies=("serial", "sdc-2d"),
+        backends=("serial", "threads"),
+        n_workers=2,
+        warmup=0,
+        repeats=2,
+    )
+
+
+class TestBenchForces:
+    def test_all_combos_present(self, quick_records):
+        combos = {(r.strategy, r.backend) for r in quick_records}
+        assert combos == {
+            ("serial", "serial"),
+            ("serial", "threads"),
+            ("sdc-2d", "serial"),
+            ("sdc-2d", "threads"),
+        }
+
+    def test_kernel_phases_present_per_combo(self, quick_records):
+        for strategy, backend in {
+            (r.strategy, r.backend) for r in quick_records
+        }:
+            phases = {
+                r.phase
+                for r in quick_records
+                if r.strategy == strategy and r.backend == backend
+            }
+            assert {"density", "embedding", "force", "total"} <= phases
+
+    def test_sdc_reports_overheads(self, quick_records):
+        sdc_phases = {
+            r.phase for r in quick_records if r.strategy == "sdc-2d"
+        }
+        assert "neighbor-rebuild" in sdc_phases
+        assert "color-barrier" in sdc_phases
+
+    def test_total_carries_throughput(self, quick_records):
+        totals = [r for r in quick_records if r.phase == "total"]
+        assert totals
+        for r in totals:
+            assert r.pairs_per_s is not None and r.pairs_per_s > 0
+        non_totals = [r for r in quick_records if r.phase != "total"]
+        assert all(r.pairs_per_s is None for r in non_totals)
+
+    def test_total_not_duplicated(self, quick_records):
+        keys = [(r.strategy, r.backend, r.phase) for r in quick_records]
+        assert len(keys) == len(set(keys))
+
+    def test_medians_positive_and_finite(self, quick_records):
+        for r in quick_records:
+            assert np.isfinite(r.median_s) and r.median_s >= 0.0
+            assert np.isfinite(r.iqr_s) and r.iqr_s >= 0.0
+            assert r.n_samples == 2
+
+    def test_serial_backend_runs_one_worker(self, quick_records):
+        for r in quick_records:
+            if r.backend == "serial":
+                assert r.n_workers == 1
+            else:
+                assert r.n_workers == 2
+
+    def test_unknown_strategy_skipped(self):
+        skips = []
+        records = bench_forces(
+            cases=("tiny",),
+            strategies=("no-such-strategy",),
+            backends=("serial",),
+            warmup=0,
+            repeats=1,
+            on_skip=skips.append,
+        )
+        assert records == []
+        assert len(skips) == 1
+
+    def test_serial_on_processes_skipped(self):
+        skips = []
+        records = bench_forces(
+            cases=("tiny",),
+            strategies=("serial",),
+            backends=("processes",),
+            warmup=0,
+            repeats=1,
+            on_skip=skips.append,
+        )
+        assert records == []
+        assert "processes" in skips[0]
+
+
+class TestBenchOutput:
+    def test_write_json_schema(self, quick_records, tmp_path):
+        path = tmp_path / "BENCH_forces.json"
+        write_bench_json(path, [r.to_dict() for r in quick_records])
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-bench-v1"
+        assert "platform" in payload["host"]
+        first = payload["records"][0]
+        assert {
+            "case",
+            "strategy",
+            "backend",
+            "n_workers",
+            "phase",
+            "median_s",
+            "iqr_s",
+        } <= set(first)
+
+    def test_render_table(self, quick_records):
+        table = render_bench_table(quick_records)
+        assert "sdc-2d" in table
+        assert "pairs/s" in table
+
+    def test_render_empty(self):
+        assert "no benchmark" in render_bench_table([])
+
+    def test_reordering_records_shape(self):
+        result = measure_reordering(
+            case=case_by_key("tiny"), n_threads=2, warmup=0, repeats=2
+        )
+        records = reordering_records(result)
+        layouts = {
+            (r["strategy"], r["layout"]) for r in records if "layout" in r
+        }
+        assert layouts == {
+            ("serial", "sorted"),
+            ("serial", "shuffled"),
+            ("sdc-2d", "sorted"),
+            ("sdc-2d", "shuffled"),
+        }
+        summary = records[-1]
+        assert "serial_gain_percent" in summary
+        assert summary["max_force_dev"] < 1e-10

@@ -94,6 +94,53 @@ class TestBuildCellList:
         assert np.array_equal(cl.flat_ids(cl.cell_coords(ids)), ids)
 
 
+class TestCellCountSnap:
+    """Regression: FP noise in box.length / min_cell_size lost a whole cell.
+
+    When the edge is an exact multiple of the cell size but the division
+    lands at ``k - epsilon`` (e.g. ``(0.1 * 3) * 10 / 1.0``), a bare
+    ``floor`` dropped one cell per axis — coarser binning and a different
+    SDC decomposition than geometry dictates.
+    """
+
+    def test_exact_multiple_with_fp_noise(self):
+        # 3 * 0.7 = 2.0999999999999996, so 2.1 / 0.7 = 2.9999999999999996:
+        # a bare floor binned this box 2x2x2 instead of 3x3x3
+        edge = 3 * 0.7
+        box = Box((edge, edge, edge))
+        cl = build_cell_list(np.zeros((1, 3)), box, min_cell_size=0.7)
+        assert cl.n_cells == (3, 3, 3)
+
+    def test_larger_grid_with_fp_noise(self):
+        # 7 * 1.3 = 9.1 and 9.1 / 1.3 = 6.999999999999999 -> must snap to 7
+        edge = 7 * 1.3
+        box = Box((edge, edge, edge))
+        cl = build_cell_list(np.zeros((1, 3)), box, min_cell_size=1.3)
+        assert cl.n_cells == (7, 7, 7)
+
+    def test_pins_paper_case_grid(self):
+        # bcc-Fe demo box: 16 cells of a=2.8665 -> 45.864 over reach 3.9
+        # gives exactly floor(11.76) = 11 cells; the snap must not round up
+        edge = 16 * 2.8665
+        box = Box((edge, edge, edge))
+        cl = build_cell_list(np.zeros((1, 3)), box, min_cell_size=3.9)
+        assert cl.n_cells == (11, 11, 11)
+
+    def test_ratio_below_integer_still_floors(self):
+        # 10.0 / 3.0 = 3.33... is nowhere near an integer: plain floor
+        cl = build_cell_list(
+            np.zeros((1, 3)), Box((10.0, 10.0, 10.0)), min_cell_size=3.0
+        )
+        assert cl.n_cells == (3, 3, 3)
+
+    def test_snapped_cells_never_smaller_than_tolerance(self):
+        edge = 3 * 0.7
+        box = Box((edge, edge, edge))
+        cl = build_cell_list(np.zeros((1, 3)), box, min_cell_size=0.7)
+        # the snap may make cells relatively smaller by at most ~1e-9
+        assert np.all(cl.cell_size >= 0.7 * (1 - 1e-8))
+
+
 class TestNeighborCellPairs:
     def test_counts_in_big_grid(self, cells):
         cl, _, _ = cells

@@ -7,11 +7,13 @@ from repro.md.neighbor.verlet import build_neighbor_list, full_from_half
 from repro.potentials.eam import (
     compute_eam_energy,
     compute_eam_forces_serial,
+    eam_density_and_pair_energy_phase,
     eam_density_phase,
     eam_embedding_phase,
     eam_force_phase,
     force_pair_coefficients,
     pair_geometry,
+    scatter_rho_owned,
 )
 from repro.utils.timers import Counter
 
@@ -157,3 +159,113 @@ class TestPairGeometry:
         ab = force_pair_coefficients(potential, r, fp_a, fp_b)
         ba = force_pair_coefficients(potential, r, fp_b, fp_a)
         assert np.allclose(ab, ba)
+
+
+class TestScatterRhoOwnedValidation:
+    """Regression: out-of-range indices used to be silently truncated."""
+
+    def test_valid_scatter_accumulates_every_row(self):
+        rho = np.ones(4)
+        scatter_rho_owned(
+            rho, np.array([0, 3, 3]), np.array([1.0, 2.0, 3.0]), 4
+        )
+        assert rho.tolist() == [2.0, 1.0, 1.0, 6.0]
+
+    def test_out_of_range_index_raises(self):
+        rho = np.zeros(4)
+        with pytest.raises(IndexError, match=r"index 4"):
+            scatter_rho_owned(rho, np.array([0, 4]), np.array([1.0, 1.0]), 4)
+        # nothing written before the failure was detected
+        assert np.all(rho == 0.0)
+
+    def test_negative_index_raises(self):
+        with pytest.raises(IndexError, match=r"-1"):
+            scatter_rho_owned(
+                np.zeros(4), np.array([-1]), np.array([1.0]), 4
+            )
+
+    def test_short_accumulator_raises(self):
+        """The old code truncated bincount output to len(rho) silently."""
+        with pytest.raises(IndexError, match=r"accumulator"):
+            scatter_rho_owned(np.zeros(3), np.array([0]), np.array([1.0]), 4)
+
+
+class TestOverlappingAtomsDiagnostic:
+    """Regression: r used to be clamped to 1e-12, yielding garbage forces."""
+
+    def test_two_overlapping_atoms_raise_named_error(self, potential):
+        from repro.geometry.box import Box
+        from repro.md.atoms import Atoms
+
+        box = Box((10.0, 10.0, 10.0))
+        positions = np.array(
+            [[1.0, 1.0, 1.0], [1.0, 1.0, 1.0 + 1e-9], [5.0, 5.0, 5.0]]
+        )
+        atoms = Atoms(box=box, positions=positions)
+        nlist = build_neighbor_list(positions, box, potential.cutoff, 0.3)
+        with pytest.raises(ValueError, match=r"atoms 0 and 1"):
+            compute_eam_forces_serial(potential, atoms, nlist)
+
+    def test_error_reports_separation(self, potential):
+        r = np.array([2.5, 1e-9])
+        fp = np.array([-0.1, -0.1])
+        with pytest.raises(ValueError, match=r"1\.000e-09"):
+            force_pair_coefficients(
+                potential, r, fp, fp, pair_ids=(np.array([3, 7]), np.array([5, 9]))
+            )
+
+    def test_without_pair_ids_names_slot(self, potential):
+        with pytest.raises(ValueError, match=r"pair slot 0"):
+            force_pair_coefficients(
+                potential,
+                np.array([1e-9]),
+                np.array([-0.1]),
+                np.array([-0.1]),
+            )
+
+    def test_well_separated_pairs_unaffected(self, potential):
+        r = np.array([2.0, 3.5])
+        fp = np.array([-0.1, -0.2])
+        coeff = force_pair_coefficients(potential, r, fp, fp)
+        assert np.all(np.isfinite(coeff))
+
+
+class TestFusedPairEnergy:
+    """Regression: the pair energy used to cost a third pass over all pairs."""
+
+    def test_fused_matches_separate_passes(
+        self, small_atoms, potential, small_nlist
+    ):
+        positions, box = small_atoms.positions, small_atoms.box
+        rho, pair_energy = eam_density_and_pair_energy_phase(
+            potential, positions, box, small_nlist
+        )
+        assert np.allclose(
+            rho, eam_density_phase(potential, positions, box, small_nlist)
+        )
+        i_idx, j_idx = small_nlist.pair_arrays()
+        _, r = pair_geometry(positions, box, i_idx, j_idx)
+        assert pair_energy == pytest.approx(
+            float(np.sum(potential.pair_energy(r))), rel=1e-14
+        )
+
+    def test_serial_result_carries_fused_energy(
+        self, small_atoms, potential, small_nlist
+    ):
+        atoms = small_atoms.copy()
+        result = compute_eam_forces_serial(potential, atoms, small_nlist)
+        i_idx, j_idx = small_nlist.pair_arrays()
+        _, r = pair_geometry(atoms.positions, atoms.box, i_idx, j_idx)
+        assert result.pair_energy == pytest.approx(
+            float(np.sum(potential.pair_energy(r))), rel=1e-14
+        )
+
+    def test_full_list_halves_pair_energy(self, small_atoms, potential, small_nlist):
+        full = full_from_half(small_nlist)
+        _, e_half = eam_density_and_pair_energy_phase(
+            potential, small_atoms.positions, small_atoms.box, small_nlist
+        )
+        _, e_full = eam_density_and_pair_energy_phase(
+            potential, small_atoms.positions, small_atoms.box, full
+        )
+        assert e_full == pytest.approx(e_half, rel=1e-12)

@@ -19,6 +19,7 @@ class TestParser:
             "quickstart",
             "hybrid",
             "racecheck",
+            "bench",
         }
 
     def test_command_required(self):
@@ -60,6 +61,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "efficiency" in out
+
+    def test_bench_quick(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "bench",
+                    "--quick",
+                    "--repeats",
+                    "2",
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pairs/s" in out
+        assert (tmp_path / "BENCH_forces.json").exists()
+        assert (tmp_path / "BENCH_reordering.json").exists()
+
+        import json
+
+        payload = json.loads((tmp_path / "BENCH_forces.json").read_text())
+        assert payload["schema"] == "repro-bench-v1"
+        combos = {
+            (r["strategy"], r["backend"])
+            for r in payload["records"]
+            if r["phase"] == "density"
+        }
+        assert {("serial", "serial"), ("sdc-2d", "threads")} <= combos
 
 
 def test_module_invocation():

@@ -1,0 +1,235 @@
+"""PhaseProfiler: the warmup/repeat/median-IQR measurement protocol."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.profiler import (
+    CANONICAL_PHASES,
+    NULL_PHASE,
+    PhaseProfiler,
+    PhaseStats,
+    ProfilingObserver,
+)
+from repro.utils.timers import median_iqr
+
+
+class TestMedianIqr:
+    def test_single_sample(self):
+        med, iqr = median_iqr([2.0])
+        assert med == 2.0
+        assert iqr == 0.0
+
+    def test_odd_samples(self):
+        med, iqr = median_iqr([1.0, 2.0, 9.0])
+        assert med == 2.0
+        assert iqr == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_iqr([])
+
+    def test_outlier_robust(self):
+        samples = [1.0] * 9 + [100.0]
+        med, _ = median_iqr(samples)
+        assert med == 1.0
+
+
+class TestPhaseProfiler:
+    def test_phase_context_accumulates(self):
+        prof = PhaseProfiler()
+        with prof.repeat():
+            with prof.phase("density"):
+                time.sleep(0.002)
+        stats = prof.stats()
+        assert stats["density"].n_samples == 1
+        assert stats["density"].median_s >= 0.001
+
+    def test_repeat_sums_sections_within_one_repeat(self):
+        prof = PhaseProfiler()
+        with prof.repeat():
+            prof.add("force", 0.25)
+            prof.add("force", 0.25)
+        assert prof.stats()["force"].median_s == pytest.approx(0.5)
+
+    def test_warmup_repeats_discarded(self):
+        prof = PhaseProfiler()
+        with prof.repeat(warmup=True):
+            prof.add("density", 100.0)
+        with prof.repeat():
+            prof.add("density", 1.0)
+        stats = prof.stats()
+        assert stats["density"].n_samples == 1
+        assert stats["density"].median_s == pytest.approx(1.0)
+
+    def test_negative_durations_clamped(self):
+        prof = PhaseProfiler()
+        with prof.repeat():
+            prof.add("density", -0.5)
+        assert prof.stats()["density"].median_s == 0.0
+
+    def test_nested_repeat_rejected(self):
+        prof = PhaseProfiler()
+        prof.begin_repeat()
+        with pytest.raises(RuntimeError):
+            prof.begin_repeat()
+        prof.end_repeat()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            PhaseProfiler().end_repeat()
+
+    def test_canonical_ordering(self):
+        prof = PhaseProfiler()
+        with prof.repeat():
+            prof.add("zzz-custom", 1.0)
+            prof.add("force", 1.0)
+            prof.add("density", 1.0)
+        assert prof.phase_names() == ["density", "force", "zzz-custom"]
+        assert prof.phase_names()[0] == CANONICAL_PHASES[0]
+
+    def test_measure_protocol(self):
+        prof = PhaseProfiler()
+        calls = []
+
+        def fn():
+            calls.append(1)
+            with prof.phase("density"):
+                pass
+
+        stats = prof.measure(fn, warmup=2, repeats=3)
+        assert len(calls) == 5
+        assert stats["density"].n_samples == 3
+        assert stats["total"].n_samples == 3
+        assert stats["total"].median_s >= stats["density"].median_s
+
+    def test_measure_rejects_bad_counts(self):
+        prof = PhaseProfiler()
+        with pytest.raises(ValueError):
+            prof.measure(lambda: None, warmup=-1)
+        with pytest.raises(ValueError):
+            prof.measure(lambda: None, repeats=0)
+
+    def test_reset(self):
+        prof = PhaseProfiler()
+        with prof.repeat():
+            prof.add("density", 1.0)
+        prof.reset()
+        assert prof.stats() == {}
+
+    def test_implicit_repeat_flushed_by_stats(self):
+        prof = PhaseProfiler()
+        prof.add("force", 2.0)
+        assert prof.stats()["force"].median_s == pytest.approx(2.0)
+
+    def test_report_renders_all_phases(self):
+        prof = PhaseProfiler()
+        with prof.repeat():
+            prof.add("density", 0.5)
+            prof.add("color-barrier", 0.1)
+        report = prof.report()
+        assert "density" in report
+        assert "color-barrier" in report
+
+    def test_empty_report(self):
+        assert "no phases" in PhaseProfiler().report()
+
+
+class TestPhaseStats:
+    def test_from_samples(self):
+        s = PhaseStats.from_samples("x", [3.0, 1.0, 2.0])
+        assert s.median_s == 2.0
+        assert s.min_s == 1.0
+        assert s.max_s == 3.0
+        assert s.n_samples == 3
+
+
+class TestNullPhase:
+    def test_is_reusable_noop_context(self):
+        with NULL_PHASE:
+            pass
+        with NULL_PHASE:
+            pass
+
+
+class TestProfilingObserver:
+    def test_charges_barrier_slack(self):
+        prof = PhaseProfiler()
+        obs = ProfilingObserver(prof)
+        with prof.repeat():
+            obs.on_phase_begin(0, 2)
+            obs.on_task_begin(0, 0)
+            obs.on_task_end(0, 0)
+            obs.on_task_begin(0, 1)
+            time.sleep(0.002)
+            obs.on_task_end(0, 1)
+            obs.on_phase_end(0)
+        stats = prof.stats()
+        assert "color-barrier" in stats
+        # slack = wall - longest task; both cover the sleep, so slack small
+        assert stats["color-barrier"].median_s < 0.002
+
+    def test_unmatched_end_ignored(self):
+        prof = PhaseProfiler()
+        obs = ProfilingObserver(prof)
+        obs.on_task_end(0, 0)
+        obs.on_phase_end(0)
+        assert prof.stats() == {}
+
+    def test_on_thread_backend(self):
+        from repro.parallel.backends.threads import ThreadBackend
+
+        prof = PhaseProfiler()
+        with ThreadBackend(2) as backend:
+            backend.attach_observer(ProfilingObserver(prof))
+            with prof.repeat():
+                backend.run_phase([lambda: time.sleep(0.001), lambda: None])
+            backend.detach_observer()
+        stats = prof.stats()
+        assert stats["color-barrier"].median_s >= 0.0
+
+
+class TestStrategyAttachment:
+    def test_attach_and_detach(self):
+        from repro.core.strategies import SDCStrategy
+        from repro.parallel.backends.serial import SerialBackend
+
+        backend = SerialBackend()
+        strategy = SDCStrategy(dims=2, n_threads=2, backend=backend)
+        prof = PhaseProfiler()
+        strategy.attach_profiler(prof)
+        assert isinstance(backend.observer, ProfilingObserver)
+        strategy.detach_profiler()
+        assert backend.observer is None
+
+    def test_detach_preserves_foreign_observer(self):
+        from repro.core.strategies import SDCStrategy
+        from repro.parallel.backends.base import PhaseObserver
+        from repro.parallel.backends.serial import SerialBackend
+
+        backend = SerialBackend()
+        strategy = SDCStrategy(dims=2, n_threads=2, backend=backend)
+        strategy.attach_profiler(PhaseProfiler())
+        foreign = PhaseObserver()
+        backend.attach_observer(foreign)
+        strategy.detach_profiler()
+        assert backend.observer is foreign
+
+    def test_profiled_compute_matches_unprofiled(self):
+        from repro.core.strategies import SerialStrategy
+        from repro.harness.cases import case_by_key
+        from repro.md.neighbor.verlet import build_neighbor_list
+        from repro.potentials import fe_potential
+
+        atoms = case_by_key("tiny").build()
+        pot = fe_potential()
+        nlist = build_neighbor_list(
+            atoms.positions, atoms.box, pot.cutoff, 0.3
+        )
+        plain = SerialStrategy().compute(pot, atoms, nlist)
+        profiled_strategy = SerialStrategy()
+        profiled_strategy.attach_profiler(PhaseProfiler())
+        profiled = profiled_strategy.compute(pot, atoms, nlist)
+        assert np.array_equal(plain.forces, profiled.forces)
+        assert plain.potential_energy == profiled.potential_energy
