@@ -35,7 +35,9 @@ class ExecutionEvent:
     thread:
         name of the thread the event fired on.
     timestamp:
-        ``time.monotonic()`` at the event.
+        ``time.perf_counter()`` at the event — the same clock domain as
+        the profiler, the backends and the tracer, so event timestamps
+        are directly comparable with span boundaries and bench timings.
     """
 
     kind: str
@@ -60,7 +62,7 @@ class EventLog(PhaseObserver):
             phase=phase,
             task=task,
             thread=threading.current_thread().name,
-            timestamp=time.monotonic(),
+            timestamp=time.perf_counter(),
         )
         with self._lock:
             self.events.append(event)

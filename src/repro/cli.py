@@ -14,6 +14,9 @@ them without writing code:
 * ``bench``      — real wall-clock strategy × backend sweep with
   per-phase profiling (writes ``BENCH_forces.json`` /
   ``BENCH_reordering.json``).
+* ``trace``      — traced case × strategy × backend MD runs (writes
+  Perfetto ``trace.json``, ``metrics.jsonl`` and ``run.jsonl``, and
+  prints the load-imbalance summary).
 """
 
 from __future__ import annotations
@@ -167,6 +170,14 @@ def _cmd_racecheck(args: argparse.Namespace) -> int:
             with open(args.json, "w", encoding="utf-8") as handle:
                 handle.write(payload + "\n")
             print(f"wrote {args.json}")
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry, record_racecheck_metrics
+
+        registry = MetricsRegistry()
+        for r in reports:
+            record_racecheck_metrics(registry, r)
+        registry.write_jsonl(args.metrics)
+        print(f"wrote {args.metrics}")
     print(
         f"\n{len(reports) - len(failures)}/{len(reports)} runs clean"
         + (f"; {len(failures)} FAILED" if failures else "")
@@ -233,10 +244,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     os.makedirs(args.output_dir, exist_ok=True)
     forces_path = os.path.join(args.output_dir, "BENCH_forces.json")
     reorder_path = os.path.join(args.output_dir, "BENCH_reordering.json")
-    write_bench_json(forces_path, [r.to_dict() for r in records])
-    write_bench_json(reorder_path, reordering_records(reorder))
+    write_bench_json(
+        forces_path, [r.to_dict() for r in records], n_threads=args.threads
+    )
+    write_bench_json(
+        reorder_path, reordering_records(reorder), n_threads=args.threads
+    )
     print(f"\nwrote {forces_path}\nwrote {reorder_path}")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.harness.tracing import (
+        DEFAULT_BACKENDS,
+        DEFAULT_CASES,
+        DEFAULT_STRATEGIES,
+        run_trace,
+    )
+
+    report = run_trace(
+        cases=list(args.case or DEFAULT_CASES),
+        strategies=list(args.strategy or DEFAULT_STRATEGIES),
+        backends=list(args.backend or DEFAULT_BACKENDS),
+        n_workers=args.threads,
+        steps=args.steps,
+        output_dir=args.output_dir,
+        on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
+    )
+    print(report.render_summary(top=args.top))
+    if report.trace_path is not None:
+        print(
+            f"\nwrote {report.trace_path}"
+            f"\nwrote {report.metrics_path}"
+            f"\nwrote {report.runlog_path}"
+        )
+        print(
+            "open the trace at https://ui.perfetto.dev or chrome://tracing"
+        )
+    return 0 if report.runs else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -312,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
     race.add_argument(
         "--json", help="write the JSON report here ('-' for stdout)"
     )
+    race.add_argument(
+        "--metrics",
+        help="write conflict counts as a metrics.jsonl stream here "
+        "(same schema as `repro trace`)",
+    )
     race.set_defaults(func=_cmd_racecheck)
 
     bench = sub.add_parser(
@@ -350,6 +400,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for BENCH_forces.json / BENCH_reordering.json",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced MD runs: Perfetto trace.json + metrics.jsonl + "
+        "load-imbalance summary",
+    )
+    trace.add_argument(
+        "--case",
+        action="append",
+        help="case key to trace (repeatable; default tiny)",
+    )
+    trace.add_argument(
+        "--strategy",
+        action="append",
+        help="strategy key (sdc, sdc-1d/2d/3d, critical-section, "
+        "array-privatization, redundant-computation, atomic, localwrite; "
+        "repeatable; default sdc)",
+    )
+    trace.add_argument(
+        "--backend",
+        action="append",
+        choices=["serial", "threads", "processes"],
+        help="backend to trace (repeatable; default threads)",
+    )
+    trace.add_argument("--threads", type=int, default=2)
+    trace.add_argument("--steps", type=int, default=2)
+    trace.add_argument(
+        "--top", type=int, default=10, help="summary rows to print"
+    )
+    trace.add_argument(
+        "--output-dir",
+        default="trace-out",
+        help="directory for trace.json / metrics.jsonl / run.jsonl",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -85,7 +85,10 @@ class AtomicStrategy(ReductionStrategy):
             return run
 
         with self._phase("density"):
-            self.backend.run_phase([density_task(rows) for rows in chunks])
+            with self._span("density:atomic-scatter", n_chunks=len(chunks)):
+                self.backend.run_phase(
+                    [density_task(rows) for rows in chunks]
+                )
 
         fp = np.empty(n)
         emb_parts = np.zeros(len(chunks))
@@ -122,7 +125,10 @@ class AtomicStrategy(ReductionStrategy):
             return run
 
         with self._phase("force"):
-            self.backend.run_phase([force_task(rows) for rows in chunks])
+            with self._span("force:atomic-scatter", n_chunks=len(chunks)):
+                self.backend.run_phase(
+                    [force_task(rows) for rows in chunks]
+                )
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

@@ -47,36 +47,72 @@ class ReductionStrategy(ABC):
     #: optional wall-clock profiler; when set, :meth:`_phase` times the
     #: strategy's phase regions under their canonical names
     _profiler: "PhaseProfiler | None" = None
+    _profiling_observer = None
+
+    #: optional span tracer; when set, :meth:`_span` records the
+    #: strategy's merge/scatter/lock sections as timeline spans
+    _tracer = None
+    _tracing_observer = None
 
     def attach_profiler(self, profiler: PhaseProfiler) -> None:
         """Record per-phase wall-clock through ``profiler``.
 
-        Also attaches a :class:`~repro.utils.profiler.ProfilingObserver`
-        to the strategy's backend (when it has one) so barrier slack is
-        charged to ``color-barrier``.
+        Also adds a :class:`~repro.utils.profiler.ProfilingObserver` to
+        the strategy's backend (when it has one) so barrier slack is
+        charged to ``color-barrier``.  Added, not attached exclusively —
+        a tracer or event log may watch the same backend.
         """
         from repro.utils.profiler import ProfilingObserver
 
         self._profiler = profiler
         backend = getattr(self, "backend", None)
         if backend is not None:
-            backend.attach_observer(ProfilingObserver(profiler))
+            self._profiling_observer = ProfilingObserver(profiler)
+            backend.add_observer(self._profiling_observer)
 
     def detach_profiler(self) -> None:
         """Stop profiling (idempotent)."""
         self._profiler = None
         backend = getattr(self, "backend", None)
-        if backend is not None and backend.observer is not None:
-            from repro.utils.profiler import ProfilingObserver
+        if backend is not None and self._profiling_observer is not None:
+            backend.remove_observer(self._profiling_observer)
+        self._profiling_observer = None
 
-            if isinstance(backend.observer, ProfilingObserver):
-                backend.detach_observer()
+    def attach_tracer(self, tracer) -> None:
+        """Record timeline spans through ``tracer``.
+
+        Adds a :class:`~repro.obs.tracer.TracingObserver` to the
+        strategy's backend (when it has one) so every backend task shows
+        up on its worker's track, alongside the strategy-level region
+        spans from :meth:`_span`.
+        """
+        from repro.obs.tracer import TracingObserver
+
+        self._tracer = tracer
+        backend = getattr(self, "backend", None)
+        if backend is not None:
+            self._tracing_observer = TracingObserver(tracer)
+            backend.add_observer(self._tracing_observer)
+
+    def detach_tracer(self) -> None:
+        """Stop tracing (idempotent)."""
+        self._tracer = None
+        backend = getattr(self, "backend", None)
+        if backend is not None and self._tracing_observer is not None:
+            backend.remove_observer(self._tracing_observer)
+        self._tracing_observer = None
 
     def _phase(self, name: str):
         """Context manager timing a phase region (no-op when unprofiled)."""
         if self._profiler is None:
             return NULL_PHASE
         return self._profiler.phase(name)
+
+    def _span(self, name: str, **args):
+        """Context manager recording a span (no-op when untraced)."""
+        if self._tracer is None:
+            return NULL_PHASE
+        return self._tracer.span(name, **args)
 
     def attach_instrument(self, recorder) -> None:
         """Record reduction-array writes through ``recorder``.

@@ -82,13 +82,17 @@ class CriticalSectionStrategy(ReductionStrategy):
                 _, r = pair_geometry(positions, box, i_idx, j_idx)
                 phi = potential.density(r)
                 with self._lock:
-                    np.add.at(rho, i_idx, phi)
-                    np.add.at(rho, j_idx, phi)
+                    with self._span("density:lock-held", n_pairs=len(i_idx)):
+                        np.add.at(rho, i_idx, phi)
+                        np.add.at(rho, j_idx, phi)
 
             return run
 
         with self._phase("density"):
-            self.backend.run_phase([density_task(rows) for rows in chunks])
+            with self._span("density:critical-scatter", n_chunks=len(chunks)):
+                self.backend.run_phase(
+                    [density_task(rows) for rows in chunks]
+                )
 
         fp = np.empty(n)
         emb_parts = np.zeros(len(chunks))
@@ -119,16 +123,22 @@ class CriticalSectionStrategy(ReductionStrategy):
                 )
                 pair_forces = coeff[:, None] * delta
                 with self._lock:
-                    for axis in range(3):
-                        np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
-                        np.subtract.at(
-                            forces[:, axis], j_idx, pair_forces[:, axis]
-                        )
+                    with self._span("force:lock-held", n_pairs=len(i_idx)):
+                        for axis in range(3):
+                            np.add.at(
+                                forces[:, axis], i_idx, pair_forces[:, axis]
+                            )
+                            np.subtract.at(
+                                forces[:, axis], j_idx, pair_forces[:, axis]
+                            )
 
             return run
 
         with self._phase("force"):
-            self.backend.run_phase([force_task(rows) for rows in chunks])
+            with self._span("force:critical-scatter", n_chunks=len(chunks)):
+                self.backend.run_phase(
+                    [force_task(rows) for rows in chunks]
+                )
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

@@ -191,7 +191,10 @@ class LocalWriteStrategy(ReductionStrategy):
         # single fully parallel phase: every subdomain writes only its
         # own atoms, so no colors and no intermediate barriers
         with self._phase("density"):
-            self.backend.run_phase([density_task(s) for s in range(n_sub)])
+            with self._span("density:owned-scatter", n_subdomains=n_sub):
+                self.backend.run_phase(
+                    [density_task(s) for s in range(n_sub)]
+                )
 
         with self._phase("embedding"):
             embedding_energy = float(np.sum(potential.embed(np.asarray(rho))))
@@ -228,7 +231,10 @@ class LocalWriteStrategy(ReductionStrategy):
             return run
 
         with self._phase("force"):
-            self.backend.run_phase([force_task(s) for s in range(n_sub)])
+            with self._span("force:owned-scatter", n_subdomains=n_sub):
+                self.backend.run_phase(
+                    [force_task(s) for s in range(n_sub)]
+                )
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

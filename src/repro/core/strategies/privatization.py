@@ -83,12 +83,14 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
             return run
 
         with self._phase("density"):
-            self.backend.run_phase(
-                [density_task(k, rows) for k, rows in enumerate(chunks)]
-            )
+            with self._span("density:private-scatter", n_chunks=len(chunks)):
+                self.backend.run_phase(
+                    [density_task(k, rows) for k, rows in enumerate(chunks)]
+                )
             # merge in thread order (the real code merges under a critical
             # section; fixed order keeps results deterministic)
-            rho = np.asarray(private_rho).sum(axis=0)
+            with self._span("density:merge", n_copies=self.n_threads):
+                rho = np.asarray(private_rho).sum(axis=0)
 
         fp = np.empty(n)
         emb_parts = np.zeros(len(chunks))
@@ -127,10 +129,12 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
             return run
 
         with self._phase("force"):
-            self.backend.run_phase(
-                [force_task(k, rows) for k, rows in enumerate(chunks)]
-            )
-            forces = np.asarray(private_forces).sum(axis=0)
+            with self._span("force:private-scatter", n_chunks=len(chunks)):
+                self.backend.run_phase(
+                    [force_task(k, rows) for k, rows in enumerate(chunks)]
+                )
+            with self._span("force:merge", n_copies=self.n_threads):
+                forces = np.asarray(private_forces).sum(axis=0)
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

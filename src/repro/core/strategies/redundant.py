@@ -92,9 +92,10 @@ class RedundantComputationStrategy(ReductionStrategy):
             return run
 
         with self._phase("density"):
-            self.backend.run_phase(
-                [density_task(rows) for rows in chunks if len(rows)]
-            )
+            with self._span("density:doubled-pairs", n_chunks=len(chunks)):
+                self.backend.run_phase(
+                    [density_task(rows) for rows in chunks if len(rows)]
+                )
 
         fp = np.empty(n)
         emb_parts = np.zeros(len(chunks))
@@ -131,9 +132,10 @@ class RedundantComputationStrategy(ReductionStrategy):
             return run
 
         with self._phase("force"):
-            self.backend.run_phase(
-                [force_task(rows) for rows in chunks if len(rows)]
-            )
+            with self._span("force:doubled-pairs", n_chunks=len(chunks)):
+                self.backend.run_phase(
+                    [force_task(rows) for rows in chunks if len(rows)]
+                )
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

@@ -158,6 +158,16 @@ class SDCStrategy(ReductionStrategy):
         """The current decomposition (None before the first compute)."""
         return self._grid
 
+    @property
+    def pair_partition(self) -> Optional[PairPartition]:
+        """The current pair partition (None before the first compute)."""
+        return self._pairs
+
+    @property
+    def schedule(self) -> Optional[ColorSchedule]:
+        """The current color schedule (None before the first compute)."""
+        return self._schedule
+
     # --- physics -----------------------------------------------------------------
 
     def compute(
@@ -169,7 +179,8 @@ class SDCStrategy(ReductionStrategy):
         if not nlist.half:
             raise ValueError("SDC consumes half neighbor lists")
         with self._phase("neighbor-rebuild"):
-            self._prepare(atoms, nlist)
+            with self._span("neighbor-rebuild"):
+                self._prepare(atoms, nlist)
         assert self._pairs is not None and self._schedule is not None
         pairs = self._pairs
         schedule = self._schedule
@@ -193,10 +204,15 @@ class SDCStrategy(ReductionStrategy):
             return run
 
         with self._phase("density"):
-            for members in schedule.phases:
-                self.backend.run_phase(
-                    [density_task(int(s)) for s in members]
-                )
+            for color, members in enumerate(schedule.phases):
+                with self._span(
+                    f"density:color{color}",
+                    color=color,
+                    n_subdomains=len(members),
+                ):
+                    self.backend.run_phase(
+                        [density_task(int(s)) for s in members]
+                    )
 
         # phase 2: embedding, plain parallel for
         fp = np.empty(n)
@@ -211,9 +227,10 @@ class SDCStrategy(ReductionStrategy):
 
         chunks = atom_chunks(n, self.n_threads)
         with self._phase("embedding"):
-            self.backend.run_phase(
-                [embed_task(k, rows) for k, rows in enumerate(chunks)]
-            )
+            with self._span("embedding", n_chunks=len(chunks)):
+                self.backend.run_phase(
+                    [embed_task(k, rows) for k, rows in enumerate(chunks)]
+                )
         embedding_energy = float(np.sum(emb_parts))
 
         # phase 3: forces, color by color
@@ -236,10 +253,15 @@ class SDCStrategy(ReductionStrategy):
             return run
 
         with self._phase("force"):
-            for members in schedule.phases:
-                self.backend.run_phase(
-                    [force_task(int(s)) for s in members]
-                )
+            for color, members in enumerate(schedule.phases):
+                with self._span(
+                    f"force:color{color}",
+                    color=color,
+                    n_subdomains=len(members),
+                ):
+                    self.backend.run_phase(
+                        [force_task(int(s)) for s in members]
+                    )
 
         pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(

@@ -301,15 +301,27 @@ def reordering_records(
     return records
 
 
-def write_bench_json(path, records: Sequence[Dict[str, object]]) -> None:
-    """Write records with a host/environment header (schema v1)."""
+def write_bench_json(
+    path,
+    records: Sequence[Dict[str, object]],
+    n_threads: Optional[int] = None,
+) -> None:
+    """Write records with a host/environment header (schema v2).
+
+    The ``meta`` block (hostname, CPU count, thread count, Python/NumPy
+    versions, git SHA) makes bench artifacts from different machines and
+    commits comparable; the legacy ``host`` block is kept for v1 readers.
+    """
+    from repro.obs.runlog import collect_run_meta
+
     payload = {
-        "schema": "repro-bench-v1",
+        "schema": "repro-bench-v2",
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
+        "meta": collect_run_meta(n_threads),
         "records": list(records),
     }
     with open(path, "w", encoding="utf-8") as handle:

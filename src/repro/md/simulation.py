@@ -88,6 +88,14 @@ class Simulation:
         optional hard cadence; when set, the list is also rebuilt every
         that many steps regardless of displacement (the paper notes "the
         neighbor list usually doesn't be updated in every time-step").
+    tracer:
+        optional :class:`~repro.obs.tracer.Tracer`; when set, the driver
+        records ``md-step`` / ``forces`` / ``neighbor-rebuild`` spans so
+        the per-step structure shows up on the execution timeline.
+    run_log:
+        optional :class:`~repro.obs.runlog.RunLog`; when set, the driver
+        appends ``observables`` records at every sample and an ``event``
+        record per neighbor rebuild.
     """
 
     def __init__(
@@ -99,6 +107,8 @@ class Simulation:
         thermostat: Optional[Thermostat] = None,
         skin: float = 0.3,
         rebuild_every: Optional[int] = None,
+        tracer=None,
+        run_log=None,
     ) -> None:
         if rebuild_every is not None and rebuild_every <= 0:
             raise ValueError("rebuild_every must be positive when given")
@@ -109,10 +119,20 @@ class Simulation:
         self.thermostat = thermostat
         self.skin = skin
         self.rebuild_every = rebuild_every
+        self.tracer = tracer
+        self.run_log = run_log
         self.nlist: Optional[NeighborList] = None
         self.stopwatch = Stopwatch()
         self._last_computation: Optional[EAMComputation] = None
         self._steps_since_rebuild = 0
+
+    def _span(self, name: str, **args):
+        """A tracer span context, or a no-op when untraced."""
+        if self.tracer is None:
+            from repro.utils.profiler import NULL_PHASE
+
+            return NULL_PHASE
+        return self.tracer.span(name, category="md", **args)
 
     # --- neighbor management ---------------------------------------------------
 
@@ -129,14 +149,21 @@ class Simulation:
             must_build = True
         if must_build:
             with self.stopwatch.section("neighbor"):
-                self.nlist = build_neighbor_list(
-                    self.atoms.positions,
-                    self.atoms.box,
-                    cutoff=self.potential.cutoff,
-                    skin=self.skin,
-                    half=True,
-                )
+                with self._span("neighbor-rebuild"):
+                    self.nlist = build_neighbor_list(
+                        self.atoms.positions,
+                        self.atoms.box,
+                        cutoff=self.potential.cutoff,
+                        skin=self.skin,
+                        half=True,
+                    )
             self._steps_since_rebuild = 0
+            if self.run_log is not None:
+                self.run_log.log(
+                    "event",
+                    event="neighbor-rebuild",
+                    n_pairs=self.nlist.n_pairs,
+                )
         assert self.nlist is not None
         return self.nlist
 
@@ -146,7 +173,10 @@ class Simulation:
         """One full 3-phase EAM evaluation through the configured strategy."""
         nlist = self.ensure_neighbor_list()
         with self.stopwatch.section("forces"):
-            result = self.calculator.compute(self.potential, self.atoms, nlist)
+            with self._span("forces"):
+                result = self.calculator.compute(
+                    self.potential, self.atoms, nlist
+                )
         self._last_computation = result
         return result
 
@@ -176,25 +206,54 @@ class Simulation:
         if self._last_computation is None:
             self.compute_forces()
         assert self._last_computation is not None
+        if self.run_log is not None:
+            self.run_log.log(
+                "event",
+                event="run-begin",
+                n_steps=n_steps,
+                n_atoms=self.atoms.n_atoms,
+                calculator=getattr(
+                    self.calculator, "name", type(self.calculator).__name__
+                ),
+            )
         for step in range(n_steps):
-            self.integrator.first_half(self.atoms)
-            self._steps_since_rebuild += 1
-            result = self.compute_forces()
-            self.integrator.second_half(self.atoms)
-            if self.thermostat is not None:
-                self.thermostat.apply(self.atoms, self.integrator.timestep)
-            if step % sample_every == 0 or step == n_steps - 1:
-                report.records.append(
-                    StepRecord(
-                        step=step,
-                        potential_energy=result.potential_energy,
-                        kinetic_energy=kinetic_energy(self.atoms),
-                        temperature=temperature(self.atoms),
+            with self._span("md-step", step=step):
+                self.integrator.first_half(self.atoms)
+                self._steps_since_rebuild += 1
+                result = self.compute_forces()
+                self.integrator.second_half(self.atoms)
+                if self.thermostat is not None:
+                    self.thermostat.apply(
+                        self.atoms, self.integrator.timestep
                     )
+            if step % sample_every == 0 or step == n_steps - 1:
+                record = StepRecord(
+                    step=step,
+                    potential_energy=result.potential_energy,
+                    kinetic_energy=kinetic_energy(self.atoms),
+                    temperature=temperature(self.atoms),
                 )
+                report.records.append(record)
+                if self.run_log is not None:
+                    self.run_log.log(
+                        "observables",
+                        step=record.step,
+                        potential_energy=record.potential_energy,
+                        kinetic_energy=record.kinetic_energy,
+                        temperature=record.temperature,
+                        total_energy=record.total_energy,
+                    )
         report.n_steps = n_steps
         report.n_neighbor_rebuilds = (
             self.stopwatch.count("neighbor") - rebuilds_before
         )
         report.force_seconds = self.stopwatch.total("forces")
+        if self.run_log is not None:
+            self.run_log.log(
+                "event",
+                event="run-end",
+                n_steps=report.n_steps,
+                n_neighbor_rebuilds=report.n_neighbor_rebuilds,
+                force_seconds=report.force_seconds,
+            )
         return report

@@ -1,0 +1,57 @@
+"""Runtime observability: span tracing, metrics, structured run logs.
+
+Built on the :class:`~repro.parallel.backends.base.PhaseObserver` hook
+surface the analysis and profiling layers already use.  Four pieces:
+
+* :mod:`repro.obs.tracer` — :class:`Tracer` / :class:`Span` /
+  :class:`TracingObserver`: real-timestamped spans across serial, thread,
+  and forked-process execution;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` counters/gauges and
+  the derived load-imbalance / halo / barrier-slack metrics;
+* :mod:`repro.obs.exporters` — Chrome trace-event (Perfetto) export and
+  the worst-balanced-phase text summary;
+* :mod:`repro.obs.runlog` — JSONL structured run logs + the environment
+  meta block.
+
+``repro trace`` (:mod:`repro.harness.tracing`) drives all four.
+"""
+
+from repro.obs.exporters import (
+    render_trace_summary,
+    to_chrome_trace,
+    write_trace_json,
+)
+from repro.obs.metrics import (
+    MetricRecord,
+    MetricsRegistry,
+    load_imbalance,
+    record_racecheck_metrics,
+    record_schedule_metrics,
+    record_span_metrics,
+)
+from repro.obs.runlog import RunLog, collect_run_meta, git_sha
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    TracingObserver,
+    align_worker_spans,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TracingObserver",
+    "align_worker_spans",
+    "MetricRecord",
+    "MetricsRegistry",
+    "load_imbalance",
+    "record_racecheck_metrics",
+    "record_schedule_metrics",
+    "record_span_metrics",
+    "RunLog",
+    "collect_run_meta",
+    "git_sha",
+    "to_chrome_trace",
+    "write_trace_json",
+    "render_trace_summary",
+]

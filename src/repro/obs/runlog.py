@@ -1,0 +1,132 @@
+"""Structured run logs: one JSON object per line, plus environment meta.
+
+A :class:`RunLog` is the machine-readable counterpart of a run's stdout:
+every record is one line of JSON with a ``kind`` discriminator and a
+``t`` timestamp (``time.perf_counter()``, the repo-wide trace clock).
+Canonical kinds:
+
+* ``meta`` — the environment block (:func:`collect_run_meta`), written
+  once at open;
+* ``span`` — mirrored trace spans (optional; traces usually go to
+  ``trace.json`` instead);
+* ``metric`` — mirrored metric samples;
+* ``observables`` — per-sample MD observables from the simulation loop;
+* ``event`` — anything else worth grepping for.
+
+:func:`collect_run_meta` is also what stamps ``BENCH_*.json``
+(schema ``repro-bench-v2``) so bench trajectories are comparable across
+machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["RunLog", "collect_run_meta", "git_sha"]
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit SHA, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def collect_run_meta(n_threads: Optional[int] = None) -> Dict[str, object]:
+    """Host/environment block identifying where a run happened."""
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    meta: Dict[str, object] = {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "git_sha": git_sha(),
+    }
+    if n_threads is not None:
+        meta["n_threads"] = n_threads
+    return meta
+
+
+class RunLog:
+    """Append-only JSONL run log (file-backed or in-memory).
+
+    With a ``path`` the log streams to disk (line-buffered append; safe to
+    tail); without one it accumulates in memory for tests and ad-hoc use.
+    Thread-safe — the MD loop and observer callbacks may interleave.
+    """
+
+    def __init__(
+        self, path=None, meta: Optional[Dict[str, object]] = None
+    ) -> None:
+        self._lock = threading.Lock()
+        self._path = os.fspath(path) if path is not None else None
+        self._handle = (
+            open(self._path, "w", encoding="utf-8")
+            if self._path is not None
+            else None
+        )
+        self._records: List[Dict[str, object]] = []
+        self.log("meta", **(meta if meta is not None else collect_run_meta()))
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._path
+
+    def log(self, kind: str, **fields: object) -> Dict[str, object]:
+        """Append one record; returns the record as written."""
+        record: Dict[str, object] = {
+            "t": time.perf_counter(),
+            "kind": kind,
+        }
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._records.append(record)
+            if self._handle is not None:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+        return record
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        """Snapshot of everything logged (also available file-backed)."""
+        with self._lock:
+            return list(self._records)
+
+    def of_kind(self, kind: str) -> List[Dict[str, object]]:
+        return [r for r in self.records if r["kind"] == kind]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -16,7 +16,7 @@ every task with ``on_phase_begin`` / ``on_task_begin`` / ``on_task_end`` /
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 TaskClosure = Callable[[], None]
 
@@ -42,6 +42,47 @@ class PhaseObserver:
 
     def on_phase_end(self, phase: int) -> None:
         """All tasks of ``phase`` have settled (the barrier)."""
+
+
+class MultiObserver(PhaseObserver):
+    """Fan-out observer: forwards every hook to each child in add order.
+
+    This is what lets a :class:`~repro.obs.tracer.TracingObserver`, a
+    :class:`~repro.utils.profiler.ProfilingObserver`, and an
+    :class:`~repro.analysis.events.EventLog` watch the same backend
+    simultaneously.  Children need only implement the hook surface
+    structurally (no subclass requirement — same contract as the backend
+    itself).
+    """
+
+    def __init__(self, *observers: PhaseObserver) -> None:
+        self.observers: List[PhaseObserver] = list(observers)
+
+    def add(self, observer: PhaseObserver) -> None:
+        self.observers.append(observer)
+
+    def remove(self, observer: PhaseObserver) -> None:
+        """Drop ``observer`` (identity match; no-op when absent)."""
+        self.observers = [o for o in self.observers if o is not observer]
+
+    def __len__(self) -> int:
+        return len(self.observers)
+
+    def on_phase_begin(self, phase: int, n_tasks: int) -> None:
+        for observer in self.observers:
+            observer.on_phase_begin(phase, n_tasks)
+
+    def on_task_begin(self, phase: int, task: int) -> None:
+        for observer in self.observers:
+            observer.on_task_begin(phase, task)
+
+    def on_task_end(self, phase: int, task: int) -> None:
+        for observer in self.observers:
+            observer.on_task_end(phase, task)
+
+    def on_phase_end(self, phase: int) -> None:
+        for observer in self.observers:
+            observer.on_phase_end(phase)
 
 
 def _noop() -> None:
@@ -77,6 +118,38 @@ class ExecutionBackend(ABC):
     def detach_observer(self) -> None:
         """Remove the observer (idempotent)."""
         self._observer = None
+
+    def add_observer(self, observer: PhaseObserver) -> None:
+        """Attach ``observer`` *alongside* any already-attached observer.
+
+        The first add behaves like :meth:`attach_observer` (phase
+        numbering restarts at 0); later adds wrap the existing observer
+        and the new one in a :class:`MultiObserver` without resetting the
+        numbering, so all children agree on phase indices from the moment
+        they join.
+        """
+        if self._observer is None:
+            self.attach_observer(observer)
+        elif isinstance(self._observer, MultiObserver):
+            self._observer.add(observer)
+        else:
+            self._observer = MultiObserver(self._observer, observer)
+
+    def remove_observer(self, observer: PhaseObserver) -> None:
+        """Detach exactly ``observer``, keeping any co-attached observers.
+
+        Identity match; unwraps a :class:`MultiObserver` left with one
+        child and is a no-op when ``observer`` is not attached.
+        """
+        current = self._observer
+        if current is observer:
+            self._observer = None
+        elif isinstance(current, MultiObserver):
+            current.remove(observer)
+            if len(current) == 1:
+                self._observer = current.observers[0]
+            elif len(current) == 0:
+                self._observer = None
 
     def _begin_phase(
         self, closures: Sequence[TaskClosure]

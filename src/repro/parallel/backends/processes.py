@@ -22,9 +22,10 @@ sizes.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 from multiprocessing import shared_memory
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +50,11 @@ from repro.utils.profiler import (
 # state inherited by workers at fork time (read-only in workers)
 _FORK_STATE: dict = {}
 
+#: third element of every worker result: where and when the chunk ran, in
+#: the *worker's* clock domain — the parent aligns it with
+#: :func:`repro.obs.tracer.align_worker_spans`
+WorkerTiming = Dict[str, float]
+
 
 def _open_array(name: str, shape: Tuple[int, ...]) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
     segment = shared_memory.SharedMemory(name=name)
@@ -70,9 +76,14 @@ def _worker_shadow(array: np.ndarray, name: str):
     return wrap_array(array, name, log), log
 
 
+def _worker_timing(start: float) -> WorkerTiming:
+    """Worker-clock provenance for one executed chunk."""
+    return {"pid": float(os.getpid()), "origin": start}
+
+
 def _density_worker(
     subdomains: Sequence[int],
-) -> Tuple[float, Optional[List[int]]]:
+) -> Tuple[float, Optional[List[int]], WorkerTiming]:
     state = _FORK_STATE
     rho, segment = _open_array(state["rho_name"], (state["n_atoms"],))
     rho, log = _worker_shadow(rho, "rho")
@@ -91,7 +102,11 @@ def _density_worker(
             np.add.at(rho, i_idx, phi)
             np.add.at(rho, j_idx, phi)
         elapsed = time.perf_counter() - start
-        return elapsed, (log.flat("rho").tolist() if log is not None else None)
+        return (
+            elapsed,
+            (log.flat("rho").tolist() if log is not None else None),
+            _worker_timing(start),
+        )
     finally:
         del rho
         segment.close()
@@ -99,7 +114,7 @@ def _density_worker(
 
 def _force_worker(
     subdomains: Sequence[int],
-) -> Tuple[float, Optional[List[int]]]:
+) -> Tuple[float, Optional[List[int]], WorkerTiming]:
     state = _FORK_STATE
     forces, fseg = _open_array(state["forces_name"], (state["n_atoms"], 3))
     fp, pseg = _open_array(state["fp_name"], (state["n_atoms"],))
@@ -123,8 +138,10 @@ def _force_worker(
                 np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
                 np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
         elapsed = time.perf_counter() - start
-        return elapsed, (
-            log.flat("forces").tolist() if log is not None else None
+        return (
+            elapsed,
+            (log.flat("forces").tolist() if log is not None else None),
+            _worker_timing(start),
         )
     finally:
         del forces, fp
@@ -166,6 +183,11 @@ class ProcessSDCCalculator:
         self.record_writes = record_writes
         self.last_write_record: List[Tuple[str, List[List[int]]]] = []
         self._profiler: Optional[PhaseProfiler] = None
+        self._tracer = None
+        self._trace_phase = 0
+        #: decomposition of the most recent compute (for schedule metrics)
+        self.last_pairs = None
+        self.last_schedule = None
 
     def attach_profiler(self, profiler: PhaseProfiler) -> None:
         """Record per-phase wall-clock (and barrier slack) into *profiler*."""
@@ -174,20 +196,98 @@ class ProcessSDCCalculator:
     def detach_profiler(self) -> None:
         self._profiler = None
 
+    def attach_tracer(self, tracer) -> None:
+        """Record timeline spans (incl. worker-side chunks) into *tracer*.
+
+        Worker chunks ship their ``perf_counter`` origin back with their
+        results; the parent aligns them into its own clock domain
+        (:func:`repro.obs.tracer.align_worker_spans`) and lays each worker
+        out on a ``worker-<pid>`` track.
+        """
+        self._tracer = tracer
+        self._trace_phase = 0
+
+    def detach_tracer(self) -> None:
+        self._tracer = None
+
     def _phase(self, name: str):
         if self._profiler is None:
             return NULL_PHASE
         return self._profiler.phase(name)
 
-    def _run_color_phase(self, pool, worker, chunks) -> List[Optional[List[int]]]:
+    def _span(self, name: str, **args):
+        if self._tracer is None:
+            return NULL_PHASE
+        return self._tracer.span(name, **args)
+
+    def _trace_chunks(
+        self,
+        label: str,
+        results: Sequence[Tuple[float, object, WorkerTiming]],
+        window_start: float,
+        window_end: float,
+    ) -> None:
+        """Align worker chunk timings into the parent timeline as spans."""
+        from repro.obs.tracer import (
+            CAT_BARRIER,
+            CAT_PHASE,
+            CAT_TASK,
+            Span,
+            align_worker_spans,
+        )
+
+        phase = self._trace_phase
+        self._trace_phase += 1
+        for task, (elapsed, _, timing) in enumerate(results):
+            pid = int(timing["pid"])
+            raw = Span(
+                name=f"{label}:chunk",
+                category=CAT_TASK,
+                start_s=timing["origin"],
+                duration_s=elapsed,
+                pid=pid,
+                track=f"worker-{pid}",
+                args={"phase": phase, "task": task},
+            )
+            (span,) = align_worker_spans(
+                [raw], timing["origin"], window_start, window_end
+            )
+            self._tracer.record(span)
+            wait = window_end - span.end_s
+            if wait > 0.0:
+                self._tracer.record(
+                    Span(
+                        name="barrier-wait",
+                        category=CAT_BARRIER,
+                        start_s=span.end_s,
+                        duration_s=wait,
+                        pid=pid,
+                        track=span.track,
+                        args={"phase": phase},
+                    )
+                )
+        self._tracer.add(
+            f"{label}/phase{phase}",
+            CAT_PHASE,
+            window_start,
+            window_end - window_start,
+            phase=phase,
+            n_tasks=len(results),
+        )
+
+    def _run_color_phase(
+        self, pool, worker, chunks, label: str
+    ) -> List[Optional[List[int]]]:
         """One color phase: map chunks, charge barrier slack, return writes."""
         start = time.perf_counter()
         results = pool.map(worker, chunks)
         wall = time.perf_counter() - start
         if self._profiler is not None and results:
-            longest = max(elapsed for elapsed, _ in results)
+            longest = max(elapsed for elapsed, _, _ in results)
             self._profiler.add(PHASE_BARRIER, max(0.0, wall - longest))
-        return [writes for _, writes in results]
+        if self._tracer is not None and results:
+            self._trace_chunks(label, results, start, start + wall)
+        return [writes for _, writes, _ in results]
 
     def _decompose(self, atoms: Atoms, nlist: NeighborList):
         reach = nlist.cutoff + nlist.skin
@@ -213,7 +313,11 @@ class ProcessSDCCalculator:
             raise ValueError("SDC consumes half neighbor lists")
         n = atoms.n_atoms
         with self._phase("neighbor-rebuild"):
-            pairs, schedule = self._decompose(atoms, nlist)
+            with self._span("neighbor-rebuild"):
+                pairs, schedule = self._decompose(atoms, nlist)
+        # kept for observability consumers (schedule metrics, tests)
+        self.last_pairs = pairs
+        self.last_schedule = schedule
 
         rho_seg = shared_memory.SharedMemory(create=True, size=max(n, 1) * 8)
         fp_seg = shared_memory.SharedMemory(create=True, size=max(n, 1) * 8)
@@ -245,7 +349,7 @@ class ProcessSDCCalculator:
             with ctx.Pool(self.n_workers) as pool:
                 # phase 1: densities, color by color (pool.map = barrier)
                 with self._phase("density"):
-                    for members in schedule.phases:
+                    for color, members in enumerate(schedule.phases):
                         chunks = [
                             members[c].tolist()
                             for c in static_assignment(
@@ -253,18 +357,27 @@ class ProcessSDCCalculator:
                             )
                             if len(c)
                         ]
-                        writes = self._run_color_phase(
-                            pool, _density_worker, chunks
-                        )
+                        with self._span(
+                            f"density:color{color}",
+                            color=color,
+                            n_subdomains=len(members),
+                        ):
+                            writes = self._run_color_phase(
+                                pool,
+                                _density_worker,
+                                chunks,
+                                f"density:color{color}",
+                            )
                         if self.record_writes:
                             self.last_write_record.append(("density", writes))
                 # phase 2: embedding in the parent (no dependences)
                 with self._phase("embedding"):
-                    embedding_energy = float(np.sum(potential.embed(rho)))
-                    fp[:] = potential.embed_deriv(rho)
+                    with self._span("embedding"):
+                        embedding_energy = float(np.sum(potential.embed(rho)))
+                        fp[:] = potential.embed_deriv(rho)
                 # phase 3: forces, color by color
                 with self._phase("force"):
-                    for members in schedule.phases:
+                    for color, members in enumerate(schedule.phases):
                         chunks = [
                             members[c].tolist()
                             for c in static_assignment(
@@ -272,9 +385,17 @@ class ProcessSDCCalculator:
                             )
                             if len(c)
                         ]
-                        writes = self._run_color_phase(
-                            pool, _force_worker, chunks
-                        )
+                        with self._span(
+                            f"force:color{color}",
+                            color=color,
+                            n_subdomains=len(members),
+                        ):
+                            writes = self._run_color_phase(
+                                pool,
+                                _force_worker,
+                                chunks,
+                                f"force:color{color}",
+                            )
                         if self.record_writes:
                             self.last_write_record.append(("force", writes))
 

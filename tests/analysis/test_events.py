@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -66,6 +68,24 @@ class TestEventLogOnSerialBackend:
         backend.attach_observer(log)
         _run_phases(backend, [2])
         assert log.phase_sizes == {0: 2}
+
+    def test_timestamps_share_the_perf_counter_clock_domain(self):
+        """Event timestamps must be comparable with profiler/tracer times.
+
+        The profiler, the backends and the tracer all read
+        ``time.perf_counter()``; events recorded between two readings of
+        that clock must fall inside the window (regression: events used
+        ``time.monotonic()``, a different clock domain on some platforms).
+        """
+        backend = SerialBackend()
+        log = EventLog()
+        backend.attach_observer(log)
+        before = time.perf_counter()
+        _run_phases(backend, [2])
+        after = time.perf_counter()
+        assert log.events
+        for event in log.events:
+            assert before <= event.timestamp <= after
 
     def test_task_end_fires_on_raise(self):
         backend = SerialBackend()

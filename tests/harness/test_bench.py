@@ -113,8 +113,12 @@ class TestBenchOutput:
         path = tmp_path / "BENCH_forces.json"
         write_bench_json(path, [r.to_dict() for r in quick_records])
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-bench-v1"
+        assert payload["schema"] == "repro-bench-v2"
         assert "platform" in payload["host"]
+        meta = payload["meta"]
+        for key in ("hostname", "cpu_count", "python", "numpy"):
+            assert key in meta
+        assert meta["cpu_count"] >= 1
         first = payload["records"][0]
         assert {
             "case",

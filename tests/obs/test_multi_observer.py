@@ -1,0 +1,145 @@
+"""Multi-observer fan-out: tracer + profiler + event log on one backend."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.events import EventLog
+from repro.core.strategies.sdc import SDCStrategy
+from repro.obs.tracer import CAT_TASK, Tracer, TracingObserver
+from repro.parallel.backends.base import MultiObserver, PhaseObserver
+from repro.parallel.backends.serial import SerialBackend
+from repro.parallel.backends.threads import ThreadBackend
+
+
+class _Recorder(PhaseObserver):
+    def __init__(self):
+        self.calls = []
+
+    def on_phase_begin(self, phase, n_tasks):
+        self.calls.append(("phase-begin", phase, n_tasks))
+
+    def on_task_begin(self, phase, task):
+        self.calls.append(("task-begin", phase, task))
+
+    def on_task_end(self, phase, task):
+        self.calls.append(("task-end", phase, task))
+
+    def on_phase_end(self, phase):
+        self.calls.append(("phase-end", phase))
+
+
+class TestMultiObserver:
+    def test_forwards_all_hooks_in_add_order(self):
+        order = []
+
+        class Tagged(PhaseObserver):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_phase_begin(self, phase, n_tasks):
+                order.append(self.tag)
+
+        multi = MultiObserver(Tagged("a"), Tagged("b"))
+        multi.add(Tagged("c"))
+        multi.on_phase_begin(0, 1)
+        assert order == ["a", "b", "c"]
+        assert len(multi) == 3
+
+    def test_remove_is_identity_based(self):
+        a, b = _Recorder(), _Recorder()
+        multi = MultiObserver(a, b)
+        multi.remove(a)
+        assert multi.observers == [b]
+        multi.remove(a)  # absent: no-op
+        assert multi.observers == [b]
+
+
+class TestAddObserverOnBackend:
+    def test_first_add_behaves_like_attach(self):
+        backend = SerialBackend()
+        rec = _Recorder()
+        backend.add_observer(rec)
+        assert backend.observer is rec
+        backend.run_phase([lambda: None])
+        assert rec.calls[0] == ("phase-begin", 0, 1)
+
+    def test_second_add_wraps_without_resetting_numbering(self):
+        backend = SerialBackend()
+        first, second = _Recorder(), _Recorder()
+        backend.add_observer(first)
+        backend.run_phase([lambda: None])  # phase 0
+        backend.add_observer(second)
+        backend.run_phase([lambda: None])  # phase 1 for both
+        assert isinstance(backend.observer, MultiObserver)
+        assert ("phase-begin", 1, 1) in first.calls
+        assert ("phase-begin", 1, 1) in second.calls
+        # the late joiner never saw phase 0
+        assert ("phase-begin", 0, 1) not in second.calls
+
+    def test_remove_observer_unwraps_to_single_child(self):
+        backend = SerialBackend()
+        first, second = _Recorder(), _Recorder()
+        backend.add_observer(first)
+        backend.add_observer(second)
+        backend.remove_observer(first)
+        assert backend.observer is second
+
+    def test_remove_sole_observer_detaches(self):
+        backend = SerialBackend()
+        rec = _Recorder()
+        backend.add_observer(rec)
+        backend.remove_observer(rec)
+        assert backend.observer is None
+
+    def test_remove_unattached_is_noop(self):
+        backend = SerialBackend()
+        rec = _Recorder()
+        backend.add_observer(rec)
+        backend.remove_observer(_Recorder())
+        assert backend.observer is rec
+
+
+class TestCoAttachedObservers:
+    def test_tracer_and_eventlog_see_the_same_phases(self):
+        backend = ThreadBackend(2)
+        tracer = Tracer()
+        log = EventLog()
+        backend.add_observer(TracingObserver(tracer))
+        backend.add_observer(log)
+        try:
+            backend.run_phase([(lambda: None) for _ in range(4)])
+            backend.run_phase([(lambda: None) for _ in range(2)])
+        finally:
+            backend.close()
+        assert log.n_phases == 2
+        assert log.is_well_formed()
+        task_phases = {
+            s.args["phase"] for s in tracer.by_category(CAT_TASK)
+        }
+        assert task_phases == {0, 1}
+        assert len(tracer.by_category(CAT_TASK)) == 6
+
+    def test_profiler_and_tracer_co_attach_through_strategy(
+        self, potential, sdc_atoms, sdc_nlist
+    ):
+        from repro.utils.profiler import PhaseProfiler
+
+        strategy = SDCStrategy(dims=2, n_threads=2)
+        tracer = Tracer()
+        profiler = PhaseProfiler()
+        strategy.attach_tracer(tracer)
+        strategy.attach_profiler(profiler)
+        try:
+            with profiler.repeat():
+                result = strategy.compute(
+                    potential, sdc_atoms.copy(), sdc_nlist
+                )
+        finally:
+            strategy.detach_profiler()
+            strategy.detach_tracer()
+        assert np.all(np.isfinite(result.forces))
+        # both instruments observed the same execution
+        assert "density" in profiler.phase_names()
+        assert len(tracer.by_category(CAT_TASK)) > 0
+        assert strategy.backend.observer is None

@@ -51,6 +51,60 @@ def test_imbalanced_phase_has_idle(result):
     assert sum(1 for s in segments if s.busy == 0.0) == 2
 
 
+def test_timeline_starts_at_fork_join(result):
+    # the first phase begins after the fork-join prologue, not at 0
+    segments = build_timeline(result)
+    first_start = min(s.start for s in segments)
+    assert first_start == pytest.approx(result.fork_join_cycles)
+    assert result.fork_join_cycles > 0.0
+
+
+def test_segment_end_is_start_plus_busy_plus_idle(result):
+    for s in build_timeline(result):
+        assert s.end == pytest.approx(s.start + s.busy + s.idle)
+
+
+def test_busy_plus_idle_fills_the_phase_span(result):
+    # every thread occupies the full synchronized span of its phase
+    segments = build_timeline(result)
+    spans = {p.name: p.total_cycles for p in result.phase_results}
+    for s in segments:
+        assert s.busy + s.idle == pytest.approx(spans[s.phase])
+
+
+def test_busy_matches_simulated_per_thread_cycles(result):
+    segments = build_timeline(result)
+    for phase in result.phase_results:
+        per_thread = {
+            s.thread: s.busy for s in segments if s.phase == phase.name
+        }
+        for thread, cycles in enumerate(phase.busy_cycles_per_thread):
+            assert per_thread[thread] == pytest.approx(float(cycles))
+
+
+def test_phases_are_contiguous_across_barriers(result):
+    # phase k+1 starts exactly where phase k's barrier released (no gaps,
+    # no overlap) and the last barrier lands on the plan's total time
+    segments = build_timeline(result)
+    by_phase = {}
+    for s in segments:
+        by_phase.setdefault(s.phase, []).append(s)
+    ordered = [by_phase[p.name] for p in result.phase_results]
+    for prev, nxt in zip(ordered, ordered[1:]):
+        prev_end = max(s.end for s in prev)
+        next_start = min(s.start for s in nxt)
+        assert next_start == pytest.approx(prev_end)
+    assert max(s.end for s in ordered[-1]) == pytest.approx(
+        result.total_cycles
+    )
+
+
+def test_empty_plan_yields_empty_timeline():
+    machine = MachineConfig()
+    plan = SimPlan(name="empty", phases=[])
+    assert build_timeline(simulate(plan, machine, 2)) == []
+
+
 def test_utilization_in_unit_interval(result):
     u = utilization(result)
     assert 0.0 < u <= 1.0

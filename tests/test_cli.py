@@ -20,6 +20,7 @@ class TestParser:
             "hybrid",
             "racecheck",
             "bench",
+            "trace",
         }
 
     def test_command_required(self):
@@ -84,13 +85,91 @@ class TestCommands:
         import json
 
         payload = json.loads((tmp_path / "BENCH_forces.json").read_text())
-        assert payload["schema"] == "repro-bench-v1"
+        assert payload["schema"] == "repro-bench-v2"
+        assert payload["meta"]["n_threads"] == 2
         combos = {
             (r["strategy"], r["backend"])
             for r in payload["records"]
             if r["phase"] == "density"
         }
         assert {("serial", "serial"), ("sdc-2d", "threads")} <= combos
+
+    def test_trace(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "trace",
+                    "--case",
+                    "tiny",
+                    "--strategy",
+                    "sdc",
+                    "--backend",
+                    "threads",
+                    "--steps",
+                    "1",
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "worst-balanced phases" in out
+        assert "perfetto" in out
+
+        import json
+
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        for ev in payload["traceEvents"]:
+            assert {"ph", "ts", "dur", "pid", "tid", "name"} <= set(ev)
+        metric_names = {
+            json.loads(l)["metric"]
+            for l in (tmp_path / "metrics.jsonl").read_text().splitlines()
+        }
+        assert "color_load_imbalance_static" in metric_names
+        assert (tmp_path / "run.jsonl").exists()
+
+    def test_trace_all_combos_skipped_fails(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "trace",
+                    "--strategy",
+                    "serial",
+                    "--backend",
+                    "threads",
+                    "--steps",
+                    "1",
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 1
+        )
+
+    def test_racecheck_metrics_stream(self, capsys, tmp_path):
+        path = tmp_path / "race-metrics.jsonl"
+        assert (
+            main(
+                [
+                    "racecheck",
+                    "--strategy",
+                    "sdc",
+                    "--cells",
+                    "6",
+                    "--metrics",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        by_name = {r["metric"]: r for r in records}
+        assert by_name["racecheck_conflicting_elements"]["value"] == 0.0
+        assert by_name["racecheck_ok"]["value"] == 1.0
+        assert by_name["racecheck_ok"]["strategy"] == "sdc"
 
 
 def test_module_invocation():
