@@ -17,6 +17,16 @@ them without writing code:
 * ``trace``      — traced case × strategy × backend MD runs (writes
   Perfetto ``trace.json``, ``metrics.jsonl`` and ``run.jsonl``, and
   prints the load-imbalance summary).
+* ``compare``    — regression-gate a candidate bench run against a
+  baseline (median/IQR overlap + relative threshold; exit 1 on a hard
+  regression).
+* ``report``     — render the self-contained HTML performance dashboard
+  (speedup curves, strategy bars, imbalance metrics, history trends)
+  plus a terminal summary.
+
+``bench`` and ``trace`` accept ``--store`` to append their artifacts to
+the performance-history store (default ``.repro/history.jsonl``) that
+``compare`` and ``report`` read.
 """
 
 from __future__ import annotations
@@ -193,6 +203,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         QUICK_CASES,
         QUICK_STRATEGIES,
         bench_forces,
+        bench_payload,
         render_bench_table,
         reordering_records,
         write_bench_json,
@@ -232,25 +243,173 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(render_bench_table(records))
 
-    reorder = measure_reordering(
-        case=case_by_key(reorder_case),
-        n_threads=args.threads,
-        warmup=warmup,
-        repeats=repeats,
-    )
-    print()
-    print(reorder.render())
+    reorder = None
+    if not args.skip_reordering:
+        reorder = measure_reordering(
+            case=case_by_key(reorder_case),
+            n_threads=args.threads,
+            warmup=warmup,
+            repeats=repeats,
+        )
+        print()
+        print(reorder.render())
 
     os.makedirs(args.output_dir, exist_ok=True)
     forces_path = os.path.join(args.output_dir, "BENCH_forces.json")
-    reorder_path = os.path.join(args.output_dir, "BENCH_reordering.json")
     write_bench_json(
         forces_path, [r.to_dict() for r in records], n_threads=args.threads
     )
-    write_bench_json(
-        reorder_path, reordering_records(reorder), n_threads=args.threads
+    print(f"\nwrote {forces_path}")
+    if reorder is not None:
+        reorder_path = os.path.join(args.output_dir, "BENCH_reordering.json")
+        write_bench_json(
+            reorder_path, reordering_records(reorder), n_threads=args.threads
+        )
+        print(f"wrote {reorder_path}")
+    if args.store:
+        from repro.obs.history import RunStore
+
+        store = RunStore(args.store)
+        store.append_bench(
+            bench_payload(
+                [r.to_dict() for r in records], n_threads=args.threads
+            )
+        )
+        if reorder is not None:
+            store.append_bench(
+                bench_payload(
+                    reordering_records(reorder), n_threads=args.threads
+                ),
+                source="BENCH_reordering.json",
+                kind="reordering",
+            )
+        print(f"appended to history store {store.path}")
+    return 0
+
+
+def _load_bench_payload(ref: str):
+    """Read a ``repro-bench`` payload from a file or artifact directory."""
+    import json
+    import os
+
+    path = ref
+    if os.path.isdir(path):
+        path = os.path.join(path, "BENCH_forces.json")
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = str(payload.get("schema", ""))
+    if not schema.startswith("repro-bench"):
+        raise ValueError(f"{path}: not a repro-bench payload ({schema!r})")
+    return payload, path
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.obs.atomicio import atomic_write_text
+    from repro.obs.history import RunStore
+    from repro.obs.regress import compare_payloads
+
+    try:
+        candidate, candidate_path = _load_bench_payload(args.candidate)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: candidate: {exc}", file=sys.stderr)
+        return 2
+
+    gate_phases = (
+        _all_phases(candidate) if args.all_phases else ("total",)
     )
-    print(f"\nwrote {forces_path}\nwrote {reorder_path}")
+    store = RunStore(args.store) if args.store else None
+    baseline, baseline_path = None, None
+    if args.baseline:
+        try:
+            baseline, baseline_path = _load_bench_payload(args.baseline)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: baseline: {exc}", file=sys.stderr)
+            return 2
+    else:
+        committed = "BENCH_forces.json"
+        if (
+            os.path.exists(committed)
+            and os.path.abspath(committed)
+            != os.path.abspath(candidate_path)
+        ):
+            baseline, baseline_path = _load_bench_payload(committed)
+        elif store is not None:
+            entry = store.baseline_bench()
+            if entry is not None:
+                baseline = {
+                    "schema": "repro-bench-v2",
+                    "meta": entry.meta,
+                    "records": entry.records,
+                }
+                baseline_path = f"{store.path}#seq{entry.seq}"
+    if baseline is None:
+        print(
+            "no baseline found (no --baseline, no committed "
+            "BENCH_forces.json, empty history store) — nothing to "
+            "compare against",
+            file=sys.stderr,
+        )
+        return 0
+    report = compare_payloads(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        gate_phases=gate_phases,
+    )
+    print(f"candidate: {candidate_path}")
+    print(f"baseline:  {baseline_path}")
+    print()
+    print(report.render())
+    if args.json:
+        atomic_write_text(
+            args.json, json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    if store is not None:
+        store.append_bench(candidate, source=candidate_path)
+        print(f"appended candidate to history store {store.path}")
+    if report.exit_code and args.warn_only:
+        print(
+            "warning: hard regression detected (soft-fail mode, exiting 0)",
+            file=sys.stderr,
+        )
+        return 0
+    return report.exit_code
+
+
+def _all_phases(payload) -> tuple:
+    return tuple(
+        sorted(
+            {
+                str(r["phase"])
+                for r in payload.get("records", [])
+                if isinstance(r, dict) and "phase" in r
+            }
+        )
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.report import (
+        load_report_source,
+        render_text_summary,
+        write_report,
+    )
+
+    if not os.path.exists(args.source):
+        print(f"error: no such source {args.source!r}", file=sys.stderr)
+        return 2
+    data = load_report_source(args.source, store_path=args.store)
+    print(render_text_summary(data, top=args.top))
+    write_report(args.output, data)
+    print(f"\nwrote {args.output}")
     return 0
 
 
@@ -270,6 +429,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         steps=args.steps,
         output_dir=args.output_dir,
         on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
+        store_path=args.store,
     )
     print(report.render_summary(top=args.top))
     if report.trace_path is not None:
@@ -281,6 +441,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(
             "open the trace at https://ui.perfetto.dev or chrome://tracing"
         )
+    if report.store_path is not None:
+        print(f"appended to history store {report.store_path}")
     return 0 if report.runs else 1
 
 
@@ -399,6 +561,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=".",
         help="directory for BENCH_forces.json / BENCH_reordering.json",
     )
+    bench.add_argument(
+        "--skip-reordering",
+        action="store_true",
+        help="skip the Section II.D reordering measurement (faster "
+        "perf-gate smoke)",
+    )
+    bench.add_argument(
+        "--store",
+        help="append the bench payloads to this performance-history "
+        "store (e.g. .repro/history.jsonl)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     trace = sub.add_parser(
@@ -434,7 +607,74 @@ def build_parser() -> argparse.ArgumentParser:
         default="trace-out",
         help="directory for trace.json / metrics.jsonl / run.jsonl",
     )
+    trace.add_argument(
+        "--store",
+        help="append the metrics and run-log streams to this "
+        "performance-history store",
+    )
     trace.set_defaults(func=_cmd_trace)
+
+    comp = sub.add_parser(
+        "compare",
+        help="regression-gate a candidate bench run against a baseline "
+        "(exit 1 on hard regression)",
+    )
+    comp.add_argument(
+        "candidate",
+        help="candidate BENCH_forces.json or a directory containing it",
+    )
+    comp.add_argument(
+        "--baseline",
+        help="baseline bench JSON or directory (default: the committed "
+        "./BENCH_forces.json, else the latest history-store entry)",
+    )
+    comp.add_argument(
+        "--store",
+        help="history store to fall back on for the baseline and to "
+        "append the candidate to",
+    )
+    comp.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative median-slowdown gate (default 0.10 = 10%%)",
+    )
+    comp.add_argument(
+        "--all-phases",
+        action="store_true",
+        help="gate every phase row, not just the total phase",
+    )
+    comp.add_argument(
+        "--json", help="write the verdict report as JSON here"
+    )
+    comp.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI soft-fail)",
+    )
+    comp.set_defaults(func=_cmd_compare)
+
+    rep = sub.add_parser(
+        "report",
+        help="render the self-contained HTML performance dashboard",
+    )
+    rep.add_argument(
+        "source",
+        help="artifact directory (BENCH_*.json / metrics.jsonl / "
+        "run.jsonl) or a history store .jsonl file",
+    )
+    rep.add_argument(
+        "-o", "--output", default="report.html", help="HTML output path"
+    )
+    rep.add_argument(
+        "--store",
+        help="explicit history store for the trend panel (default: "
+        "history.jsonl or .repro/history.jsonl inside the source dir)",
+    )
+    rep.add_argument(
+        "--top", type=int, default=8, help="rows per terminal summary section"
+    )
+    rep.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -311,10 +311,26 @@ def write_bench_json(
     The ``meta`` block (hostname, CPU count, thread count, Python/NumPy
     versions, git SHA) makes bench artifacts from different machines and
     commits comparable; the legacy ``host`` block is kept for v1 readers.
+    The write is atomic (tmp + ``os.replace``) so a committed baseline is
+    never clobbered by a half-written file.
     """
+    from repro.obs.atomicio import atomic_write
+
+    payload = bench_payload(records, n_threads=n_threads)
+    with atomic_write(path) as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def bench_payload(
+    records: Sequence[Dict[str, object]],
+    n_threads: Optional[int] = None,
+) -> Dict[str, object]:
+    """The ``repro-bench-v2`` payload for ``records`` (also what the
+    history store ingests without a file round-trip)."""
     from repro.obs.runlog import collect_run_meta
 
-    payload = {
+    return {
         "schema": "repro-bench-v2",
         "host": {
             "platform": platform.platform(),
@@ -324,9 +340,6 @@ def write_bench_json(
         "meta": collect_run_meta(n_threads),
         "records": list(records),
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
 
 
 def render_bench_table(records: Sequence[BenchRecord]) -> str:

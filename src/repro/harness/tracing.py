@@ -66,6 +66,7 @@ class TraceReport:
     trace_path: Optional[str] = None
     metrics_path: Optional[str] = None
     runlog_path: Optional[str] = None
+    store_path: Optional[str] = None
 
     def span_groups(self) -> List[Tuple[str, Sequence[Span]]]:
         return [(run.label, run.spans) for run in self.runs]
@@ -212,12 +213,15 @@ def run_trace(
     steps: int = 2,
     output_dir: Optional[str] = None,
     on_skip: Optional[Callable[[str], None]] = None,
+    store_path: Optional[str] = None,
 ) -> TraceReport:
     """Trace the sweep; optionally write the three artifacts.
 
     With ``output_dir`` set, writes ``trace.json``, ``metrics.jsonl`` and
     ``run.jsonl`` there (creating the directory) and records the paths on
-    the returned report.
+    the returned report.  With ``store_path`` set, the metrics and run-log
+    streams are also appended to that performance-history store
+    (:class:`~repro.obs.history.RunStore`).
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
@@ -266,4 +270,19 @@ def run_trace(
             meta=collect_run_meta(n_workers),
         )
         registry.write_jsonl(report.metrics_path)
+    if store_path is not None:
+        from repro.obs.history import RunStore
+
+        store = RunStore(store_path)
+        meta = collect_run_meta(n_workers)
+        store.append_records(
+            "metrics",
+            [r.to_dict() for r in registry.records()],
+            meta=meta,
+            source="metrics.jsonl",
+        )
+        store.append_records(
+            "runlog", run_log.records, meta=meta, source="run.jsonl"
+        )
+        report.store_path = store.path
     return report

@@ -13,14 +13,34 @@ surface the analysis and profiling layers already use.  Four pieces:
 * :mod:`repro.obs.runlog` — JSONL structured run logs + the environment
   meta block.
 
-``repro trace`` (:mod:`repro.harness.tracing`) drives all four.
+On top of the per-run artifacts, the performance-history layer compares
+runs over time:
+
+* :mod:`repro.obs.history` — :class:`RunStore`, the append-only
+  ``history.jsonl`` trajectory of ingested artifacts;
+* :mod:`repro.obs.regress` — median/IQR regression verdicts
+  (``repro compare``);
+* :mod:`repro.obs.report` — the self-contained HTML dashboard + terminal
+  summary (``repro report``);
+* :mod:`repro.obs.atomicio` — tmp-file + ``os.replace`` write helpers
+  every exporter funnels through.
+
+``repro trace`` (:mod:`repro.harness.tracing`) drives the per-run
+artifacts; ``repro bench --store`` / ``repro trace --store`` feed the
+history.
 """
 
+from repro.obs.atomicio import (
+    atomic_append_text,
+    atomic_write,
+    atomic_write_text,
+)
 from repro.obs.exporters import (
     render_trace_summary,
     to_chrome_trace,
     write_trace_json,
 )
+from repro.obs.history import HistoryEntry, RunKey, RunStore
 from repro.obs.metrics import (
     MetricRecord,
     MetricsRegistry,
@@ -29,7 +49,25 @@ from repro.obs.metrics import (
     record_schedule_metrics,
     record_span_metrics,
 )
-from repro.obs.runlog import RunLog, collect_run_meta, git_sha
+from repro.obs.regress import (
+    CellVerdict,
+    RegressionReport,
+    compare_entries,
+    compare_payloads,
+)
+from repro.obs.report import (
+    ReportData,
+    load_report_source,
+    render_html,
+    render_text_summary,
+    write_report,
+)
+from repro.obs.runlog import (
+    RUNLOG_SCHEMA_VERSION,
+    RunLog,
+    collect_run_meta,
+    git_sha,
+)
 from repro.obs.tracer import (
     Span,
     Tracer,
@@ -38,6 +76,22 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "atomic_append_text",
+    "atomic_write",
+    "atomic_write_text",
+    "HistoryEntry",
+    "RunKey",
+    "RunStore",
+    "CellVerdict",
+    "RegressionReport",
+    "compare_entries",
+    "compare_payloads",
+    "ReportData",
+    "load_report_source",
+    "render_html",
+    "render_text_summary",
+    "write_report",
+    "RUNLOG_SCHEMA_VERSION",
     "Span",
     "Tracer",
     "TracingObserver",

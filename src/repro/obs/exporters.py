@@ -96,8 +96,10 @@ def write_trace_json(
     groups: Sequence[Tuple[str, Sequence[Span]]],
     meta: Optional[Mapping[str, object]] = None,
 ) -> None:
-    """Write the Chrome trace-event JSON for ``groups`` to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Atomically write the Chrome trace-event JSON for ``groups``."""
+    from repro.obs.atomicio import atomic_write
+
+    with atomic_write(path) as handle:
         json.dump(to_chrome_trace(groups, meta=meta), handle)
         handle.write("\n")
 

@@ -132,11 +132,11 @@ class MetricsRegistry:
         )
 
     def write_jsonl(self, path) -> None:
-        """Write (truncate) the JSONL stream to ``path``."""
+        """Atomically replace ``path`` with the JSONL stream."""
+        from repro.obs.atomicio import atomic_write_text
+
         text = self.to_jsonl()
-        with open(path, "w", encoding="utf-8") as handle:
-            if text:
-                handle.write(text + "\n")
+        atomic_write_text(path, text + "\n" if text else "")
 
 
 def load_imbalance(values: Iterable[float]) -> float:

@@ -1,0 +1,286 @@
+"""Statistical regression detection over bench medians and IQRs.
+
+``repro bench`` reports per-cell medians with interquartile ranges; this
+module turns a (baseline, candidate) pair of such payloads into
+per-(case, strategy, backend, workers) verdicts:
+
+* ``regressed`` — the candidate median is slower than the baseline by
+  more than the relative threshold *and* the two half-IQR bands do not
+  overlap (the slowdown is outside run-to-run noise);
+* ``improved`` — the mirror image (faster, outside noise);
+* ``unchanged`` — inside the threshold or inside the noise bands;
+* ``no-baseline`` — the candidate measured a cell the baseline lacks.
+
+The overlap test brackets each median by half its IQR
+(``[median - iqr/2, median + iqr/2]`` — the quartile band): two runs
+whose quartile bands overlap cannot be distinguished by the median alone,
+so the gate never fails on them regardless of the relative change.  A
+cell with zero IQR on both sides degenerates to the pure threshold test.
+
+Only ``total``-phase rows gate by default (``gate_phases``); per-phase
+rows still get verdicts for the report, they just cannot fail the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.history import HistoryEntry, RunKey, bench_cells
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "CellVerdict",
+    "RegressionReport",
+    "compare_entries",
+    "compare_payloads",
+    "iqr_bands_overlap",
+]
+
+#: default relative median-slowdown gate (10%)
+DEFAULT_THRESHOLD = 0.10
+
+IMPROVED = "improved"
+REGRESSED = "regressed"
+UNCHANGED = "unchanged"
+NO_BASELINE = "no-baseline"
+
+
+def iqr_bands_overlap(
+    median_a: float, iqr_a: float, median_b: float, iqr_b: float
+) -> bool:
+    """True when the half-IQR bands around the two medians intersect."""
+    lo_a, hi_a = median_a - iqr_a / 2.0, median_a + iqr_a / 2.0
+    lo_b, hi_b = median_b - iqr_b / 2.0, median_b + iqr_b / 2.0
+    return lo_a <= hi_b and lo_b <= hi_a
+
+
+@dataclass(frozen=True)
+class CellVerdict:
+    """The comparison outcome of one (sweep cell, phase)."""
+
+    case: str
+    strategy: str
+    backend: str
+    n_workers: int
+    phase: str
+    verdict: str
+    candidate_median_s: float
+    candidate_iqr_s: float
+    baseline_median_s: Optional[float] = None
+    baseline_iqr_s: Optional[float] = None
+    #: (candidate - baseline) / baseline; None without a baseline
+    rel_change: Optional[float] = None
+    #: True when this verdict participates in the exit-code gate
+    gated: bool = False
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.case}/{self.strategy}/{self.backend}"
+            f"/w{self.n_workers}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "phase": self.phase,
+            "verdict": self.verdict,
+            "candidate_median_s": self.candidate_median_s,
+            "candidate_iqr_s": self.candidate_iqr_s,
+            "baseline_median_s": self.baseline_median_s,
+            "baseline_iqr_s": self.baseline_iqr_s,
+            "rel_change": self.rel_change,
+            "gated": self.gated,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """All cell verdicts of one candidate-vs-baseline comparison."""
+
+    verdicts: List[CellVerdict] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+    baseline_sha: Optional[str] = None
+    candidate_sha: Optional[str] = None
+
+    def of_verdict(self, verdict: str) -> List[CellVerdict]:
+        return [v for v in self.verdicts if v.verdict == verdict]
+
+    @property
+    def hard_regressions(self) -> List[CellVerdict]:
+        """Gated cells that regressed — these fail the build (exit 1)."""
+        return [
+            v for v in self.verdicts if v.gated and v.verdict == REGRESSED
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.hard_regressions else 0
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for v in self.verdicts:
+            out[v.verdict] = out.get(v.verdict, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro-compare-v1",
+            "threshold": self.threshold,
+            "baseline_sha": self.baseline_sha,
+            "candidate_sha": self.candidate_sha,
+            "counts": self.counts(),
+            "hard_regressions": len(self.hard_regressions),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    def render(self, gated_only: bool = False) -> str:
+        """Terminal comparison table, gated (``total``) rows first."""
+        rows = [v for v in self.verdicts if v.gated or not gated_only]
+        if not rows:
+            return "(no comparable cells)"
+        rows.sort(key=lambda v: (not v.gated, v.label, v.phase))
+        header = (
+            f"{'cell':<34} {'phase':<16} {'baseline':>12} "
+            f"{'candidate':>12} {'change':>8}  verdict"
+        )
+        lines = [header, "-" * len(header)]
+        for v in rows:
+            base = (
+                f"{v.baseline_median_s:.6f} s"
+                if v.baseline_median_s is not None
+                else "-"
+            )
+            change = (
+                f"{v.rel_change * 100:+.1f}%"
+                if v.rel_change is not None
+                else "-"
+            )
+            mark = " <-- FAIL" if v.gated and v.verdict == REGRESSED else ""
+            lines.append(
+                f"{v.label:<34} {v.phase:<16} {base:>12} "
+                f"{v.candidate_median_s:>10.6f} s {change:>8}  "
+                f"{v.verdict}{mark}"
+            )
+        counts = self.counts()
+        summary = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+        sha = lambda s: (s or "unknown")[:12]  # noqa: E731
+        lines.append("")
+        lines.append(
+            f"baseline {sha(self.baseline_sha)} vs candidate "
+            f"{sha(self.candidate_sha)} (threshold "
+            f"{self.threshold * 100:.0f}%): {summary}"
+        )
+        if self.hard_regressions:
+            lines.append(
+                f"{len(self.hard_regressions)} hard regression(s) on gated "
+                f"total-phase cells"
+            )
+        return "\n".join(lines)
+
+
+def _classify(
+    baseline: Mapping[str, object],
+    candidate: Mapping[str, object],
+    threshold: float,
+) -> Tuple[str, float]:
+    base_m = float(baseline["median_s"])  # type: ignore[arg-type]
+    base_iqr = float(baseline.get("iqr_s", 0.0))  # type: ignore[arg-type]
+    cand_m = float(candidate["median_s"])  # type: ignore[arg-type]
+    cand_iqr = float(candidate.get("iqr_s", 0.0))  # type: ignore[arg-type]
+    if base_m <= 0.0:
+        return UNCHANGED, 0.0
+    rel = (cand_m - base_m) / base_m
+    if abs(rel) <= threshold + 1e-12:
+        return UNCHANGED, rel
+    if iqr_bands_overlap(base_m, base_iqr, cand_m, cand_iqr):
+        return UNCHANGED, rel
+    return (REGRESSED if rel > 0 else IMPROVED), rel
+
+
+def compare_entries(
+    baseline: HistoryEntry,
+    candidate: HistoryEntry,
+    threshold: float = DEFAULT_THRESHOLD,
+    gate_phases: Sequence[str] = ("total",),
+) -> RegressionReport:
+    """Compare two bench history entries cell by cell."""
+    base_cells = {
+        (key.series(), phase): record
+        for (key, phase), record in bench_cells(baseline).items()
+    }
+    report = RegressionReport(
+        threshold=threshold,
+        baseline_sha=baseline.git_sha,
+        candidate_sha=candidate.git_sha,
+    )
+    for (key, phase), record in sorted(
+        bench_cells(candidate).items(),
+        key=lambda kv: (kv[0][0].series(), kv[0][1]),
+    ):
+        gated = phase in gate_phases
+        base = base_cells.get((key.series(), phase))
+        cand_m = float(record["median_s"])  # type: ignore[arg-type]
+        cand_iqr = float(record.get("iqr_s", 0.0))  # type: ignore[arg-type]
+        if base is None:
+            report.verdicts.append(
+                CellVerdict(
+                    case=key.case,
+                    strategy=key.strategy,
+                    backend=key.backend,
+                    n_workers=key.n_workers,
+                    phase=phase,
+                    verdict=NO_BASELINE,
+                    candidate_median_s=cand_m,
+                    candidate_iqr_s=cand_iqr,
+                    gated=gated,
+                )
+            )
+            continue
+        verdict, rel = _classify(base, record, threshold)
+        report.verdicts.append(
+            CellVerdict(
+                case=key.case,
+                strategy=key.strategy,
+                backend=key.backend,
+                n_workers=key.n_workers,
+                phase=phase,
+                verdict=verdict,
+                candidate_median_s=cand_m,
+                candidate_iqr_s=cand_iqr,
+                baseline_median_s=float(base["median_s"]),  # type: ignore[arg-type]
+                baseline_iqr_s=float(base.get("iqr_s", 0.0)),  # type: ignore[arg-type]
+                rel_change=rel,
+                gated=gated,
+            )
+        )
+    return report
+
+
+def compare_payloads(
+    baseline: Mapping[str, object],
+    candidate: Mapping[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+    gate_phases: Sequence[str] = ("total",),
+) -> RegressionReport:
+    """Compare two raw ``repro-bench-v2`` payloads (file contents)."""
+
+    def entry(payload: Mapping[str, object], seq: int) -> HistoryEntry:
+        return HistoryEntry(
+            seq=seq,
+            kind="bench",
+            source="",
+            meta=dict(payload.get("meta", {})),  # type: ignore[arg-type]
+            records=list(payload.get("records", [])),  # type: ignore[arg-type]
+        )
+
+    return compare_entries(
+        entry(baseline, 0),
+        entry(candidate, 1),
+        threshold=threshold,
+        gate_phases=gate_phases,
+    )

@@ -1,0 +1,844 @@
+"""Self-contained HTML performance dashboard (inline SVG, no deps).
+
+``repro report`` renders one static page from the run artifacts and the
+history store:
+
+* **speedup panel** — speedup-vs-threads curves per strategy × backend,
+  normalized to the serial/serial cell of the same case (the Fig. 5–9
+  presentation of the paper);
+* **strategy panel** — total-median comparison bars per case;
+* **imbalance panel** — the measured load-imbalance ratios, barrier
+  slack, and halo fraction already computed by
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* **trend panel** — run-over-run total-median sparklines from the
+  :class:`~repro.obs.history.RunStore`;
+* **regressions panel** — the verdict table of ``repro compare`` when a
+  comparison was run;
+* **meta panel** — the environment block of the newest artifact.
+
+The output is strict XHTML (every tag closed, all dynamic text escaped)
+so it parses with any XML parser — that well-formedness is part of the
+test contract.  Every chart keeps a table view beside it, series colors
+come from a fixed-order validated palette, and dark mode swaps the same
+roles via ``prefers-color-scheme``.  :func:`render_text_summary` is the
+terminal/markdown counterpart for report consumers without a browser.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.atomicio import atomic_write_text
+from repro.obs.history import RunStore
+
+__all__ = [
+    "ReportData",
+    "load_report_source",
+    "render_html",
+    "render_text_summary",
+    "write_report",
+]
+
+#: fixed-order categorical palette (light / dark steps of the same hues)
+_PALETTE_LIGHT = (
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+    "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+)
+_PALETTE_DARK = (
+    "#3987e5", "#d95926", "#199e70", "#c98500",
+    "#d55181", "#008300", "#9085e9", "#e66767",
+)
+#: series past the palette fold into this neutral
+_FOLD_COLOR_LIGHT = "#8a8985"
+_FOLD_COLOR_DARK = "#8a8985"
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+@dataclass
+class ReportData:
+    """Everything the dashboard draws, already joined and ordered."""
+
+    meta: Dict[str, object] = field(default_factory=dict)
+    bench_records: List[Dict[str, object]] = field(default_factory=list)
+    reordering_records: List[Dict[str, object]] = field(default_factory=list)
+    metrics_records: List[Dict[str, object]] = field(default_factory=list)
+    runlog_records: List[Dict[str, object]] = field(default_factory=list)
+    #: (case, strategy, backend, n_workers) -> [(seq, total median_s)]
+    trend: Dict[Tuple[str, str, str, int], List[Tuple[int, float]]] = field(
+        default_factory=dict
+    )
+    regression: Optional[object] = None  # RegressionReport, kept duck-typed
+    source: str = ""
+
+    # --- derived views ---------------------------------------------------------
+
+    def total_cells(self) -> List[Dict[str, object]]:
+        """The ``total``-phase bench rows (one per sweep cell)."""
+        return [
+            r
+            for r in self.bench_records
+            if r.get("phase") == "total" and "median_s" in r
+        ]
+
+    def speedup_series(
+        self,
+    ) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+        """Per case: series label -> sorted (threads, speedup) points.
+
+        Speedup is the serial/serial total median of the same case divided
+        by the cell's total median.  Cases without a serial reference are
+        omitted — there is nothing to normalize against.
+        """
+        serial_ref: Dict[str, float] = {}
+        for r in self.total_cells():
+            if r.get("strategy") == "serial" and r.get("backend") == "serial":
+                serial_ref[str(r["case"])] = float(r["median_s"])
+        out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+        for r in self.total_cells():
+            case = str(r["case"])
+            ref = serial_ref.get(case)
+            median = float(r["median_s"])
+            if ref is None or median <= 0.0:
+                continue
+            label = f"{r['strategy']}/{r['backend']}"
+            out.setdefault(case, {}).setdefault(label, []).append(
+                (int(r["n_workers"]), ref / median)
+            )
+        for case_series in out.values():
+            for points in case_series.values():
+                points.sort()
+        return out
+
+    def imbalance_rows(self) -> List[Dict[str, object]]:
+        """Measured per-phase imbalance joined with its barrier slack."""
+        slack: Dict[Tuple[object, object], float] = {}
+        for m in self.metrics_records:
+            if m.get("metric") == "phase_barrier_slack_s":
+                slack[(m.get("run"), m.get("phase"))] = float(m["value"])
+        rows = [
+            {
+                "run": m.get("run", "?"),
+                "phase": m.get("phase_name", m.get("phase", "?")),
+                "n_tasks": m.get("n_tasks", "?"),
+                "ratio": float(m["value"]),
+                "slack_s": slack.get((m.get("run"), m.get("phase")), 0.0),
+            }
+            for m in self.metrics_records
+            if m.get("metric") == "phase_load_imbalance_measured"
+        ]
+        rows.sort(key=lambda r: r["ratio"], reverse=True)
+        return rows
+
+    def halo_fractions(self) -> Dict[str, float]:
+        return {
+            str(m.get("run", "?")): float(m["value"])
+            for m in self.metrics_records
+            if m.get("metric") == "halo_fraction"
+        }
+
+
+def load_report_source(
+    source,
+    store_path: Optional[str] = None,
+    regression: Optional[object] = None,
+) -> ReportData:
+    """Assemble :class:`ReportData` from a directory or a history store.
+
+    A directory source reads the per-run artifacts it contains
+    (``BENCH_forces.json``, ``BENCH_reordering.json``, ``metrics.jsonl``,
+    ``run.jsonl``) plus ``history.jsonl`` / ``.repro/history.jsonl`` for
+    the trend panel; a ``.jsonl`` file source is treated as a history
+    store and the newest entry of each kind becomes the "current" run.
+    """
+    source = os.fspath(source)
+    data = ReportData(source=source, regression=regression)
+    store: Optional[RunStore] = None
+    if os.path.isdir(source):
+        bench_path = os.path.join(source, "BENCH_forces.json")
+        if os.path.exists(bench_path):
+            with open(bench_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            data.meta = dict(payload.get("meta", {}))
+            data.bench_records = list(payload.get("records", []))
+        reorder_path = os.path.join(source, "BENCH_reordering.json")
+        if os.path.exists(reorder_path):
+            with open(reorder_path, "r", encoding="utf-8") as handle:
+                data.reordering_records = list(
+                    json.load(handle).get("records", [])
+                )
+        for name, attr in (
+            ("metrics.jsonl", "metrics_records"),
+            ("run.jsonl", "runlog_records"),
+        ):
+            path = os.path.join(source, name)
+            if os.path.exists(path):
+                setattr(data, attr, _read_jsonl(path))
+        for candidate in (
+            store_path,
+            os.path.join(source, "history.jsonl"),
+            os.path.join(source, ".repro", "history.jsonl"),
+        ):
+            if candidate is not None and os.path.exists(candidate):
+                store = RunStore(candidate)
+                break
+    else:
+        store = RunStore(store_path if store_path is not None else source)
+        latest_bench = store.latest("bench")
+        if latest_bench is not None:
+            data.meta = latest_bench.meta
+            data.bench_records = latest_bench.records
+        latest_metrics = store.latest("metrics")
+        if latest_metrics is not None:
+            data.metrics_records = latest_metrics.records
+        latest_runlog = store.latest("runlog")
+        if latest_runlog is not None:
+            data.runlog_records = latest_runlog.records
+        latest_reorder = store.latest("reordering")
+        if latest_reorder is not None:
+            data.reordering_records = latest_reorder.records
+    if store is not None:
+        for key, points in store.series("bench").items():
+            data.trend[key] = [
+                (seq, float(r["median_s"]))
+                for seq, r in points
+                if "median_s" in r
+            ]
+    if not data.meta and data.runlog_records:
+        for record in data.runlog_records:
+            if record.get("kind") == "meta":
+                data.meta = {
+                    k: v for k, v in record.items() if k not in ("kind", "t")
+                }
+                break
+    return data
+
+
+def _read_jsonl(path) -> List[Dict[str, object]]:
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# --- SVG building blocks -------------------------------------------------------
+
+
+def _series_class(index: int) -> str:
+    return f"s{index}" if index < len(_PALETTE_LIGHT) else "sfold"
+
+
+def _ticks(lo: float, hi: float, n: int = 4) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / n
+    return [lo + i * step for i in range(n + 1)]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return f"{value:.3g}"
+
+
+def _svg_line_chart(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 420,
+    height: int = 260,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart: 2px lines, 8px markers, recessive grid."""
+    pad_l, pad_r, pad_t, pad_b = 46, 12, 10, 34
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    xs = [x for _, pts in series for x, _ in pts]
+    ys = [y for _, pts in series for _, y in pts]
+    if not xs:
+        return (
+            f'<svg class="chart" width="{width}" height="{height}" '
+            f'xmlns="http://www.w3.org/2000/svg" role="img">'
+            f'<text x="{width // 2}" y="{height // 2}" '
+            f'class="axis" text-anchor="middle">(no data)</text></svg>'
+        )
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.1
+
+    def sx(x: float) -> float:
+        span = (x_hi - x_lo) or 1.0
+        return pad_l + (x - x_lo) / span * plot_w
+
+    def sy(y: float) -> float:
+        span = (y_hi - y_lo) or 1.0
+        return pad_t + plot_h - (y - y_lo) / span * plot_h
+
+    parts = [
+        f'<svg class="chart" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        f'xmlns="http://www.w3.org/2000/svg" role="img">'
+    ]
+    for tick in _ticks(y_lo, y_hi):
+        y = sy(tick)
+        parts.append(
+            f'<line class="grid" x1="{pad_l}" y1="{y:.1f}" '
+            f'x2="{width - pad_r}" y2="{y:.1f}" />'
+        )
+        parts.append(
+            f'<text class="axis" x="{pad_l - 6}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+    for tick in sorted(set(xs)):
+        x = sx(tick)
+        parts.append(
+            f'<text class="axis" x="{x:.1f}" y="{height - pad_b + 16}" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    parts.append(
+        f'<line class="axisline" x1="{pad_l}" y1="{pad_t + plot_h}" '
+        f'x2="{width - pad_r}" y2="{pad_t + plot_h}" />'
+    )
+    for index, (label, pts) in enumerate(series):
+        cls = _series_class(index)
+        coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        parts.append(
+            f'<polyline class="line {cls}" points="{coords}" fill="none" />'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle class="dot {cls}" cx="{sx(x):.1f}" '
+                f'cy="{sy(y):.1f}" r="4">'
+                f"<title>{_esc(label)}: x={_fmt(x)}, y={_fmt(y)}</title>"
+                f"</circle>"
+            )
+        lx, ly = pts[-1]
+        if len(series) <= 4:
+            parts.append(
+                f'<text class="serieslabel {cls}" x="{sx(lx) + 7:.1f}" '
+                f'y="{sy(ly) - 6:.1f}">{_esc(label)}</text>'
+            )
+    if x_label:
+        parts.append(
+            f'<text class="axis" x="{pad_l + plot_w / 2:.1f}" '
+            f'y="{height - 4}" text-anchor="middle">{_esc(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text class="axis" transform="rotate(-90)" '
+            f'x="{-(pad_t + plot_h / 2):.1f}" y="12" '
+            f'text-anchor="middle">{_esc(y_label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_hbar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 460,
+    bar_h: int = 18,
+    unit: str = "",
+    color_indices: Optional[Sequence[int]] = None,
+) -> str:
+    """Horizontal comparison bars with value labels, baseline-anchored."""
+    if not rows:
+        return '<p class="muted">(no data)</p>'
+    label_w, value_w, pad = 190, 80, 4
+    plot_w = width - label_w - value_w
+    height = len(rows) * (bar_h + pad) + pad
+    v_max = max(v for _, v in rows) or 1.0
+    parts = [
+        f'<svg class="chart" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        f'xmlns="http://www.w3.org/2000/svg" role="img">'
+    ]
+    for i, (label, value) in enumerate(rows):
+        y = pad + i * (bar_h + pad)
+        w = max(1.0, value / v_max * plot_w)
+        cls = _series_class(
+            color_indices[i] if color_indices is not None else i
+        )
+        parts.append(
+            f'<text class="axis" x="{label_w - 6}" '
+            f'y="{y + bar_h / 2 + 3:.1f}" text-anchor="end">'
+            f"{_esc(label)}</text>"
+        )
+        parts.append(
+            f'<rect class="bar {cls}" x="{label_w}" y="{y}" '
+            f'width="{w:.1f}" height="{bar_h}" rx="4">'
+            f"<title>{_esc(label)}: {_fmt(value)}{_esc(unit)}</title></rect>"
+        )
+        parts.append(
+            f'<text class="value" x="{label_w + w + 6:.1f}" '
+            f'y="{y + bar_h / 2 + 3:.1f}">{_fmt(value)}{_esc(unit)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_sparkline(
+    points: Sequence[Tuple[int, float]], width: int = 150, height: int = 34
+) -> str:
+    """One trend sparkline; last point marked."""
+    if not points:
+        return '<span class="muted">-</span>'
+    xs = [float(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    pad = 5
+
+    def sx(x: float) -> float:
+        span = (x_hi - x_lo) or 1.0
+        return pad + (x - x_lo) / span * (width - 2 * pad)
+
+    def sy(y: float) -> float:
+        span = (y_hi - y_lo) or 1.0
+        return pad + (height - 2 * pad) * (1.0 - (y - y_lo) / span)
+
+    coords = " ".join(
+        f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        f'xmlns="http://www.w3.org/2000/svg" role="img">'
+        f'<polyline class="line s0" points="{coords}" fill="none" />'
+        f'<circle class="dot s0" cx="{sx(xs[-1]):.1f}" '
+        f'cy="{sy(ys[-1]):.1f}" r="3">'
+        f"<title>latest: {_fmt(ys[-1])} s</title></circle>"
+        f"</svg>"
+    )
+
+
+def _legend(labels: Sequence[str]) -> str:
+    if len(labels) < 2:
+        return ""
+    items = "".join(
+        f'<span class="legenditem"><span class="swatch '
+        f'{_series_class(i)}"></span>{_esc(label)}</span>'
+        for i, label in enumerate(labels)
+    )
+    return f'<div class="legend">{items}</div>'
+
+
+def _table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        f'<table><thead><tr>{head}</tr></thead>'
+        f"<tbody>{body}</tbody></table>"
+    )
+
+
+# --- panels --------------------------------------------------------------------
+
+
+def _panel(panel_id: str, title: str, body: str, note: str = "") -> str:
+    note_html = f'<p class="muted">{_esc(note)}</p>' if note else ""
+    return (
+        f'<section class="panel" id="{panel_id}">'
+        f"<h2>{_esc(title)}</h2>{note_html}{body}</section>"
+    )
+
+
+def _speedup_panel(data: ReportData) -> str:
+    per_case = data.speedup_series()
+    if not per_case:
+        return _panel(
+            "panel-speedup",
+            "Speedup vs threads",
+            '<p class="muted">(no bench records with a serial reference)</p>',
+        )
+    charts = []
+    for case, series_map in sorted(per_case.items()):
+        labels = sorted(series_map)
+        series = [(label, series_map[label]) for label in labels]
+        table_rows = [
+            (label, _fmt(float(x)), f"{y:.2f}x")
+            for label, pts in series
+            for x, y in pts
+        ]
+        charts.append(
+            f'<figure><figcaption>case {_esc(case)}</figcaption>'
+            + _svg_line_chart(
+                series, x_label="threads", y_label="speedup vs serial"
+            )
+            + _legend(labels)
+            + f'<details><summary>data</summary>'
+            + _table(("series", "threads", "speedup"), table_rows)
+            + "</details></figure>"
+        )
+    return _panel(
+        "panel-speedup",
+        "Speedup vs threads",
+        "".join(charts),
+        note="Total-phase median of each strategy x backend cell, "
+        "normalized to the serial/serial cell of the same case "
+        "(the paper's Fig. 5-9 presentation).",
+    )
+
+
+def _strategy_panel(data: ReportData) -> str:
+    cells = data.total_cells()
+    if not cells:
+        return _panel(
+            "panel-strategies",
+            "Strategy comparison",
+            '<p class="muted">(no bench records)</p>',
+        )
+    charts = []
+    by_case: Dict[str, List[Dict[str, object]]] = {}
+    for r in cells:
+        by_case.setdefault(str(r["case"]), []).append(r)
+    label_order = sorted(
+        {
+            f"{r['strategy']}/{r['backend']}"
+            for r in cells
+        }
+    )
+    color_of = {label: i for i, label in enumerate(label_order)}
+    for case, rows in sorted(by_case.items()):
+        bar_rows = sorted(
+            (
+                (
+                    f"{r['strategy']}/{r['backend']} "
+                    f"(w{r['n_workers']})",
+                    float(r["median_s"]) * 1e3,
+                    color_of[f"{r['strategy']}/{r['backend']}"],
+                )
+                for r in rows
+            ),
+            key=lambda row: row[1],
+        )
+        charts.append(
+            f'<figure><figcaption>case {_esc(case)} '
+            f"(total median, ms)</figcaption>"
+            + _svg_hbar_chart(
+                [(label, v) for label, v, _ in bar_rows],
+                unit=" ms",
+                color_indices=[c for _, _, c in bar_rows],
+            )
+            + "</figure>"
+        )
+    return _panel(
+        "panel-strategies", "Strategy comparison", "".join(charts)
+    )
+
+
+def _imbalance_panel(data: ReportData) -> str:
+    rows = data.imbalance_rows()
+    halo = data.halo_fractions()
+    if not rows and not halo:
+        return _panel(
+            "panel-imbalance",
+            "Load imbalance and barrier slack",
+            '<p class="muted">(no metrics records — run repro trace '
+            "and ingest metrics.jsonl)</p>",
+        )
+    body = []
+    if rows:
+        top = rows[:12]
+        body.append(
+            _svg_hbar_chart(
+                [
+                    (f"{r['run']} {r['phase']}", float(r["ratio"]))
+                    for r in top
+                ],
+                unit="x",
+                color_indices=[0] * len(top),
+            )
+        )
+        body.append(
+            _table(
+                ("run", "phase", "tasks", "max/mean", "barrier slack"),
+                [
+                    (
+                        r["run"],
+                        r["phase"],
+                        r["n_tasks"],
+                        f"{r['ratio']:.2f}",
+                        f"{float(r['slack_s']) * 1e3:.3f} ms",
+                    )
+                    for r in top
+                ],
+            )
+        )
+    if halo:
+        body.append(
+            _table(
+                ("run", "halo fraction"),
+                [
+                    (run, f"{value:.1%}")
+                    for run, value in sorted(halo.items())
+                ],
+            )
+        )
+    return _panel(
+        "panel-imbalance",
+        "Load imbalance and barrier slack",
+        "".join(body),
+        note="Measured task-duration max/mean per color phase (1.0 = "
+        "perfectly balanced) with the summed barrier-wait slack; halo "
+        "fraction is the share of pairs crossing subdomain boundaries.",
+    )
+
+
+def _trend_panel(data: ReportData) -> str:
+    if not data.trend:
+        return _panel(
+            "panel-trend",
+            "Run-over-run trend",
+            '<p class="muted">(history store empty — append runs with '
+            "repro bench --store)</p>",
+        )
+    rows = []
+    for key, points in sorted(data.trend.items()):
+        case, strategy, backend, workers = key
+        if not points:
+            continue
+        first, last = points[0][1], points[-1][1]
+        delta = (last - first) / first * 100 if first > 0 else 0.0
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(case)}/{_esc(strategy)}/{_esc(backend)}"
+            f"/w{_esc(workers)}</td>"
+            f"<td>{_svg_sparkline(points)}</td>"
+            f"<td>{len(points)}</td>"
+            f"<td>{last * 1e3:.3f} ms</td>"
+            f"<td>{delta:+.1f}%</td>"
+            "</tr>"
+        )
+    body = (
+        "<table><thead><tr><th>cell</th><th>trend</th><th>runs</th>"
+        "<th>latest total</th><th>vs first</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+    return _panel(
+        "panel-trend",
+        "Run-over-run trend",
+        body,
+        note="Total-phase median per sweep cell across the history store, "
+        "oldest to newest.",
+    )
+
+
+def _regression_panel(data: ReportData) -> str:
+    report = data.regression
+    if report is None:
+        return ""
+    rows = [
+        (
+            v.label,
+            v.phase,
+            (
+                f"{v.baseline_median_s * 1e3:.3f} ms"
+                if v.baseline_median_s is not None
+                else "-"
+            ),
+            f"{v.candidate_median_s * 1e3:.3f} ms",
+            (
+                f"{v.rel_change * 100:+.1f}%"
+                if v.rel_change is not None
+                else "-"
+            ),
+            v.verdict,
+        )
+        for v in report.verdicts
+        if v.gated
+    ]
+    counts = report.counts()
+    summary = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+    verdict_cls = "bad" if report.hard_regressions else "good"
+    status = (
+        f"{len(report.hard_regressions)} hard regression(s)"
+        if report.hard_regressions
+        else "no hard regressions"
+    )
+    body = (
+        f'<p><span class="status {verdict_cls}">{_esc(status)}</span> '
+        f"— {_esc(summary)} (threshold "
+        f"{report.threshold * 100:.0f}% on gated total-phase cells)</p>"
+        + _table(
+            ("cell", "phase", "baseline", "candidate", "change", "verdict"),
+            rows,
+        )
+    )
+    return _panel("panel-regressions", "Regression verdicts", body)
+
+
+def _meta_panel(data: ReportData) -> str:
+    if not data.meta:
+        return ""
+    items = "".join(
+        f"<dt>{_esc(k)}</dt><dd>{_esc(v)}</dd>"
+        for k, v in sorted(data.meta.items())
+    )
+    return _panel("panel-meta", "Environment", f"<dl>{items}</dl>")
+
+
+_CSS = """
+body { background: var(--surface); color: var(--text);
+  font: 14px/1.5 system-ui, sans-serif; margin: 0 auto; max-width: 1080px;
+  padding: 16px; }
+h1 { font-size: 20px; } h2 { font-size: 16px; }
+.panel { background: var(--panel); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; margin: 14px 0; }
+.muted { color: var(--muted); font-size: 12px; }
+figure { display: inline-block; margin: 6px 12px 6px 0;
+  vertical-align: top; }
+figcaption { color: var(--text-2); font-size: 12px; margin-bottom: 2px; }
+table { border-collapse: collapse; font-size: 12px; margin: 8px 0; }
+th, td { border-bottom: 1px solid var(--border); padding: 3px 10px 3px 0;
+  text-align: left; color: var(--text-2); }
+th { color: var(--text); }
+dl { display: grid; grid-template-columns: max-content 1fr;
+  gap: 2px 14px; font-size: 12px; }
+dt { color: var(--muted); } dd { margin: 0; color: var(--text-2); }
+.chart .grid { stroke: var(--border); stroke-width: 1; }
+.chart .axisline { stroke: var(--text-2); stroke-width: 1; }
+.chart .axis, .chart .value { fill: var(--text-2); font-size: 11px; }
+.chart .serieslabel { font-size: 11px; }
+.line { stroke-width: 2; } .spark .line { stroke-width: 1.5; }
+.legend { font-size: 12px; color: var(--text-2); margin-top: 4px; }
+.legenditem { margin-right: 14px; white-space: nowrap; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; }
+.status.good { color: var(--good); font-weight: 600; }
+.status.bad { color: var(--bad); font-weight: 600; }
+"""
+
+
+def _series_css() -> str:
+    rules = []
+    for i in range(len(_PALETTE_LIGHT)):
+        rules.append(
+            f".line.s{i}, .spark .line.s{i} {{ stroke: var(--c{i}); }}\n"
+            f".dot.s{i}, .bar.s{i}, .swatch.s{i}, text.serieslabel.s{i} "
+            f"{{ fill: var(--c{i}); }}"
+        )
+    rules.append(
+        ".line.sfold { stroke: var(--cfold); }\n"
+        ".dot.sfold, .bar.sfold, .swatch.sfold, text.serieslabel.sfold "
+        "{ fill: var(--cfold); }"
+    )
+    return "\n".join(rules)
+
+
+def _palette_vars(palette: Sequence[str], fold: str) -> str:
+    slots = " ".join(f"--c{i}: {hex_};" for i, hex_ in enumerate(palette))
+    return f"{slots} --cfold: {fold};"
+
+
+def _palette_css() -> str:
+    light = (
+        ":root { color-scheme: light; "
+        "--surface: #fcfcfb; --panel: #ffffff; --border: #e3e2de; "
+        "--text: #0b0b0b; --text-2: #52514e; --muted: #8a8985; "
+        "--good: #008300; --bad: #c5362f; "
+        + _palette_vars(_PALETTE_LIGHT, _FOLD_COLOR_LIGHT)
+        + " }\n"
+    )
+    dark = (
+        "@media (prefers-color-scheme: dark) { :root { "
+        "color-scheme: dark; "
+        "--surface: #1a1a19; --panel: #232322; --border: #3a3936; "
+        "--text: #ffffff; --text-2: #c3c2b7; --muted: #8a8985; "
+        "--good: #35b558; --bad: #e66767; "
+        + _palette_vars(_PALETTE_DARK, _FOLD_COLOR_DARK)
+        + " } }\n"
+    )
+    return light + dark + _CSS + "\n" + _series_css()
+
+
+def render_html(data: ReportData, title: str = "repro performance report") -> str:
+    """The full self-contained dashboard page (strict XHTML)."""
+    sha = data.meta.get("git_sha")
+    subtitle = f"source: {data.source or '(in-memory)'}"
+    if isinstance(sha, str):
+        subtitle += f" — commit {sha[:12]}"
+    panels = "".join(
+        [
+            _regression_panel(data),
+            _speedup_panel(data),
+            _strategy_panel(data),
+            _imbalance_panel(data),
+            _trend_panel(data),
+            _meta_panel(data),
+        ]
+    )
+    return (
+        '<?xml version="1.0" encoding="utf-8"?>\n'
+        '<html xmlns="http://www.w3.org/1999/xhtml"><head>'
+        f"<title>{_esc(title)}</title>"
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1" />'
+        f"<style>{_palette_css()}</style>"
+        "</head><body>"
+        f"<h1>{_esc(title)}</h1>"
+        f'<p class="muted">{_esc(subtitle)}</p>'
+        f"{panels}"
+        "</body></html>\n"
+    )
+
+
+def render_text_summary(data: ReportData, top: int = 8) -> str:
+    """Terminal/markdown digest of the same panels."""
+    lines: List[str] = []
+    if data.regression is not None:
+        lines.append("## Regression verdicts")
+        lines.append(data.regression.render(gated_only=True))
+        lines.append("")
+    per_case = data.speedup_series()
+    if per_case:
+        lines.append("## Speedup vs serial (total-phase medians)")
+        for case, series_map in sorted(per_case.items()):
+            for label, pts in sorted(series_map.items()):
+                curve = ", ".join(
+                    f"w{int(x)}: {y:.2f}x" for x, y in pts
+                )
+                lines.append(f"- {case}/{label}: {curve}")
+        lines.append("")
+    rows = data.imbalance_rows()
+    if rows:
+        lines.append("## Worst-balanced phases (max/mean)")
+        for r in rows[:top]:
+            lines.append(
+                f"- {r['run']} {r['phase']}: {r['ratio']:.2f}x, "
+                f"slack {float(r['slack_s']) * 1e3:.3f} ms"
+            )
+        lines.append("")
+    if data.trend:
+        lines.append("## History trend (total medians)")
+        for key, points in sorted(data.trend.items()):
+            case, strategy, backend, workers = key
+            values = ", ".join(f"{y * 1e3:.3f}" for _, y in points[-top:])
+            lines.append(
+                f"- {case}/{strategy}/{backend}/w{workers}: "
+                f"[{values}] ms over {len(points)} run(s)"
+            )
+        lines.append("")
+    if not lines:
+        return "(nothing to report — no bench, metrics, or history data)"
+    return "\n".join(lines).rstrip()
+
+
+def write_report(path, data: ReportData, title: str = "repro performance report") -> str:
+    """Render and atomically write the dashboard; returns the path."""
+    atomic_write_text(path, render_html(data, title=title))
+    return os.fspath(path)

@@ -13,9 +13,19 @@ Canonical kinds:
 * ``observables`` — per-sample MD observables from the simulation loop;
 * ``event`` — anything else worth grepping for.
 
+The ``meta`` record carries ``schema_version``
+(:data:`RUNLOG_SCHEMA_VERSION`) so downstream readers (the CI smoke
+checks, the history store) can reject streams written by an incompatible
+layout instead of mis-parsing them.
+
 :func:`collect_run_meta` is also what stamps ``BENCH_*.json``
 (schema ``repro-bench-v2``) so bench trajectories are comparable across
 machines.
+
+File-backed logs stream to ``<path>.tmp`` (line-buffered append; safe to
+tail mid-run) and are atomically renamed to the final path on
+:meth:`RunLog.close` — an interrupted run never leaves a truncated
+``run.jsonl`` where a complete one is expected.
 """
 
 from __future__ import annotations
@@ -29,7 +39,15 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-__all__ = ["RunLog", "collect_run_meta", "git_sha"]
+__all__ = [
+    "RUNLOG_SCHEMA_VERSION",
+    "RunLog",
+    "collect_run_meta",
+    "git_sha",
+]
+
+#: bump when the run.jsonl record layout changes incompatibly
+RUNLOG_SCHEMA_VERSION = 1
 
 
 def git_sha(cwd: Optional[str] = None) -> Optional[str]:
@@ -73,9 +91,12 @@ def collect_run_meta(n_threads: Optional[int] = None) -> Dict[str, object]:
 class RunLog:
     """Append-only JSONL run log (file-backed or in-memory).
 
-    With a ``path`` the log streams to disk (line-buffered append; safe to
-    tail); without one it accumulates in memory for tests and ad-hoc use.
-    Thread-safe — the MD loop and observer callbacks may interleave.
+    With a ``path`` the log streams to ``<path>.tmp`` (line-buffered;
+    safe to tail mid-run) and atomically renames it to ``path`` on
+    :meth:`close`; without one it accumulates in memory for tests and
+    ad-hoc use.  Thread-safe — the MD loop and observer callbacks may
+    interleave.  The first record is always the ``meta`` block, stamped
+    with ``schema_version`` (:data:`RUNLOG_SCHEMA_VERSION`).
     """
 
     def __init__(
@@ -83,17 +104,28 @@ class RunLog:
     ) -> None:
         self._lock = threading.Lock()
         self._path = os.fspath(path) if path is not None else None
+        self._tmp_path = (
+            self._path + ".tmp" if self._path is not None else None
+        )
         self._handle = (
-            open(self._path, "w", encoding="utf-8")
-            if self._path is not None
+            open(self._tmp_path, "w", encoding="utf-8")
+            if self._tmp_path is not None
             else None
         )
         self._records: List[Dict[str, object]] = []
-        self.log("meta", **(meta if meta is not None else collect_run_meta()))
+        meta_fields = dict(meta) if meta is not None else collect_run_meta()
+        meta_fields.setdefault("schema_version", RUNLOG_SCHEMA_VERSION)
+        self.log("meta", **meta_fields)
 
     @property
     def path(self) -> Optional[str]:
+        """Final artifact path (complete only after :meth:`close`)."""
         return self._path
+
+    @property
+    def tmp_path(self) -> Optional[str]:
+        """The in-progress stream path (tail this while the run lives)."""
+        return self._tmp_path
 
     def log(self, kind: str, **fields: object) -> Dict[str, object]:
         """Append one record; returns the record as written."""
@@ -120,10 +152,14 @@ class RunLog:
         return [r for r in self.records if r["kind"] == kind]
 
     def close(self) -> None:
+        """Flush and atomically move the stream to its final path."""
         with self._lock:
             if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
                 self._handle.close()
                 self._handle = None
+                os.replace(self._tmp_path, self._path)
 
     def __enter__(self) -> "RunLog":
         return self

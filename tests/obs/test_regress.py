@@ -1,0 +1,164 @@
+"""Regression detection: verdict logic, gating, report rendering."""
+
+from __future__ import annotations
+
+from repro.obs.regress import (
+    DEFAULT_THRESHOLD,
+    RegressionReport,
+    compare_payloads,
+    iqr_bands_overlap,
+)
+
+
+def payload(median=1.0, iqr=0.0, sha="base", phase="total", extra=()):
+    records = [
+        {
+            "case": "tiny",
+            "strategy": "sdc-2d",
+            "backend": "threads",
+            "n_workers": 2,
+            "phase": phase,
+            "median_s": median,
+            "iqr_s": iqr,
+            "n_samples": 5,
+        }
+    ]
+    records.extend(extra)
+    return {
+        "schema": "repro-bench-v2",
+        "meta": {"git_sha": sha},
+        "records": records,
+    }
+
+
+def single_verdict(base, cand, **kwargs):
+    report = compare_payloads(base, cand, **kwargs)
+    assert len(report.verdicts) == 1
+    return report.verdicts[0]
+
+
+class TestIqrOverlap:
+    def test_overlapping_bands(self):
+        assert iqr_bands_overlap(1.0, 0.4, 1.2, 0.4)
+
+    def test_disjoint_bands(self):
+        assert not iqr_bands_overlap(1.0, 0.1, 2.0, 0.1)
+
+    def test_zero_iqr_same_median_overlaps(self):
+        assert iqr_bands_overlap(1.0, 0.0, 1.0, 0.0)
+
+    def test_zero_iqr_different_medians_disjoint(self):
+        assert not iqr_bands_overlap(1.0, 0.0, 1.001, 0.0)
+
+
+class TestVerdicts:
+    def test_identical_runs_unchanged(self):
+        v = single_verdict(payload(1.0), payload(1.0, sha="cand"))
+        assert v.verdict == "unchanged"
+        assert v.rel_change == 0.0
+
+    def test_slowdown_beyond_threshold_regresses(self):
+        v = single_verdict(payload(1.0), payload(1.5, sha="cand"))
+        assert v.verdict == "regressed"
+        assert v.rel_change == 0.5
+
+    def test_speedup_beyond_threshold_improves(self):
+        v = single_verdict(payload(1.0), payload(0.5))
+        assert v.verdict == "improved"
+
+    def test_slowdown_within_threshold_unchanged(self):
+        v = single_verdict(payload(1.0), payload(1.0 + DEFAULT_THRESHOLD))
+        assert v.verdict == "unchanged"
+
+    def test_overlapping_iqrs_suppress_regression(self):
+        # 50% slower, but both runs are so noisy the bands overlap
+        v = single_verdict(payload(1.0, iqr=1.2), payload(1.5, iqr=1.2))
+        assert v.verdict == "unchanged"
+
+    def test_missing_baseline_cell(self):
+        base = payload(1.0)
+        cand = payload(
+            1.0,
+            extra=[
+                {
+                    "case": "mini",
+                    "strategy": "serial",
+                    "backend": "serial",
+                    "n_workers": 1,
+                    "phase": "total",
+                    "median_s": 2.0,
+                    "iqr_s": 0.0,
+                }
+            ],
+        )
+        report = compare_payloads(base, cand)
+        by_case = {v.case: v for v in report.verdicts}
+        assert by_case["mini"].verdict == "no-baseline"
+        assert by_case["tiny"].verdict == "unchanged"
+
+    def test_custom_threshold(self):
+        v = single_verdict(payload(1.0), payload(1.05), threshold=0.01)
+        assert v.verdict == "regressed"
+
+    def test_zero_baseline_median_unchanged(self):
+        v = single_verdict(payload(0.0), payload(1.0))
+        assert v.verdict == "unchanged"
+
+
+class TestGating:
+    def test_total_phase_gates_by_default(self):
+        report = compare_payloads(payload(1.0), payload(2.0))
+        assert report.exit_code == 1
+        assert len(report.hard_regressions) == 1
+
+    def test_non_total_phase_does_not_gate(self):
+        report = compare_payloads(
+            payload(1.0, phase="density"), payload(2.0, phase="density")
+        )
+        assert report.of_verdict("regressed")
+        assert report.exit_code == 0
+
+    def test_explicit_gate_phases(self):
+        report = compare_payloads(
+            payload(1.0, phase="density"),
+            payload(2.0, phase="density"),
+            gate_phases=("density",),
+        )
+        assert report.exit_code == 1
+
+    def test_no_baseline_never_gates_by_itself(self):
+        cand = payload(2.0)
+        report = compare_payloads(
+            {"schema": "repro-bench-v2", "meta": {}, "records": []}, cand
+        )
+        assert report.verdicts[0].verdict == "no-baseline"
+        assert report.exit_code == 0
+
+
+class TestReport:
+    def test_shas_recorded(self):
+        report = compare_payloads(payload(1.0), payload(1.0, sha="cand"))
+        assert report.baseline_sha == "base"
+        assert report.candidate_sha == "cand"
+
+    def test_counts(self):
+        report = compare_payloads(payload(1.0), payload(2.0))
+        assert report.counts() == {"regressed": 1}
+
+    def test_render_flags_hard_regressions(self):
+        text = compare_payloads(payload(1.0), payload(2.0)).render()
+        assert "FAIL" in text
+        assert "hard regression" in text
+        assert "tiny/sdc-2d/threads/w2" in text
+
+    def test_render_empty(self):
+        assert "(no comparable cells)" in RegressionReport().render()
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        report = compare_payloads(payload(1.0), payload(2.0))
+        parsed = json.loads(json.dumps(report.to_dict()))
+        assert parsed["schema"] == "repro-compare-v1"
+        assert parsed["hard_regressions"] == 1
+        assert parsed["verdicts"][0]["verdict"] == "regressed"

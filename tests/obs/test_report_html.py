@@ -1,0 +1,228 @@
+"""HTML dashboard: data assembly, panel presence, well-formedness."""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+
+from repro.obs.history import RunStore
+from repro.obs.regress import compare_payloads
+from repro.obs.report import (
+    ReportData,
+    load_report_source,
+    render_html,
+    render_text_summary,
+    write_report,
+)
+
+
+def bench_records():
+    rows = []
+    for strategy, backend, workers, median in (
+        ("serial", "serial", 1, 4.0),
+        ("sdc-2d", "threads", 2, 2.0),
+        ("sdc-2d", "threads", 4, 1.0),
+    ):
+        rows.append(
+            {
+                "case": "tiny",
+                "strategy": strategy,
+                "backend": backend,
+                "n_workers": workers,
+                "phase": "total",
+                "median_s": median,
+                "iqr_s": 0.1,
+                "n_samples": 3,
+            }
+        )
+    return rows
+
+
+def metrics_records():
+    return [
+        {
+            "metric": "phase_load_imbalance_measured",
+            "kind": "gauge",
+            "value": 1.4,
+            "run": "tiny/sdc/threads",
+            "phase": 0,
+            "phase_name": "density:color0/phase0",
+            "n_tasks": 4,
+        },
+        {
+            "metric": "phase_barrier_slack_s",
+            "kind": "gauge",
+            "value": 0.002,
+            "run": "tiny/sdc/threads",
+            "phase": 0,
+            "phase_name": "density:color0/phase0",
+        },
+        {
+            "metric": "halo_fraction",
+            "kind": "gauge",
+            "value": 0.31,
+            "run": "tiny/sdc/threads",
+        },
+    ]
+
+
+def full_data():
+    return ReportData(
+        meta={"git_sha": "abc123def", "hostname": "h"},
+        bench_records=bench_records(),
+        metrics_records=metrics_records(),
+        trend={("tiny", "sdc-2d", "threads", 2): [(0, 2.0), (1, 1.9)]},
+    )
+
+
+def panel_ids(html):
+    root = ET.fromstring(html)
+    return {e.get("id") for e in root.iter() if e.get("id")}
+
+
+class TestDerivedViews:
+    def test_speedup_normalized_to_serial(self):
+        series = full_data().speedup_series()
+        curve = series["tiny"]["sdc-2d/threads"]
+        assert curve == [(2, 2.0), (4, 4.0)]
+        assert series["tiny"]["serial/serial"] == [(1, 1.0)]
+
+    def test_no_serial_reference_omits_case(self):
+        data = ReportData(bench_records=bench_records()[1:])
+        assert data.speedup_series() == {}
+
+    def test_imbalance_rows_join_slack(self):
+        (row,) = full_data().imbalance_rows()
+        assert row["ratio"] == 1.4
+        assert row["slack_s"] == 0.002
+
+    def test_halo_fractions(self):
+        assert full_data().halo_fractions() == {"tiny/sdc/threads": 0.31}
+
+
+class TestRenderHtml:
+    def test_is_well_formed_xml_with_all_panels(self):
+        html = render_html(full_data())
+        assert {
+            "panel-speedup",
+            "panel-strategies",
+            "panel-imbalance",
+            "panel-trend",
+            "panel-meta",
+        } <= panel_ids(html)
+
+    def test_empty_data_still_renders(self):
+        html = render_html(ReportData())
+        ids = panel_ids(html)
+        assert "panel-speedup" in ids
+        assert "panel-regressions" not in ids
+
+    def test_regression_panel_present_when_comparison_given(self):
+        def payload(median):
+            return {
+                "schema": "repro-bench-v2",
+                "meta": {"git_sha": "s"},
+                "records": [
+                    {
+                        "case": "tiny",
+                        "strategy": "sdc-2d",
+                        "backend": "threads",
+                        "n_workers": 2,
+                        "phase": "total",
+                        "median_s": median,
+                        "iqr_s": 0.0,
+                    }
+                ],
+            }
+
+        data = full_data()
+        data.regression = compare_payloads(payload(1.0), payload(2.0))
+        html = render_html(data)
+        assert "panel-regressions" in panel_ids(html)
+        assert "hard regression" in html
+
+    def test_labels_are_escaped(self):
+        data = ReportData(
+            meta={"note": "<script>alert('x')</script>"},
+        )
+        html = render_html(data)
+        assert "<script>" not in html
+        ET.fromstring(html)
+
+    def test_speedup_panel_has_svg_curve(self):
+        html = render_html(full_data())
+        root = ET.fromstring(html)
+        ns = "{http://www.w3.org/2000/svg}"
+        speedup = next(
+            e for e in root.iter() if e.get("id") == "panel-speedup"
+        )
+        polylines = speedup.findall(f".//{ns}polyline")
+        assert polylines, "speedup panel missing its line chart"
+
+
+class TestTextSummary:
+    def test_mentions_speedups_and_imbalance(self):
+        text = render_text_summary(full_data())
+        assert "Speedup vs serial" in text
+        assert "Worst-balanced phases" in text
+        assert "History trend" in text
+
+    def test_empty_data_message(self):
+        assert "nothing to report" in render_text_summary(ReportData())
+
+
+class TestLoadReportSource:
+    def _write_artifacts(self, directory):
+        (directory / "BENCH_forces.json").write_text(
+            json.dumps(
+                {
+                    "schema": "repro-bench-v2",
+                    "meta": {"git_sha": "abc"},
+                    "records": bench_records(),
+                }
+            )
+        )
+        (directory / "metrics.jsonl").write_text(
+            "\n".join(json.dumps(m) for m in metrics_records()) + "\n"
+        )
+
+    def test_directory_source(self, tmp_path):
+        self._write_artifacts(tmp_path)
+        data = load_report_source(tmp_path)
+        assert data.meta["git_sha"] == "abc"
+        assert len(data.bench_records) == 3
+        assert data.imbalance_rows()
+
+    def test_directory_source_picks_up_history(self, tmp_path):
+        self._write_artifacts(tmp_path)
+        store = RunStore(tmp_path / "history.jsonl")
+        store.append_bench(
+            {
+                "schema": "repro-bench-v2",
+                "meta": {"git_sha": "abc"},
+                "records": bench_records(),
+            }
+        )
+        data = load_report_source(tmp_path)
+        assert ("tiny", "sdc-2d", "threads", 2) in data.trend
+
+    def test_store_source(self, tmp_path):
+        store = RunStore(tmp_path / "history.jsonl")
+        store.append_bench(
+            {
+                "schema": "repro-bench-v2",
+                "meta": {"git_sha": "abc"},
+                "records": bench_records(),
+            }
+        )
+        data = load_report_source(tmp_path / "history.jsonl")
+        assert data.meta["git_sha"] == "abc"
+        assert data.bench_records
+        assert data.trend
+
+
+class TestWriteReport:
+    def test_writes_parseable_file(self, tmp_path):
+        path = tmp_path / "report.html"
+        write_report(path, full_data())
+        ET.fromstring(path.read_text())

@@ -65,9 +65,27 @@ class TestRunLog:
         path = tmp_path / "run.jsonl"
         log = RunLog(path, meta={})
         log.log("event", event="x")
-        # readable before close (tail-able stream)
-        assert len(path.read_text().splitlines()) == 2
+        # the in-progress stream is tail-able before close...
+        assert log.tmp_path == str(path) + ".tmp"
+        lines = open(log.tmp_path).read().splitlines()
+        assert len(lines) == 2
+        # ...and the final path only appears, complete, at close
+        assert not path.exists()
         log.close()
+        assert len(path.read_text().splitlines()) == 2
+        assert not (tmp_path / "run.jsonl.tmp").exists()
+
+    def test_meta_carries_schema_version(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path, meta={"hostname": "h"}) as log:
+            assert log.records[0]["schema_version"] == 1
+        meta = json.loads(path.read_text().splitlines()[0])
+        assert meta["kind"] == "meta"
+        assert meta["schema_version"] == 1
+
+    def test_collected_meta_gets_schema_version(self):
+        log = RunLog()
+        assert log.records[0]["schema_version"] == 1
 
     def test_in_memory_keeps_records(self):
         log = RunLog(meta={})

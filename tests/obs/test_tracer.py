@@ -204,6 +204,60 @@ class TestAlignWorkerSpans:
     def test_empty_input(self):
         assert align_worker_spans([], 0.0, 0.0, 1.0) == []
 
+    def test_empty_worker_track_with_skewed_clock(self):
+        # a worker that recorded nothing must not crash alignment even
+        # when its clock origin is far outside the dispatch window
+        assert align_worker_spans([], 1e9, 10.0, 11.0) == []
+
+    def test_out_of_order_spans_keep_their_order_and_offsets(self):
+        # workers may ship spans in completion order, not start order;
+        # alignment must translate each span independently and preserve
+        # the sequence it was given
+        spans = [
+            Span("late", CAT_TASK, 1000.7, 0.1, 99, "worker-99"),
+            Span("early", CAT_TASK, 1000.1, 0.2, 99, "worker-99"),
+            Span("mid", CAT_TASK, 1000.4, 0.05, 99, "worker-99"),
+        ]
+        aligned = align_worker_spans(spans, 1000.0, 10.0, 11.0)
+        assert [s.name for s in aligned] == ["late", "early", "mid"]
+        assert aligned[0].start_s == pytest.approx(10.7)
+        assert aligned[1].start_s == pytest.approx(10.1)
+        assert aligned[2].start_s == pytest.approx(10.4)
+        # relative gaps between spans survive the shift exactly
+        assert aligned[0].start_s - aligned[1].start_s == pytest.approx(0.6)
+
+    def test_two_workers_with_different_skews_land_in_same_window(self):
+        # forked workers can carry *different* clock origins (spawned
+        # workers, CLOCK_MONOTONIC resets); aligning each track against
+        # the same dispatch window must bring both into parent time
+        worker_a = [Span("a", CAT_TASK, 500.2, 0.1, 11, "worker-11")]
+        worker_b = [Span("b", CAT_TASK, 9000.5, 0.1, 22, "worker-22")]
+        window = (10.0, 11.0)
+        aligned_a = align_worker_spans(worker_a, 500.0, *window)
+        aligned_b = align_worker_spans(worker_b, 9000.0, *window)
+        for span in aligned_a + aligned_b:
+            assert window[0] <= span.start_s <= window[1]
+        assert aligned_a[0].start_s == pytest.approx(10.2)
+        assert aligned_b[0].start_s == pytest.approx(10.5)
+
+    def test_negative_skew_worker_clock_behind_parent(self):
+        # worker origin *before* the parent window (clock behind parent):
+        # still pinned to the dispatch start, shifting spans forward
+        spans = [Span("a", CAT_TASK, 1.5, 0.1, 99, "worker-99")]
+        aligned = align_worker_spans(spans, 1.0, 10.0, 11.0)
+        assert aligned[0].start_s == pytest.approx(10.5)
+
+    def test_origin_exactly_on_window_edges_is_not_shifted(self):
+        spans = [Span("a", CAT_TASK, 10.0, 0.1, 99, "worker-99")]
+        assert (
+            align_worker_spans(spans, 10.0, 10.0, 11.0)[0].start_s
+            == pytest.approx(10.0)
+        )
+        assert (
+            align_worker_spans(spans, 11.0, 10.0, 11.0)[0].start_s
+            == pytest.approx(10.0)
+        )
+
 
 class TestCategories:
     def test_category_constants_are_distinct(self):

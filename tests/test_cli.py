@@ -21,6 +21,8 @@ class TestParser:
             "racecheck",
             "bench",
             "trace",
+            "compare",
+            "report",
         }
 
     def test_command_required(self):
@@ -170,6 +172,168 @@ class TestCommands:
         assert by_name["racecheck_conflicting_elements"]["value"] == 0.0
         assert by_name["racecheck_ok"]["value"] == 1.0
         assert by_name["racecheck_ok"]["strategy"] == "sdc"
+
+
+class TestComparePipeline:
+    """bench → compare → report, end-to-end through the real CLI."""
+
+    def _bench(self, tmp_path, name, store=None):
+        out_dir = tmp_path / name
+        argv = [
+            "bench",
+            "--quick",
+            "--repeats",
+            "1",
+            "--warmup",
+            "0",
+            "--skip-reordering",
+            "--output-dir",
+            str(out_dir),
+        ]
+        if store is not None:
+            argv += ["--store", str(store)]
+        assert main(argv) == 0
+        return out_dir
+
+    def test_identical_run_is_unchanged_exit_0(self, capsys, tmp_path):
+        run = self._bench(tmp_path, "run1")
+        assert (
+            main(
+                ["compare", str(run), "--baseline", str(run)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "unchanged" in out
+        assert "regressed" not in out
+
+    def test_slowed_candidate_is_regressed_exit_1(self, capsys, tmp_path):
+        import json
+
+        run = self._bench(tmp_path, "run1")
+        slow_dir = tmp_path / "slow"
+        slow_dir.mkdir()
+        payload = json.loads((run / "BENCH_forces.json").read_text())
+        for record in payload["records"]:
+            record["median_s"] *= 2.0
+        (slow_dir / "BENCH_forces.json").write_text(json.dumps(payload))
+        verdict_json = tmp_path / "verdicts.json"
+        assert (
+            main(
+                [
+                    "compare",
+                    str(slow_dir),
+                    "--baseline",
+                    str(run),
+                    "--json",
+                    str(verdict_json),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "hard regression" in out
+        parsed = json.loads(verdict_json.read_text())
+        assert parsed["hard_regressions"] >= 1
+        # soft-fail mode reports but exits 0
+        assert (
+            main(
+                [
+                    "compare",
+                    str(slow_dir),
+                    "--baseline",
+                    str(run),
+                    "--warn-only",
+                ]
+            )
+            == 0
+        )
+
+    def test_store_baseline_fallback(self, capsys, tmp_path, monkeypatch):
+        store = tmp_path / "history.jsonl"
+        run = self._bench(tmp_path, "run1", store=store)
+        # no --baseline and no committed BENCH_forces.json in cwd:
+        # the store's latest entry becomes the baseline
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(["compare", str(run), "--store", str(store)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "#seq0" in out
+        assert "appended candidate" in out
+
+    def test_missing_candidate_exit_2(self, capsys, tmp_path):
+        assert main(["compare", str(tmp_path / "nope")]) == 2
+
+    def test_no_baseline_found_exit_0(self, capsys, tmp_path, monkeypatch):
+        run = self._bench(tmp_path, "run1")
+        monkeypatch.chdir(tmp_path)
+        assert main(["compare", str(run)]) == 0
+        assert "no baseline found" in capsys.readouterr().err
+
+    def test_report_renders_dashboard(self, capsys, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        store = tmp_path / "history.jsonl"
+        run = self._bench(tmp_path, "run1", store=store)
+        self._bench(tmp_path, "run2", store=store)
+        assert (
+            main(
+                [
+                    "trace",
+                    "--case",
+                    "tiny",
+                    "--strategy",
+                    "sdc",
+                    "--backend",
+                    "threads",
+                    "--steps",
+                    "1",
+                    "--output-dir",
+                    str(run),
+                    "--store",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        html_path = tmp_path / "report.html"
+        assert (
+            main(
+                [
+                    "report",
+                    str(run),
+                    "--store",
+                    str(store),
+                    "-o",
+                    str(html_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Speedup vs serial" in out
+        assert "History trend" in out
+        root = ET.fromstring(html_path.read_text())
+        ids = {e.get("id") for e in root.iter() if e.get("id")}
+        assert "panel-speedup" in ids
+        assert "panel-imbalance" in ids
+        assert "panel-trend" in ids
+
+    def test_report_from_store_file(self, capsys, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        store = tmp_path / "history.jsonl"
+        self._bench(tmp_path, "run1", store=store)
+        html_path = tmp_path / "report.html"
+        assert main(["report", str(store), "-o", str(html_path)]) == 0
+        ET.fromstring(html_path.read_text())
+
+    def test_report_missing_source_exit_2(self, tmp_path):
+        assert (
+            main(["report", str(tmp_path / "nope"), "-o", "x.html"]) == 2
+        )
 
 
 def test_module_invocation():
