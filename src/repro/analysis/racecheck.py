@@ -662,10 +662,11 @@ def _run_racecheck_processes(
         raise ValueError("the process backend race-checks sdc only")
     if inject not in (None, "none"):
         raise ValueError("fault injection is not wired into the process path")
-    calc = ProcessSDCCalculator(
+    with ProcessSDCCalculator(
         dims=dims, n_workers=n_workers, record_writes=True
-    )
-    result = calc.compute(potential, atoms.copy(), nlist)
+    ) as calc:
+        result = calc.compute(potential, atoms.copy(), nlist)
+        write_record = list(calc.last_write_record)
     report = RaceCheckReport(
         strategy=strategy,
         workload=workload,
@@ -677,7 +678,7 @@ def _run_racecheck_processes(
         "write sets recorded inside forked workers; canary snapshots are "
         "parent-side only and therefore skipped"
     )
-    for phase, (kind, chunk_sets) in enumerate(calc.last_write_record):
+    for phase, (kind, chunk_sets) in enumerate(write_record):
         per_task = [
             (task, np.asarray(flat, dtype=np.int64))
             for task, flat in enumerate(chunk_sets)

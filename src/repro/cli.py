@@ -204,6 +204,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         QUICK_STRATEGIES,
         bench_forces,
         bench_payload,
+        bench_steps,
+        render_amortization_table,
         render_bench_table,
         reordering_records,
         write_bench_json,
@@ -232,19 +234,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats = args.repeats
         reorder_case = "demo"
 
-    records = bench_forces(
-        cases=cases,
-        strategies=strategies,
-        backends=backends,
-        n_workers=args.threads,
-        warmup=warmup,
-        repeats=repeats,
-        on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
-    )
-    print(render_bench_table(records))
+    if args.steps > 1:
+        records = bench_steps(
+            cases=cases,
+            strategies=strategies,
+            backends=backends,
+            n_workers=args.threads,
+            steps=args.steps,
+            on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
+        )
+        print(render_bench_table(records))
+        print()
+        print(render_amortization_table(records))
+    else:
+        records = bench_forces(
+            cases=cases,
+            strategies=strategies,
+            backends=backends,
+            n_workers=args.threads,
+            warmup=warmup,
+            repeats=repeats,
+            on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
+        )
+        print(render_bench_table(records))
 
     reorder = None
-    if not args.skip_reordering:
+    if args.steps <= 1 and not args.skip_reordering:
         reorder = measure_reordering(
             case=case_by_key(reorder_case),
             n_threads=args.threads,
@@ -556,6 +571,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threads", type=int, default=2)
     bench.add_argument("--warmup", type=int, default=1)
     bench.add_argument("--repeats", type=int, default=5)
+    bench.add_argument(
+        "--steps",
+        type=int,
+        default=1,
+        help="repeated-compute mode: call compute N times per cell on one "
+        "calculator and report first_step vs amortized per-step records "
+        "(exercises the persistent process engine's steady state; skips "
+        "the reordering measurement)",
+    )
     bench.add_argument(
         "--output-dir",
         default=".",

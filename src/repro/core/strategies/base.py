@@ -134,6 +134,22 @@ class ReductionStrategy(ABC):
             return array
         return self._instrument.wrap(name, array)
 
+    def close(self) -> None:
+        """Release the strategy's execution backend (idempotent).
+
+        Lets a strategy be torn down uniformly with the process-backed
+        calculators (``Simulation.close`` calls this duck-typed).
+        """
+        backend = getattr(self, "backend", None)
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "ReductionStrategy":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     @abstractmethod
     def compute(
         self,

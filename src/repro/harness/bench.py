@@ -147,10 +147,12 @@ def _make_cell(
         dims = int(strategy_key[-2]) if strategy_key != "sdc" else 2
         calc = ProcessSDCCalculator(dims=dims, n_workers=n_workers)
         calc.attach_profiler(profiler)
-        return (
-            lambda: calc.compute(potential, atoms, nlist),
-            calc.detach_profiler,
-        )
+
+        def cleanup() -> None:
+            calc.detach_profiler()
+            calc.close()
+
+        return lambda: calc.compute(potential, atoms, nlist), cleanup
 
     backend = (
         SerialBackend() if backend_key == "serial" else ThreadBackend(n_workers)
@@ -250,6 +252,135 @@ def bench_forces(
                         )
                     )
     return records
+
+
+#: phase keys of the repeated-compute (``--steps``) mode
+PHASE_FIRST_STEP = "first_step"
+PHASE_AMORTIZED = "amortized"
+
+
+def bench_steps(
+    cases: Sequence[str] = DEFAULT_CASES,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    n_workers: int = 2,
+    steps: int = 10,
+    on_skip: Optional[Callable[[str], None]] = None,
+) -> List[BenchRecord]:
+    """Repeated-compute mode: first-step vs amortized per-step cost.
+
+    Each cell builds ONE calculator and calls ``compute`` ``steps`` times
+    against the same neighbor list — the persistent-engine steady state.
+    The first call pays pool fork + arena allocation + decomposition
+    (everything a per-call implementation pays on *every* step); calls
+    2..N pay only sync + kernels + barriers.  Two records per cell:
+
+    * ``first_step`` — wall time of call 1 (one sample);
+    * ``amortized`` — median/IQR over calls 2..N, with pair throughput.
+    """
+    import time
+
+    from repro.md.neighbor.verlet import build_neighbor_list
+    from repro.potentials import fe_potential
+    from repro.utils.timers import median_iqr
+
+    if steps < 2:
+        raise ValueError("steps mode needs at least 2 steps")
+    potential = fe_potential()
+    records: List[BenchRecord] = []
+    for case_key in cases:
+        case = case_by_key(case_key)
+        atoms = case.build()
+        nlist = build_neighbor_list(
+            atoms.positions, atoms.box, potential.cutoff
+        )
+        n_pairs = nlist.n_pairs
+        for strategy_key in strategies:
+            for backend_key in backends:
+                workers = 1 if backend_key == "serial" else n_workers
+                profiler = PhaseProfiler()
+                try:
+                    compute, cleanup = _make_cell(
+                        strategy_key,
+                        backend_key,
+                        workers,
+                        potential,
+                        atoms,
+                        nlist,
+                        profiler,
+                    )
+                except BenchSkip as skip:
+                    if on_skip is not None:
+                        on_skip(
+                            f"{case_key}/{strategy_key}/{backend_key}: {skip}"
+                        )
+                    continue
+                times: List[float] = []
+                try:
+                    for _ in range(steps):
+                        start = time.perf_counter()
+                        compute()
+                        times.append(time.perf_counter() - start)
+                finally:
+                    cleanup()
+                med, iqr = median_iqr(times[1:])
+                records.append(
+                    BenchRecord(
+                        case=case_key,
+                        strategy=strategy_key,
+                        backend=backend_key,
+                        n_workers=workers,
+                        phase=PHASE_FIRST_STEP,
+                        median_s=times[0],
+                        iqr_s=0.0,
+                        n_samples=1,
+                    )
+                )
+                records.append(
+                    BenchRecord(
+                        case=case_key,
+                        strategy=strategy_key,
+                        backend=backend_key,
+                        n_workers=workers,
+                        phase=PHASE_AMORTIZED,
+                        median_s=med,
+                        iqr_s=iqr,
+                        n_samples=len(times) - 1,
+                        pairs_per_s=(n_pairs / med if med > 0 else None),
+                    )
+                )
+    return records
+
+
+def render_amortization_table(records: Sequence[BenchRecord]) -> str:
+    """Per-cell first-step vs amortized summary with the setup speedup."""
+    cells: Dict[Tuple[str, str, str, int], Dict[str, BenchRecord]] = {}
+    for r in records:
+        if r.phase in (PHASE_FIRST_STEP, PHASE_AMORTIZED):
+            key = (r.case, r.strategy, r.backend, r.n_workers)
+            cells.setdefault(key, {})[r.phase] = r
+    rows = []
+    for key in sorted(cells):
+        pair = cells[key]
+        if PHASE_FIRST_STEP not in pair or PHASE_AMORTIZED not in pair:
+            continue
+        first = pair[PHASE_FIRST_STEP].median_s
+        amortized = pair[PHASE_AMORTIZED].median_s
+        speedup = first / amortized if amortized > 0 else float("inf")
+        rows.append((key, first, amortized, speedup))
+    if not rows:
+        return "(no repeated-compute records)"
+    header = (
+        f"{'case':<6} {'strategy':<22} {'backend':<9} {'w':>2} "
+        f"{'first step':>12} {'amortized':>12} {'speedup':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for (case, strategy, backend, workers), first, amortized, speedup in rows:
+        lines.append(
+            f"{case:<6} {strategy:<22} {backend:<9} {workers:>2} "
+            f"{first:>10.6f} s {amortized:>10.6f} s {speedup:>7.1f}x"
+        )
+    return "\n".join(lines)
 
 
 def reordering_records(

@@ -130,7 +130,7 @@ def _make_calculator(
         calc = ProcessSDCCalculator(
             dims=_strategy_dims(strategy_key), n_workers=n_workers
         )
-        return calc, lambda: None
+        return calc, calc.close
 
     from repro.analysis.racecheck import make_backend, make_strategy
 

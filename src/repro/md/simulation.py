@@ -134,6 +134,27 @@ class Simulation:
             return NULL_PHASE
         return self.tracer.span(name, category="md", **args)
 
+    # --- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the calculator's execution resources (idempotent).
+
+        Persistent calculators (the process engine, strategies on a
+        thread pool) hold worker pools and shared-memory arenas across
+        steps; the driver owns the calculator for the run, so it also
+        owns the teardown.  Calculators without a ``close`` are left
+        untouched.
+        """
+        release = getattr(self.calculator, "close", None)
+        if callable(release):
+            release()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     # --- neighbor management ---------------------------------------------------
 
     def ensure_neighbor_list(self) -> NeighborList:

@@ -7,6 +7,8 @@ history store:
   normalized to the serial/serial cell of the same case (the Fig. 5–9
   presentation of the paper);
 * **strategy panel** — total-median comparison bars per case;
+* **amortization panel** — first-step vs amortized per-step cost of the
+  persistent engines, from ``repro bench --steps`` runs;
 * **imbalance panel** — the measured load-imbalance ratios, barrier
   slack, and halo fraction already computed by
   :class:`~repro.obs.metrics.MetricsRegistry`;
@@ -115,6 +117,50 @@ class ReportData:
             for points in case_series.values():
                 points.sort()
         return out
+
+    def amortization_rows(self) -> List[Dict[str, object]]:
+        """First-step vs amortized per-step cost per repeated-compute cell.
+
+        Joins the ``first_step`` and ``amortized`` phase rows emitted by
+        ``repro bench --steps`` on (case, strategy, backend, n_workers);
+        cells missing either half are dropped.  Speedup is first-step
+        cost over amortized per-step cost — how much the persistent
+        engine's reused pool/arena/schedule buys after step one.
+        """
+        cells: Dict[
+            Tuple[str, str, str, int], Dict[str, float]
+        ] = {}
+        for r in self.bench_records:
+            phase = r.get("phase")
+            if phase not in ("first_step", "amortized"):
+                continue
+            if "median_s" not in r:
+                continue
+            key = (
+                str(r.get("case", "?")),
+                str(r.get("strategy", "?")),
+                str(r.get("backend", "?")),
+                int(r.get("n_workers", 0)),
+            )
+            cells.setdefault(key, {})[str(phase)] = float(r["median_s"])
+        rows = []
+        for key in sorted(cells):
+            pair = cells[key]
+            if "first_step" not in pair or "amortized" not in pair:
+                continue
+            first, amortized = pair["first_step"], pair["amortized"]
+            rows.append(
+                {
+                    "case": key[0],
+                    "strategy": key[1],
+                    "backend": key[2],
+                    "n_workers": key[3],
+                    "first_step_s": first,
+                    "amortized_s": amortized,
+                    "speedup": first / amortized if amortized > 0 else 0.0,
+                }
+            )
+        return rows
 
     def imbalance_rows(self) -> List[Dict[str, object]]:
         """Measured per-phase imbalance joined with its barrier slack."""
@@ -541,6 +587,47 @@ def _strategy_panel(data: ReportData) -> str:
     )
 
 
+def _amortization_panel(data: ReportData) -> str:
+    rows = data.amortization_rows()
+    if not rows:
+        return ""
+    bar_rows = [
+        (
+            f"{r['case']}/{r['strategy']}/{r['backend']} "
+            f"(w{r['n_workers']})",
+            float(r["speedup"]),
+        )
+        for r in rows
+    ]
+    body = (
+        _svg_hbar_chart(
+            bar_rows, unit="x", color_indices=[2] * len(bar_rows)
+        )
+        + _table(
+            ("cell", "first step", "amortized/step", "speedup"),
+            [
+                (
+                    f"{r['case']}/{r['strategy']}/{r['backend']}"
+                    f"/w{r['n_workers']}",
+                    f"{float(r['first_step_s']) * 1e3:.3f} ms",
+                    f"{float(r['amortized_s']) * 1e3:.3f} ms",
+                    f"{float(r['speedup']):.1f}x",
+                )
+                for r in rows
+            ],
+        )
+    )
+    return _panel(
+        "panel-amortization",
+        "Setup amortization (first step vs steady state)",
+        body,
+        note="From repro bench --steps: the first compute pays pool "
+        "fork, arena allocation, and decomposition; later steps reuse "
+        "them and only sync positions. Speedup = first-step cost / "
+        "amortized per-step cost.",
+    )
+
+
 def _imbalance_panel(data: ReportData) -> str:
     rows = data.imbalance_rows()
     halo = data.halo_fractions()
@@ -777,6 +864,7 @@ def render_html(data: ReportData, title: str = "repro performance report") -> st
             _regression_panel(data),
             _speedup_panel(data),
             _strategy_panel(data),
+            _amortization_panel(data),
             _imbalance_panel(data),
             _trend_panel(data),
             _meta_panel(data),
@@ -813,6 +901,18 @@ def render_text_summary(data: ReportData, top: int = 8) -> str:
                     f"w{int(x)}: {y:.2f}x" for x, y in pts
                 )
                 lines.append(f"- {case}/{label}: {curve}")
+        lines.append("")
+    amort = data.amortization_rows()
+    if amort:
+        lines.append("## Setup amortization (first step vs steady state)")
+        for r in amort:
+            lines.append(
+                f"- {r['case']}/{r['strategy']}/{r['backend']}"
+                f"/w{r['n_workers']}: first "
+                f"{float(r['first_step_s']) * 1e3:.3f} ms, amortized "
+                f"{float(r['amortized_s']) * 1e3:.3f} ms/step "
+                f"({float(r['speedup']):.1f}x)"
+            )
         lines.append("")
     rows = data.imbalance_rows()
     if rows:

@@ -1,7 +1,7 @@
 """Real execution backends for strategy task closures."""
 
-from repro.parallel.backends.base import ExecutionBackend
+from repro.parallel.backends.base import BackendError, ExecutionBackend
 from repro.parallel.backends.serial import SerialBackend
 from repro.parallel.backends.threads import ThreadBackend
 
-__all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend"]
+__all__ = ["BackendError", "ExecutionBackend", "SerialBackend", "ThreadBackend"]

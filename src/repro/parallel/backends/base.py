@@ -21,6 +21,17 @@ from typing import Callable, List, Optional, Sequence, Tuple
 TaskClosure = Callable[[], None]
 
 
+class BackendError(RuntimeError):
+    """The execution substrate itself failed (not the task's code).
+
+    Raised when a backend loses workers mid-phase — e.g. a forked pool
+    process is killed — as opposed to a task raising, which propagates the
+    task's own exception.  A backend that raises this guarantees the phase
+    barrier still held: no partially-scattered results are handed back,
+    and the backend is safe to use again (pools restart lazily).
+    """
+
+
 class PhaseObserver:
     """No-op base for phase/task execution observers.
 

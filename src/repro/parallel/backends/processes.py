@@ -1,22 +1,47 @@
-"""Process-parallel SDC: fork workers + shared-memory arrays.
+"""Persistent process-parallel SDC: a reusable fork pool + shared arena.
 
 Python's GIL caps what :class:`~repro.parallel.backends.threads.ThreadBackend`
 can demonstrate; this module runs the SDC color phases across *processes*,
 the closest Python analog of the paper's OpenMP threads:
 
-* the reduction arrays (rho, embedding derivatives, forces) live in
-  POSIX shared memory, writable by every worker;
-* read-only inputs (positions, the pair partition) are inherited
-  copy-on-write through ``fork``;
+* all exchanged arrays — positions, the pair partition's CSR, and the
+  reduction targets (rho, embedding derivatives, forces) — live in POSIX
+  shared memory, mapped by every worker;
 * within a color phase, workers scatter concurrently **without any
   locks** — legal for exactly the reason the paper gives: same-color
   subdomains have disjoint write sets (different array elements, no torn
   updates);
-* the pool joins between colors — the implicit barrier.
+* gathering the phase's futures is the implicit barrier between colors.
 
-This is a correctness demonstrator for real multi-core execution, not the
-timing vehicle (DESIGN.md): per-``compute`` fork cost dominates at demo
-sizes.
+The engine is *persistent*, honoring the paper's amortization argument
+("steps 1 and 2 will be done when the neighbor list is created or
+updated", Section II.D) the same way the threaded path does:
+
+* the fork pool is created once per calculator and reused across
+  ``compute`` calls; it is only restarted lazily after a worker dies or
+  when a different potential object arrives (the potential is baked into
+  the workers at fork time);
+* the shared-memory arena is sized to the system and resized only when
+  the atom count or decomposition size changes; each step merely syncs
+  positions and zeroes the reduction arrays in place (the ``sync`` phase)
+  instead of re-forking state;
+* the decomposition (grid / pair partition / color schedule) is cached on
+  neighbor-list identity, mirroring ``SDCStrategy._prepare`` — so a
+  steady-state step pays only kernel + barrier cost plus one positions
+  memcpy.
+
+Epoch protocol: every task payload carries a small *spec* (epoch counter,
+segment names, shapes, box).  Workers cache their attached views keyed on
+the epoch and re-attach only when it changes, so decomposition rebuilds
+and arena resizes propagate to live workers without restarting the pool.
+
+Robustness: a worker killed mid-phase surfaces as
+:class:`~repro.parallel.backends.base.BackendError` (never a hang, never
+partial scatters — the whole evaluation restarts from the ``sync`` zero
+fill), and ``compute`` transparently restarts the pool and retries once.
+Segment cleanup is guaranteed by ``close()``, a ``weakref.finalize``
+(which also fires at interpreter exit), and idempotent release — no
+``/dev/shm`` leaks survive exceptions, GC without ``close()``, or kills.
 """
 
 from __future__ import annotations
@@ -24,17 +49,25 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+import weakref
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.coloring import lattice_coloring, validate_coloring
-from repro.core.domain import decompose, decompose_balanced
-from repro.core.partition import build_pair_partition, build_partition
-from repro.core.schedule import build_schedule, static_assignment
+from repro.core.domain import SubdomainGrid, decompose, decompose_balanced
+from repro.core.partition import (
+    PairPartition,
+    build_pair_partition,
+    build_partition,
+)
+from repro.core.schedule import ColorSchedule, build_schedule, static_assignment
 from repro.md.atoms import Atoms
 from repro.md.neighbor.verlet import NeighborList
+from repro.parallel.backends.base import BackendError
 from repro.potentials.base import EAMPotential
 from repro.potentials.eam import (
     EAMComputation,
@@ -44,21 +77,109 @@ from repro.potentials.eam import (
 from repro.utils.profiler import (
     NULL_PHASE,
     PHASE_BARRIER,
+    PHASE_NEIGHBOR,
+    PHASE_SETUP,
+    PHASE_SYNC,
     PhaseProfiler,
 )
 
-# state inherited by workers at fork time (read-only in workers)
-_FORK_STATE: dict = {}
-
-#: third element of every worker result: where and when the chunk ran, in
-#: the *worker's* clock domain — the parent aligns it with
+#: timing element of every worker result: where and when the chunk ran,
+#: in the *worker's* clock domain — the parent aligns it with
 #: :func:`repro.obs.tracer.align_worker_spans`
 WorkerTiming = Dict[str, float]
 
+#: seconds the startup rendezvous waits for all workers to fork before
+#: declaring the pool dead (generous — forking is milliseconds)
+_WARM_TIMEOUT_S = 60.0
 
-def _open_array(name: str, shape: Tuple[int, ...]) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
-    segment = shared_memory.SharedMemory(name=name)
-    return np.ndarray(shape, dtype=np.float64, buffer=segment.buf), segment
+
+def _arena_layout(
+    n_atoms: int, n_pairs: int, n_subdomains: int
+) -> Dict[str, Tuple[Tuple[int, ...], np.dtype]]:
+    """Shape and dtype of every shared segment for a given system size.
+
+    ``pair_delta``/``pair_r`` cache the minimum-image geometry computed by
+    the density phase so the force phase (and the pair energy) reuse it
+    instead of recomputing — each pair slot belongs to exactly one
+    subdomain, so the writes are disjoint by construction.
+    """
+    f8, i8 = np.dtype(np.float64), np.dtype(np.int64)
+    return {
+        "positions": ((n_atoms, 3), f8),
+        "rho": ((n_atoms,), f8),
+        "fp": ((n_atoms,), f8),
+        "forces": ((n_atoms, 3), f8),
+        "pair_i": ((n_pairs,), i8),
+        "pair_j": ((n_pairs,), i8),
+        "pair_offsets": ((n_subdomains + 1,), i8),
+        "pair_delta": ((n_pairs, 3), f8),
+        "pair_r": ((n_pairs,), f8),
+    }
+
+
+# --- worker side ---------------------------------------------------------------
+
+#: per-*process* state of the owning pool's workers.  Each calculator owns
+#: its own pool, so this global is private to that calculator's workers —
+#: two live calculators can never clobber each other (their pools fork
+#: with different initargs).
+_WORKER: dict = {}
+
+
+def _init_worker(potential: EAMPotential, record: bool, barrier) -> None:
+    """Pool initializer: bake the fork-constant state into this process."""
+    _WORKER.clear()
+    _WORKER.update(
+        potential=potential,
+        record=record,
+        barrier=barrier,
+        epoch=None,
+        segments={},
+        arrays={},
+        box=None,
+    )
+
+
+def _warm_worker(timeout: float) -> int:
+    """Startup task: rendezvous so every pool slot forks a real worker.
+
+    Each warm task blocks on the fork-inherited barrier until all
+    ``n_workers`` processes are up — the executor spawns workers lazily,
+    and without the rendezvous one idle worker could swallow every warm
+    task, leaving the pool under-forked.
+    """
+    _WORKER["barrier"].wait(timeout=timeout)
+    return os.getpid()
+
+
+def _attach_epoch(spec: dict) -> None:
+    """(Re)attach this worker's shared-array views for the spec's epoch."""
+    if _WORKER.get("epoch") == spec["epoch"]:
+        return
+    for segment in _WORKER["segments"].values():
+        segment.close()
+    layout = _arena_layout(
+        spec["n_atoms"], spec["n_pairs"], spec["n_subdomains"]
+    )
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    arrays: Dict[str, np.ndarray] = {}
+    for key, (shape, dtype) in layout.items():
+        segment = shared_memory.SharedMemory(name=spec["names"][key])
+        segments[key] = segment
+        arrays[key] = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+    _WORKER["segments"] = segments
+    _WORKER["arrays"] = arrays
+    _WORKER["box"] = spec["box"]
+    _WORKER["epoch"] = spec["epoch"]
+
+
+def _worker_pairs_of(
+    subdomain: int,
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    arrays = _WORKER["arrays"]
+    offsets = arrays["pair_offsets"]
+    lo, hi = int(offsets[subdomain]), int(offsets[subdomain + 1])
+    return arrays["pair_i"][lo:hi], arrays["pair_j"][lo:hi], lo, hi
 
 
 def _worker_shadow(array: np.ndarray, name: str):
@@ -68,7 +189,7 @@ def _worker_shadow(array: np.ndarray, name: str):
     off.  The shadow writes through to the same shared memory — only the
     index bookkeeping is worker-local.
     """
-    if not _FORK_STATE.get("record"):
+    if not _WORKER.get("record"):
         return array, None
     from repro.analysis.shadow import TaskWriteLog, wrap_array
 
@@ -81,55 +202,49 @@ def _worker_timing(start: float) -> WorkerTiming:
     return {"pid": float(os.getpid()), "origin": start}
 
 
-def _density_worker(
-    subdomains: Sequence[int],
-) -> Tuple[float, Optional[List[int]], WorkerTiming]:
-    state = _FORK_STATE
-    rho, segment = _open_array(state["rho_name"], (state["n_atoms"],))
-    rho, log = _worker_shadow(rho, "rho")
-    start = time.perf_counter()
-    try:
-        potential = state["potential"]
-        positions = state["positions"]
-        box = state["box"]
-        pairs = state["pairs"]
-        for s in subdomains:
-            i_idx, j_idx = pairs.pairs_of(int(s))
-            if len(i_idx) == 0:
-                continue
-            _, r = pair_geometry(positions, box, i_idx, j_idx)
-            phi = potential.density(r)
-            np.add.at(rho, i_idx, phi)
-            np.add.at(rho, j_idx, phi)
-        elapsed = time.perf_counter() - start
-        return (
-            elapsed,
-            (log.flat("rho").tolist() if log is not None else None),
-            _worker_timing(start),
-        )
-    finally:
-        del rho
-        segment.close()
+def _run_chunk(
+    task: Tuple[dict, str, Sequence[int]],
+) -> Tuple[float, Optional[List[int]], WorkerTiming, float]:
+    """Execute one chunk of same-color subdomains (density or force).
 
-
-def _force_worker(
-    subdomains: Sequence[int],
-) -> Tuple[float, Optional[List[int]], WorkerTiming]:
-    state = _FORK_STATE
-    forces, fseg = _open_array(state["forces_name"], (state["n_atoms"], 3))
-    fp, pseg = _open_array(state["fp_name"], (state["n_atoms"],))
-    forces, log = _worker_shadow(forces, "forces")
+    The density pass also publishes each pair's minimum-image geometry
+    into the arena (``pair_delta``/``pair_r``; each pair slot belongs to
+    exactly one subdomain, so the writes are disjoint) and returns the
+    chunk's pair-energy partial sum — the force pass and the parent then
+    reuse the geometry instead of recomputing it.
+    """
+    spec, kind, subdomains = task
+    _attach_epoch(spec)
+    arrays = _WORKER["arrays"]
+    potential = _WORKER["potential"]
+    box = _WORKER["box"]
+    positions = arrays["positions"]
+    pair_energy = 0.0
     start = time.perf_counter()
-    try:
-        potential = state["potential"]
-        positions = state["positions"]
-        box = state["box"]
-        pairs = state["pairs"]
+    if kind == "density":
+        rho, log = _worker_shadow(arrays["rho"], "rho")
         for s in subdomains:
-            i_idx, j_idx = pairs.pairs_of(int(s))
+            i_idx, j_idx, lo, hi = _worker_pairs_of(int(s))
             if len(i_idx) == 0:
                 continue
             delta, r = pair_geometry(positions, box, i_idx, j_idx)
+            arrays["pair_delta"][lo:hi] = delta
+            arrays["pair_r"][lo:hi] = r
+            pair_energy += float(np.sum(potential.pair_energy(r)))
+            phi = potential.density(r)
+            np.add.at(rho, i_idx, phi)
+            np.add.at(rho, j_idx, phi)
+        writes = log.flat("rho").tolist() if log is not None else None
+    elif kind == "force":
+        fp = arrays["fp"]
+        forces, log = _worker_shadow(arrays["forces"], "forces")
+        for s in subdomains:
+            i_idx, j_idx, lo, hi = _worker_pairs_of(int(s))
+            if len(i_idx) == 0:
+                continue
+            # geometry cached by the density pass for these exact positions
+            delta = arrays["pair_delta"][lo:hi]
+            r = arrays["pair_r"][lo:hi]
             coeff = force_pair_coefficients(
                 potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
             )
@@ -137,23 +252,65 @@ def _force_worker(
             for axis in range(3):
                 np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
                 np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
-        elapsed = time.perf_counter() - start
-        return (
-            elapsed,
-            (log.flat("forces").tolist() if log is not None else None),
-            _worker_timing(start),
-        )
-    finally:
-        del forces, fp
-        fseg.close()
-        pseg.close()
+        writes = log.flat("forces").tolist() if log is not None else None
+    else:  # pragma: no cover - parent only submits the two kinds
+        raise ValueError(f"unknown chunk kind {kind!r}")
+    elapsed = time.perf_counter() - start
+    return elapsed, writes, _worker_timing(start), pair_energy
+
+
+# --- parent side ---------------------------------------------------------------
+
+
+class _Resources:
+    """Owns the pool and the shared segments; releasable exactly once-ish.
+
+    Kept separate from the calculator so a ``weakref.finalize`` on the
+    calculator can release everything without resurrecting it.  Release is
+    idempotent and the holder is refillable (a closed calculator revives
+    lazily on the next ``compute``).
+    """
+
+    def __init__(self) -> None:
+        self.segments: Dict[str, shared_memory.SharedMemory] = {}
+        self.executor: Optional[ProcessPoolExecutor] = None
+
+    def discard_executor(self, wait: bool = True) -> None:
+        executor, self.executor = self.executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+    def discard_segments(self, keys: Optional[Sequence[str]] = None) -> None:
+        keys = list(self.segments) if keys is None else list(keys)
+        for key in keys:
+            segment = self.segments.pop(key, None)
+            if segment is None:
+                continue
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def release(self) -> None:
+        """Shut the pool down first, then unlink every segment."""
+        self.discard_executor(wait=True)
+        self.discard_segments()
 
 
 class ProcessSDCCalculator:
-    """SDC force computation on forked worker processes.
+    """SDC force computation on a persistent pool of forked workers.
 
     Satisfies the :class:`~repro.md.simulation.ForceCalculator` protocol.
     Requires a platform with the ``fork`` start method (Linux).
+
+    Lifecycle: the pool and the shared-memory arena are created lazily on
+    the first ``compute`` and reused across calls; ``close()`` (or the
+    context-manager exit) releases both.  A closed calculator revives on
+    the next ``compute``.  Worker death raises
+    :class:`~repro.parallel.backends.base.BackendError` after one
+    transparent pool restart + retry (``restart_on_failure=False``
+    disables the retry).
     """
 
     name = "sdc-processes"
@@ -165,6 +322,7 @@ class ProcessSDCCalculator:
         axes: Optional[Sequence[int]] = None,
         adaptive: bool = True,
         record_writes: bool = False,
+        restart_on_failure: bool = True,
     ) -> None:
         if dims not in (1, 2, 3):
             raise ValueError(f"dims must be 1, 2 or 3, got {dims}")
@@ -181,13 +339,58 @@ class ProcessSDCCalculator:
         #: ``(kind, per_chunk_write_sets)`` entry per color phase for the
         #: dynamic race detector (repro.analysis.racecheck)
         self.record_writes = record_writes
+        self.restart_on_failure = restart_on_failure
         self.last_write_record: List[Tuple[str, List[List[int]]]] = []
         self._profiler: Optional[PhaseProfiler] = None
         self._tracer = None
         self._trace_phase = 0
-        #: decomposition of the most recent compute (for schedule metrics)
-        self.last_pairs = None
-        self.last_schedule = None
+        # decomposition cache, keyed on neighbor-list identity (mirrors
+        # SDCStrategy._prepare)
+        self._cached_nlist_id: Optional[int] = None
+        self._grid: Optional[SubdomainGrid] = None
+        self._pairs: Optional[PairPartition] = None
+        self._schedule: Optional[ColorSchedule] = None
+        # shared-memory arena + pool
+        self._resources = _Resources()
+        self._finalizer = weakref.finalize(self, self._resources.release)
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._shapes: Dict[str, Tuple[int, ...]] = {}
+        self._epoch = 0
+        self._spec: Optional[dict] = None
+        self._pool_potential: Optional[EAMPotential] = None
+
+    # --- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment (idempotent).
+
+        The calculator stays usable: the next ``compute`` re-creates the
+        pool and arena from scratch.
+        """
+        self._resources.release()
+        self._arrays = {}
+        self._shapes = {}
+        self._spec = None
+        self._pool_potential = None
+        self._cached_nlist_id = None
+        self._pairs = None
+        self._schedule = None
+        self._grid = None
+
+    def __enter__(self) -> "ProcessSDCCalculator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live pool workers (empty before the first compute)."""
+        executor = self._resources.executor
+        if executor is None:
+            return []
+        return list(getattr(executor, "_processes", {}))
+
+    # --- observability ---------------------------------------------------------
 
     def attach_profiler(self, profiler: PhaseProfiler) -> None:
         """Record per-phase wall-clock (and barrier slack) into *profiler*."""
@@ -223,7 +426,7 @@ class ProcessSDCCalculator:
     def _trace_chunks(
         self,
         label: str,
-        results: Sequence[Tuple[float, object, WorkerTiming]],
+        results: Sequence[Tuple[float, object, WorkerTiming, float]],
         window_start: float,
         window_end: float,
     ) -> None:
@@ -238,7 +441,7 @@ class ProcessSDCCalculator:
 
         phase = self._trace_phase
         self._trace_phase += 1
-        for task, (elapsed, _, timing) in enumerate(results):
+        for task, (elapsed, _, timing, _) in enumerate(results):
             pid = int(timing["pid"])
             raw = Span(
                 name=f"{label}:chunk",
@@ -275,21 +478,17 @@ class ProcessSDCCalculator:
             n_tasks=len(results),
         )
 
-    def _run_color_phase(
-        self, pool, worker, chunks, label: str
-    ) -> List[Optional[List[int]]]:
-        """One color phase: map chunks, charge barrier slack, return writes."""
-        start = time.perf_counter()
-        results = pool.map(worker, chunks)
-        wall = time.perf_counter() - start
-        if self._profiler is not None and results:
-            longest = max(elapsed for elapsed, _, _ in results)
-            self._profiler.add(PHASE_BARRIER, max(0.0, wall - longest))
-        if self._tracer is not None and results:
-            self._trace_chunks(label, results, start, start + wall)
-        return [writes for _, writes, _ in results]
+    # --- decomposition cache ---------------------------------------------------
 
-    def _decompose(self, atoms: Atoms, nlist: NeighborList):
+    def _prepare(self, atoms: Atoms, nlist: NeighborList) -> bool:
+        """(Re)build grid/partition/coloring when the neighbor list changed.
+
+        Matches the paper: "steps 1 and 2 will be done when the neighbor
+        list is created or updated".  Returns True when a rebuild happened
+        (the caller must then republish the pair CSR to the arena).
+        """
+        if self._cached_nlist_id == id(nlist) and self._pairs is not None:
+            return False
         reach = nlist.cutoff + nlist.skin
         if self.adaptive:
             grid = decompose_balanced(
@@ -300,8 +499,235 @@ class ProcessSDCCalculator:
         coloring = lattice_coloring(grid)
         validate_coloring(grid, coloring)
         partition = build_partition(nlist.reference_positions, grid)
-        pairs = build_pair_partition(partition, nlist)
-        return pairs, build_schedule(coloring)
+        self._pairs = build_pair_partition(partition, nlist)
+        self._schedule = build_schedule(coloring)
+        self._grid = grid
+        self._cached_nlist_id = id(nlist)
+        return True
+
+    @property
+    def grid(self) -> Optional[SubdomainGrid]:
+        """The cached decomposition (None before the first compute)."""
+        return self._grid
+
+    @property
+    def pair_partition(self) -> Optional[PairPartition]:
+        """The cached pair partition (None before the first compute)."""
+        return self._pairs
+
+    @property
+    def schedule(self) -> Optional[ColorSchedule]:
+        """The cached color schedule (None before the first compute)."""
+        return self._schedule
+
+    # kept as aliases for observability consumers (schedule metrics, tests)
+    @property
+    def last_pairs(self) -> Optional[PairPartition]:
+        return self._pairs
+
+    @property
+    def last_schedule(self) -> Optional[ColorSchedule]:
+        return self._schedule
+
+    # --- arena + pool management ----------------------------------------------
+
+    def _ensure_arena(self, atoms: Atoms, rebuilt: bool) -> None:
+        """Size the shared segments to the system; republish pairs on rebuild.
+
+        Segments are recreated (new names → epoch bump → workers
+        re-attach) only when a shape changed; a steady-state call is a
+        no-op.
+        """
+        assert self._pairs is not None
+        n = atoms.n_atoms
+        layout = _arena_layout(
+            n, self._pairs.n_pairs, self._grid.n_subdomains
+        )
+        resized = False
+        for key, (shape, dtype) in layout.items():
+            if self._shapes.get(key) == shape and key in self._resources.segments:
+                continue
+            self._resources.discard_segments([key])
+            nbytes = max(int(np.prod(shape)) * dtype.itemsize, 1)
+            segment = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._resources.segments[key] = segment
+            self._arrays[key] = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+            self._shapes[key] = shape
+            resized = True
+        if rebuilt or resized:
+            self._arrays["pair_i"][:] = self._pairs.i_idx
+            self._arrays["pair_j"][:] = self._pairs.j_idx
+            self._arrays["pair_offsets"][:] = self._pairs.offsets
+        if resized or self._spec is None or not self._box_matches(atoms.box):
+            self._epoch += 1
+            self._spec = {
+                "epoch": self._epoch,
+                "n_atoms": n,
+                "n_pairs": self._pairs.n_pairs,
+                "n_subdomains": self._grid.n_subdomains,
+                "box": atoms.box,
+                "names": {
+                    key: segment.name
+                    for key, segment in self._resources.segments.items()
+                },
+            }
+
+    def _box_matches(self, box) -> bool:
+        cached = None if self._spec is None else self._spec["box"]
+        return cached is not None and np.array_equal(
+            cached.lengths, box.lengths
+        ) and np.array_equal(cached.periodic, box.periodic)
+
+    def _ensure_executor(self, potential: EAMPotential) -> None:
+        """Create (or lazily re-create) the fork pool, warm-forking workers.
+
+        The potential is fork-constant worker state; a different potential
+        object restarts the pool (rare — normally one potential per run).
+        """
+        if (
+            self._resources.executor is not None
+            and potential is not self._pool_potential
+        ):
+            self._resources.discard_executor()
+        if self._resources.executor is None:
+            ctx = mp.get_context("fork")
+            barrier = ctx.Barrier(self.n_workers)
+            executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(potential, self.record_writes, barrier),
+            )
+            try:
+                # fork all workers now (setup cost) and liveness-check
+                # them; the rendezvous inside _warm_worker pins one warm
+                # task per worker process
+                futures = [
+                    executor.submit(_warm_worker, _WARM_TIMEOUT_S)
+                    for _ in range(self.n_workers)
+                ]
+                for future in futures:
+                    future.result()
+            except Exception as exc:
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise BackendError(
+                    "process pool died during startup"
+                ) from exc
+            self._resources.executor = executor
+            self._pool_potential = potential
+
+    # --- phase execution -------------------------------------------------------
+
+    def _run_color_phase(
+        self, kind: str, chunks: Sequence[Sequence[int]], label: str
+    ) -> Tuple[List[Optional[List[int]]], float]:
+        """One color phase: submit chunks, barrier on the futures.
+
+        Returns the per-chunk write records (for the race detector) and
+        the sum of the chunks' pair-energy partials (non-zero only for
+        density phases).
+
+        A worker death mid-phase marks the pool broken; it is discarded
+        and :class:`BackendError` raised — the caller restarts the whole
+        evaluation (the zeroed arrays make that safe) or propagates.
+        """
+        executor = self._resources.executor
+        assert executor is not None and self._spec is not None
+        start = time.perf_counter()
+        try:
+            futures = [
+                executor.submit(_run_chunk, (self._spec, kind, chunk))
+                for chunk in chunks
+            ]
+        except (BrokenExecutor, RuntimeError) as exc:
+            self._resources.discard_executor(wait=False)
+            raise BackendError(
+                f"process pool broken submitting {label}"
+            ) from exc
+        futures_wait(futures)  # the implicit barrier: everything settles
+        wall = time.perf_counter() - start
+        first_task_exc: Optional[BaseException] = None
+        results = []
+        for future in futures:
+            exc = future.exception()
+            if exc is None:
+                results.append(future.result())
+            elif isinstance(exc, BrokenExecutor):
+                self._resources.discard_executor(wait=False)
+                raise BackendError(
+                    f"process pool worker died during {label}"
+                ) from exc
+            elif first_task_exc is None:
+                first_task_exc = exc
+        if first_task_exc is not None:
+            raise first_task_exc
+        if self._profiler is not None and results:
+            longest = max(elapsed for elapsed, _, _, _ in results)
+            self._profiler.add(PHASE_BARRIER, max(0.0, wall - longest))
+        if self._tracer is not None and results:
+            self._trace_chunks(label, results, start, start + wall)
+        writes = [chunk_writes for _, chunk_writes, _, _ in results]
+        energy = sum(partial for _, _, _, partial in results)
+        return writes, energy
+
+    def _scatter_phases(self, potential: EAMPotential) -> Tuple[float, float]:
+        """Density → embedding → force; returns ``(E_embed, E_pair)``.
+
+        The pair energy is assembled from the density workers' partial
+        sums — they already hold each pair's distance, so the parent
+        never recomputes pair geometry serially.
+        """
+        assert self._schedule is not None
+        schedule = self._schedule
+        rho = self._arrays["rho"]
+        fp = self._arrays["fp"]
+        self.last_write_record = []
+        pair_energy = 0.0
+        # phase 1: densities, color by color
+        with self._phase("density"):
+            for color, members in enumerate(schedule.phases):
+                chunks = [
+                    members[c].tolist()
+                    for c in static_assignment(len(members), self.n_workers)
+                    if len(c)
+                ]
+                with self._span(
+                    f"density:color{color}",
+                    color=color,
+                    n_subdomains=len(members),
+                ):
+                    writes, partial = self._run_color_phase(
+                        "density", chunks, f"density:color{color}"
+                    )
+                    pair_energy += partial
+                if self.record_writes:
+                    self.last_write_record.append(("density", writes))
+        # phase 2: embedding in the parent (no dependences)
+        with self._phase("embedding"):
+            with self._span("embedding"):
+                embedding_energy = float(np.sum(potential.embed(rho)))
+                fp[:] = potential.embed_deriv(rho)
+        # phase 3: forces, color by color
+        with self._phase("force"):
+            for color, members in enumerate(schedule.phases):
+                chunks = [
+                    members[c].tolist()
+                    for c in static_assignment(len(members), self.n_workers)
+                    if len(c)
+                ]
+                with self._span(
+                    f"force:color{color}",
+                    color=color,
+                    n_subdomains=len(members),
+                ):
+                    writes, _ = self._run_color_phase(
+                        "force", chunks, f"force:color{color}"
+                    )
+                if self.record_writes:
+                    self.last_write_record.append(("force", writes))
+        return embedding_energy, pair_energy
+
+    # --- the ForceCalculator protocol -----------------------------------------
 
     def compute(
         self,
@@ -311,114 +737,41 @@ class ProcessSDCCalculator:
     ) -> EAMComputation:
         if not nlist.half:
             raise ValueError("SDC consumes half neighbor lists")
-        n = atoms.n_atoms
-        with self._phase("neighbor-rebuild"):
+        with self._phase(PHASE_NEIGHBOR):
             with self._span("neighbor-rebuild"):
-                pairs, schedule = self._decompose(atoms, nlist)
-        # kept for observability consumers (schedule metrics, tests)
-        self.last_pairs = pairs
-        self.last_schedule = schedule
+                rebuilt = self._prepare(atoms, nlist)
+        with self._phase(PHASE_SETUP):
+            with self._span("setup", epoch=self._epoch):
+                self._ensure_arena(atoms, rebuilt)
+                self._ensure_executor(potential)
 
-        rho_seg = shared_memory.SharedMemory(create=True, size=max(n, 1) * 8)
-        fp_seg = shared_memory.SharedMemory(create=True, size=max(n, 1) * 8)
-        forces_seg = shared_memory.SharedMemory(
-            create=True, size=max(n, 1) * 24
+        for attempt in (0, 1):
+            # sync: in-place state refresh — the whole per-step setup cost
+            # of the persistent engine
+            with self._phase(PHASE_SYNC):
+                with self._span("sync"):
+                    self._arrays["positions"][:] = atoms.positions
+                    self._arrays["rho"][:] = 0.0
+                    self._arrays["fp"][:] = 0.0
+                    self._arrays["forces"][:] = 0.0
+            try:
+                embedding_energy, pair_energy = self._scatter_phases(potential)
+                break
+            except BackendError:
+                if attempt or not self.restart_on_failure:
+                    raise
+                with self._phase(PHASE_SETUP):
+                    with self._span("setup", restart=True):
+                        self._ensure_executor(potential)
+
+        result = EAMComputation(
+            pair_energy=pair_energy,
+            embedding_energy=embedding_energy,
+            rho=self._arrays["rho"].copy(),
+            fp=self._arrays["fp"].copy(),
+            forces=self._arrays["forces"].copy(),
         )
-        try:
-            rho = np.ndarray((n,), dtype=np.float64, buffer=rho_seg.buf)
-            fp = np.ndarray((n,), dtype=np.float64, buffer=fp_seg.buf)
-            forces = np.ndarray((n, 3), dtype=np.float64, buffer=forces_seg.buf)
-            rho[:] = 0.0
-            fp[:] = 0.0
-            forces[:] = 0.0
-
-            _FORK_STATE.clear()
-            _FORK_STATE.update(
-                potential=potential,
-                positions=atoms.positions.copy(),
-                box=atoms.box,
-                pairs=pairs,
-                n_atoms=n,
-                rho_name=rho_seg.name,
-                fp_name=fp_seg.name,
-                forces_name=forces_seg.name,
-                record=self.record_writes,
-            )
-            self.last_write_record = []
-            ctx = mp.get_context("fork")
-            with ctx.Pool(self.n_workers) as pool:
-                # phase 1: densities, color by color (pool.map = barrier)
-                with self._phase("density"):
-                    for color, members in enumerate(schedule.phases):
-                        chunks = [
-                            members[c].tolist()
-                            for c in static_assignment(
-                                len(members), self.n_workers
-                            )
-                            if len(c)
-                        ]
-                        with self._span(
-                            f"density:color{color}",
-                            color=color,
-                            n_subdomains=len(members),
-                        ):
-                            writes = self._run_color_phase(
-                                pool,
-                                _density_worker,
-                                chunks,
-                                f"density:color{color}",
-                            )
-                        if self.record_writes:
-                            self.last_write_record.append(("density", writes))
-                # phase 2: embedding in the parent (no dependences)
-                with self._phase("embedding"):
-                    with self._span("embedding"):
-                        embedding_energy = float(np.sum(potential.embed(rho)))
-                        fp[:] = potential.embed_deriv(rho)
-                # phase 3: forces, color by color
-                with self._phase("force"):
-                    for color, members in enumerate(schedule.phases):
-                        chunks = [
-                            members[c].tolist()
-                            for c in static_assignment(
-                                len(members), self.n_workers
-                            )
-                            if len(c)
-                        ]
-                        with self._span(
-                            f"force:color{color}",
-                            color=color,
-                            n_subdomains=len(members),
-                        ):
-                            writes = self._run_color_phase(
-                                pool,
-                                _force_worker,
-                                chunks,
-                                f"force:color{color}",
-                            )
-                        if self.record_writes:
-                            self.last_write_record.append(("force", writes))
-
-            i_idx, j_idx = nlist.pair_arrays()
-            if len(i_idx):
-                _, r = pair_geometry(atoms.positions, atoms.box, i_idx, j_idx)
-                pair_energy = float(np.sum(potential.pair_energy(r)))
-            else:
-                pair_energy = 0.0
-
-            result = EAMComputation(
-                pair_energy=pair_energy,
-                embedding_energy=embedding_energy,
-                rho=rho.copy(),
-                fp=fp.copy(),
-                forces=forces.copy(),
-            )
-            atoms.rho[:] = result.rho
-            atoms.fp[:] = result.fp
-            atoms.forces[:] = result.forces
-            return result
-        finally:
-            _FORK_STATE.clear()
-            for segment in (rho_seg, fp_seg, forces_seg):
-                segment.close()
-                segment.unlink()
+        atoms.rho[:] = result.rho
+        atoms.fp[:] = result.fp
+        atoms.forces[:] = result.forces
+        return result

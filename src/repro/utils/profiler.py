@@ -45,11 +45,17 @@ PHASE_EMBEDDING = "embedding"
 PHASE_FORCE = "force"
 PHASE_NEIGHBOR = "neighbor-rebuild"
 PHASE_BARRIER = "color-barrier"
+#: persistent-engine overheads: pool/arena (re)construction and the
+#: per-step in-place state refresh (positions memcpy + zero fills)
+PHASE_SETUP = "setup"
+PHASE_SYNC = "sync"
 CANONICAL_PHASES: Tuple[str, ...] = (
     PHASE_DENSITY,
     PHASE_EMBEDDING,
     PHASE_FORCE,
     PHASE_NEIGHBOR,
+    PHASE_SETUP,
+    PHASE_SYNC,
     PHASE_BARRIER,
 )
 

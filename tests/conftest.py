@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,12 @@ from repro.geometry.lattice import perturb_positions
 from repro.md import Atoms, build_neighbor_list
 from repro.potentials import compute_eam_forces_serial, fe_potential
 from repro.utils.rng import default_rng
+
+
+def pytest_runtest_setup(item):
+    """Skip ``linux``-marked tests on platforms without Linux semantics."""
+    if item.get_closest_marker("linux") and sys.platform != "linux":
+        pytest.skip("requires Linux (/dev/shm, SIGKILL semantics)")
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,8 @@ import pytest
 from repro.harness.bench import (
     BenchRecord,
     bench_forces,
+    bench_steps,
+    render_amortization_table,
     render_bench_table,
     reordering_records,
     write_bench_json,
@@ -106,6 +108,52 @@ class TestBenchForces:
         )
         assert records == []
         assert "processes" in skips[0]
+
+
+class TestBenchSteps:
+    @pytest.fixture(scope="class")
+    def step_records(self):
+        return bench_steps(
+            cases=("tiny",),
+            strategies=("sdc-2d",),
+            backends=("serial", "threads"),
+            n_workers=2,
+            steps=3,
+        )
+
+    def test_first_step_and_amortized_phases_per_cell(self, step_records):
+        for backend in ("serial", "threads"):
+            phases = {
+                r.phase for r in step_records if r.backend == backend
+            }
+            assert phases == {"first_step", "amortized"}
+
+    def test_sample_counts_follow_steps(self, step_records):
+        for r in step_records:
+            if r.phase == "first_step":
+                assert r.n_samples == 1 and r.iqr_s == 0.0
+            else:
+                assert r.n_samples == 2  # steps - 1
+                assert r.pairs_per_s is not None and r.pairs_per_s > 0
+
+    def test_records_round_trip_through_bench_schema(
+        self, step_records, tmp_path
+    ):
+        path = tmp_path / "BENCH_forces.json"
+        write_bench_json(path, [r.to_dict() for r in step_records])
+        payload = json.loads(path.read_text())
+        phases = {r["phase"] for r in payload["records"]}
+        assert {"first_step", "amortized"} <= phases
+
+    def test_amortization_table(self, step_records):
+        table = render_amortization_table(step_records)
+        assert "first step" in table
+        assert "amortized" in table
+        assert "x" in table
+
+    def test_rejects_single_step(self):
+        with pytest.raises(ValueError, match="steps"):
+            bench_steps(cases=("tiny",), steps=1)
 
 
 class TestBenchOutput:

@@ -100,6 +100,59 @@ class TestDerivedViews:
         assert full_data().halo_fractions() == {"tiny/sdc/threads": 0.31}
 
 
+def amortization_records():
+    rows = []
+    for phase, median, samples in (
+        ("first_step", 0.040, 1),
+        ("amortized", 0.008, 9),
+    ):
+        rows.append(
+            {
+                "case": "tiny",
+                "strategy": "sdc-2d",
+                "backend": "processes",
+                "n_workers": 2,
+                "phase": phase,
+                "median_s": median,
+                "iqr_s": 0.0,
+                "n_samples": samples,
+            }
+        )
+    return rows
+
+
+class TestAmortizationView:
+    def test_rows_join_first_step_with_amortized(self):
+        data = ReportData(bench_records=amortization_records())
+        (row,) = data.amortization_rows()
+        assert row["first_step_s"] == 0.040
+        assert row["amortized_s"] == 0.008
+        assert row["speedup"] == 5.0
+
+    def test_half_cells_dropped(self):
+        data = ReportData(bench_records=amortization_records()[:1])
+        assert data.amortization_rows() == []
+
+    def test_panel_rendered_and_well_formed(self):
+        data = ReportData(
+            bench_records=bench_records() + amortization_records()
+        )
+        page = render_html(data)
+        root = ET.fromstring(page)
+        ids = {
+            el.get("id")
+            for el in root.iter("{http://www.w3.org/1999/xhtml}section")
+        }
+        assert "panel-amortization" in ids
+        assert "5.0x" in page
+
+    def test_text_summary_mentions_amortization(self):
+        data = ReportData(bench_records=amortization_records())
+        text = render_text_summary(data)
+        assert "amortization" in text.lower()
+        assert "5.0x" in text
+
+
 class TestRenderHtml:
     def test_is_well_formed_xml_with_all_panels(self):
         html = render_html(full_data())

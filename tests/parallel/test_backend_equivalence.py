@@ -88,6 +88,58 @@ class TestSDCBackendEquivalence:
         assert np.array_equal(serial.forces, threads.forces)
         assert np.array_equal(serial.rho, threads.rho)
 
+    @pytest.mark.skipif(
+        "fork" not in mp.get_all_start_methods(),
+        reason="process path requires fork",
+    )
+    def test_trajectory_equivalence_across_rebuilds(self, potential):
+        """20 MD steps on every engine: same trajectory, same energies.
+
+        The skin is tight enough that the Verlet criterion fires several
+        times mid-run, so the persistent process engine's decomposition
+        cache is invalidated and rebuilt while its pool and arena stay
+        live — and the trajectory still matches the serial kernels.
+        """
+        from repro.harness.cases import Case
+        from repro.md.simulation import Simulation
+        from repro.parallel.backends.processes import ProcessSDCCalculator
+
+        def run(calculator):
+            atoms = Case(key="traj", label="traj", n_cells=6).build(
+                perturbation=0.03, temperature=60.0, seed=2
+            )
+            with Simulation(
+                atoms, potential, calculator=calculator, skin=0.05
+            ) as sim:
+                report = sim.run(20, sample_every=1)
+            return atoms, report
+
+        serial_atoms, serial_report = run(None)
+        thread_atoms, thread_report = run(
+            SDCStrategy(dims=2, n_threads=2, backend=ThreadBackend(2))
+        )
+        process_atoms, process_report = run(
+            ProcessSDCCalculator(dims=2, n_workers=2)
+        )
+        # the tight skin must have fired mid-run (beyond the initial build)
+        assert serial_report.n_neighbor_rebuilds >= 2
+        assert process_report.n_neighbor_rebuilds >= 2
+        # same SDC schedule, different engines: bitwise-identical dynamics
+        assert np.array_equal(thread_atoms.positions, process_atoms.positions)
+        assert np.array_equal(thread_atoms.forces, process_atoms.forces)
+        # and both track the serial kernels to floating-point noise
+        for atoms, report in (
+            (thread_atoms, thread_report),
+            (process_atoms, process_report),
+        ):
+            assert np.allclose(
+                atoms.positions, serial_atoms.positions, atol=1e-12
+            )
+            assert np.allclose(atoms.forces, serial_atoms.forces, atol=1e-12)
+            assert np.allclose(
+                report.energies(), serial_report.energies(), atol=1e-10
+            )
+
     @pytest.mark.parametrize("dims", [1, 2, 3])
     def test_dimensionality_is_backend_independent(
         self, potential, sdc_atoms, sdc_nlist, reference_result, dims

@@ -1,17 +1,36 @@
-"""Process-parallel SDC (fork + shared memory)."""
+"""Process-parallel SDC (fork + shared memory): the persistent engine."""
 
+import gc
 import multiprocessing as mp
+import os
 
 import numpy as np
 import pytest
 
 from repro.md.simulation import Simulation
 from repro.parallel.backends.processes import ProcessSDCCalculator
+from repro.potentials import compute_eam_forces_serial, fe_potential
 
 fork_available = "fork" in mp.get_all_start_methods()
 pytestmark = pytest.mark.skipif(
     not fork_available, reason="requires fork start method"
 )
+
+
+class _ExplodingDensity:
+    """Duck-typed potential whose density phase raises inside the worker."""
+
+    def __init__(self) -> None:
+        self._inner = fe_potential()
+        self.cutoff = self._inner.cutoff
+        self.density_deriv = self._inner.density_deriv
+        self.pair_energy = self._inner.pair_energy
+        self.pair_energy_deriv = self._inner.pair_energy_deriv
+        self.embed = self._inner.embed
+        self.embed_deriv = self._inner.embed_deriv
+
+    def density(self, r):
+        raise RuntimeError("density exploded")
 
 
 class TestCorrectness:
@@ -80,3 +99,217 @@ class TestDriverIntegration:
         serial = run(None)
         processes = run(ProcessSDCCalculator(dims=2, n_workers=2))
         assert np.allclose(serial, processes, atol=1e-10)
+
+
+class TestPersistence:
+    def test_pool_survives_across_computes(
+        self, potential, sdc_atoms, sdc_nlist
+    ):
+        """Steady-state steps reuse the forked workers — no re-fork."""
+        with ProcessSDCCalculator(dims=2, n_workers=2) as calc:
+            calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            pids = calc.worker_pids()
+            assert len(pids) == 2
+            for _ in range(3):
+                calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            assert calc.worker_pids() == pids
+
+    def test_arena_segments_reused_across_computes(
+        self, potential, sdc_atoms, sdc_nlist
+    ):
+        with ProcessSDCCalculator(dims=2, n_workers=2) as calc:
+            calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            names = {
+                k: s.name for k, s in calc._resources.segments.items()
+            }
+            epoch = calc._epoch
+            calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            assert {
+                k: s.name for k, s in calc._resources.segments.items()
+            } == names
+            assert calc._epoch == epoch
+
+    def test_interleaved_calculators_do_not_clobber(self, potential):
+        """Regression for the old `_FORK_STATE` module global: two live
+        calculators on *different* systems, computes interleaved — each
+        must keep answering for its own system."""
+        from repro.geometry import bcc_lattice
+        from repro.geometry.lattice import perturb_positions
+        from repro.md import Atoms, build_neighbor_list
+        from repro.utils.rng import default_rng
+
+        def system(n_cells, seed):
+            positions, box = bcc_lattice(2.8665, (n_cells,) * 3)
+            positions = perturb_positions(
+                positions, box, 0.05, default_rng(seed)
+            )
+            atoms = Atoms(box=box, positions=positions)
+            nlist = build_neighbor_list(
+                positions, box, cutoff=potential.cutoff, skin=0.3, half=True
+            )
+            reference = compute_eam_forces_serial(
+                potential, atoms.copy(), nlist
+            )
+            return atoms, nlist, reference
+
+        atoms_a, nlist_a, ref_a = system(8, seed=3)
+        atoms_b, nlist_b, ref_b = system(6, seed=4)
+        with ProcessSDCCalculator(dims=2, n_workers=2) as calc_a:
+            with ProcessSDCCalculator(dims=2, n_workers=2) as calc_b:
+                for _ in range(2):
+                    result_a = calc_a.compute(
+                        potential, atoms_a.copy(), nlist_a
+                    )
+                    result_b = calc_b.compute(
+                        potential, atoms_b.copy(), nlist_b
+                    )
+                    assert np.allclose(
+                        result_a.forces, ref_a.forces, atol=1e-12
+                    )
+                    assert np.allclose(
+                        result_b.forces, ref_b.forces, atol=1e-12
+                    )
+
+    def test_close_is_idempotent_and_revivable(
+        self, potential, sdc_atoms, sdc_nlist, reference_result
+    ):
+        calc = ProcessSDCCalculator(dims=2, n_workers=2)
+        calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        calc.close()
+        calc.close()
+        assert calc.worker_pids() == []
+        # a closed calculator revives lazily on the next compute
+        result = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        assert np.allclose(
+            result.forces, reference_result.forces, atol=1e-12
+        )
+        calc.close()
+
+    def test_simulation_close_releases_calculator(self, potential):
+        from repro.harness.cases import Case
+
+        atoms = Case(key="cl", label="cl", n_cells=6).build(seed=3)
+        calc = ProcessSDCCalculator(dims=2, n_workers=2)
+        with Simulation(atoms, potential, calculator=calc) as sim:
+            sim.run(2)
+            assert len(calc.worker_pids()) == 2
+        assert calc.worker_pids() == []
+        assert not calc._resources.segments
+
+
+class TestDecompositionCache:
+    def test_schedule_reused_while_nlist_stable_and_rebuilt_after(
+        self, potential, sdc_atoms
+    ):
+        """Property sweep: displacements within skin/2 keep the neighbor
+        list (and therefore the cached schedule) valid and reused; a
+        rebuild invalidates it — and the conflict checker stays green in
+        both regimes."""
+        from repro.core.conflict import check_schedule_conflicts
+        from repro.md import build_neighbor_list
+        from repro.utils.rng import default_rng
+
+        skin = 0.3
+        nlist = build_neighbor_list(
+            sdc_atoms.positions,
+            sdc_atoms.box,
+            cutoff=potential.cutoff,
+            skin=skin,
+            half=True,
+        )
+        rng = default_rng(42)
+        with ProcessSDCCalculator(dims=2, n_workers=2) as calc:
+            calc.compute(potential, sdc_atoms.copy(), nlist)
+            schedule0, pairs0 = calc.schedule, calc.pair_partition
+            assert check_schedule_conflicts(pairs0, schedule0).ok
+            for amplitude in (0.01, 0.05, 0.1):
+                atoms = sdc_atoms.copy()
+                step = rng.normal(size=atoms.positions.shape)
+                step *= amplitude / np.abs(step).max()
+                atoms.positions += step  # well within skin/2
+                assert not nlist.needs_rebuild(atoms.positions)
+                result = calc.compute(potential, atoms, nlist)
+                # same list object -> the cached schedule is reused as-is
+                assert calc.schedule is schedule0
+                assert calc.pair_partition is pairs0
+                reference = compute_eam_forces_serial(
+                    potential, atoms.copy(), nlist
+                )
+                assert np.allclose(
+                    result.forces, reference.forces, atol=1e-12
+                )
+            # a rebuilt list invalidates the cache: fresh schedule, still
+            # conflict-free
+            atoms = sdc_atoms.copy()
+            atoms.positions += rng.normal(size=atoms.positions.shape) * 0.2
+            rebuilt = build_neighbor_list(
+                atoms.positions,
+                atoms.box,
+                cutoff=potential.cutoff,
+                skin=skin,
+                half=True,
+            )
+            calc.compute(potential, atoms, rebuilt)
+            assert calc.schedule is not schedule0
+            assert check_schedule_conflicts(
+                calc.pair_partition, calc.schedule
+            ).ok
+
+
+def _shm_entries():
+    return set(os.listdir("/dev/shm"))
+
+
+def _leaked(before):
+    """Shared-memory entries created and not cleaned since ``before``."""
+    return {
+        name
+        for name in _shm_entries() - before
+        if name.startswith("psm_")
+    }
+
+
+@pytest.mark.linux
+class TestSharedMemoryHygiene:
+    def test_no_leak_after_close(self, potential, sdc_atoms, sdc_nlist):
+        before = _shm_entries()
+        with ProcessSDCCalculator(dims=2, n_workers=2) as calc:
+            calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            assert calc._resources.segments  # the arena did exist
+        assert _leaked(before) == set()
+
+    def test_no_leak_after_exception_in_compute(
+        self, potential, sdc_atoms, sdc_nlist
+    ):
+        before = _shm_entries()
+        calc = ProcessSDCCalculator(dims=2, n_workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="exploded"):
+                calc.compute(
+                    _ExplodingDensity(), sdc_atoms.copy(), sdc_nlist
+                )
+            # the engine survives the task failure...
+            result = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            assert np.isfinite(result.potential_energy)
+        finally:
+            calc.close()
+        # ...and nothing is left behind once released
+        assert _leaked(before) == set()
+
+    def test_no_leak_after_gc_without_close(
+        self, potential, sdc_atoms, sdc_nlist
+    ):
+        import time
+
+        before = _shm_entries()
+        calc = ProcessSDCCalculator(dims=2, n_workers=2)
+        calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+        del calc  # no close(): the weakref finalizer must fire
+        # transient references (executor manager threads winding down,
+        # frames in flight) can delay collection by a beat — retry the
+        # collect briefly rather than flake on GC scheduling
+        deadline = time.monotonic() + 10.0
+        while _leaked(before) and time.monotonic() < deadline:
+            gc.collect()
+            time.sleep(0.05)
+        assert _leaked(before) == set()

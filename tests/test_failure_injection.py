@@ -94,6 +94,101 @@ class TestCrashingKernels:
         assert np.isfinite(result.potential_energy)
 
 
+class KamikazePotential:
+    """Duck-typed potential whose density phase SIGKILLs its own worker."""
+
+    def __init__(self) -> None:
+        self._inner = fe_potential()
+        self.cutoff = self._inner.cutoff
+        self.density_deriv = self._inner.density_deriv
+        self.pair_energy = self._inner.pair_energy
+        self.pair_energy_deriv = self._inner.pair_energy_deriv
+        self.embed = self._inner.embed
+        self.embed_deriv = self._inner.embed_deriv
+
+    def density(self, r):
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+@pytest.mark.slow
+@pytest.mark.linux
+class TestWorkerKill:
+    """SIGKILL against the persistent pool: never a hang, never partial
+    scatters — either a transparent restart with correct forces or the
+    documented :class:`BackendError`."""
+
+    @pytest.fixture(autouse=True)
+    def _needs_fork(self):
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("requires fork")
+
+    def test_killed_worker_restarts_transparently(
+        self, potential, sdc_atoms, sdc_nlist, reference_result
+    ):
+        import os
+        import signal
+
+        from repro.parallel.backends.processes import ProcessSDCCalculator
+
+        with ProcessSDCCalculator(dims=2, n_workers=2) as calc:
+            calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            victim = calc.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            # default policy: the broken pool is detected, restarted, and
+            # the evaluation retried from the zero fill — correct forces
+            result = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            assert np.allclose(
+                result.forces, reference_result.forces, atol=1e-12
+            )
+            assert victim not in calc.worker_pids()
+
+    def test_killed_worker_raises_backend_error_without_retry(
+        self, potential, sdc_atoms, sdc_nlist, reference_result
+    ):
+        import os
+        import signal
+
+        from repro.parallel.backends import BackendError
+        from repro.parallel.backends.processes import ProcessSDCCalculator
+
+        with ProcessSDCCalculator(
+            dims=2, n_workers=2, restart_on_failure=False
+        ) as calc:
+            calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            os.kill(calc.worker_pids()[0], signal.SIGKILL)
+            with pytest.raises(BackendError):
+                calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            # the failure is clean: the next call re-creates the pool
+            result = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            assert np.allclose(
+                result.forces, reference_result.forces, atol=1e-12
+            )
+
+    def test_mid_phase_suicide_surfaces_backend_error(
+        self, potential, sdc_atoms, sdc_nlist, reference_result
+    ):
+        from repro.parallel.backends import BackendError
+        from repro.parallel.backends.processes import ProcessSDCCalculator
+
+        with ProcessSDCCalculator(dims=2, n_workers=2) as calc:
+            # the kamikaze kills its worker on both the original attempt
+            # and the post-restart retry -> the documented error, no hang
+            with pytest.raises(BackendError):
+                calc.compute(
+                    KamikazePotential(), sdc_atoms.copy(), sdc_nlist
+                )
+            # the calculator itself stays usable with a sane potential
+            result = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
+            assert np.allclose(
+                result.forces, reference_result.forces, atol=1e-12
+            )
+
+
 class TestMalformedStructures:
     def test_neighbor_list_with_corrupt_csr_rejected(self):
         with pytest.raises(ValueError):
