@@ -242,6 +242,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             n_workers=args.threads,
             steps=args.steps,
             on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
+            kernel_tier=args.kernel_tier,
         )
         print(render_bench_table(records))
         print()
@@ -255,6 +256,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             warmup=warmup,
             repeats=repeats,
             on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
+            kernel_tier=args.kernel_tier,
         )
         print(render_bench_table(records))
 
@@ -445,6 +447,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         output_dir=args.output_dir,
         on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
         store_path=args.store,
+        kernel_tier=args.kernel_tier,
     )
     print(report.render_summary(top=args.top))
     if report.trace_path is not None:
@@ -596,6 +599,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the bench payloads to this performance-history "
         "store (e.g. .repro/history.jsonl)",
     )
+    bench.add_argument(
+        "--kernel-tier",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="kernel tier for the swept cells (default: the session's "
+        "active tier; numba falls back to numpy with a warning when "
+        "unavailable)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     trace = sub.add_parser(
@@ -635,6 +646,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         help="append the metrics and run-log streams to this "
         "performance-history store",
+    )
+    trace.add_argument(
+        "--kernel-tier",
+        choices=["numpy", "numba", "auto"],
+        default=None,
+        help="kernel tier for the traced cells (default: the session's "
+        "active tier)",
     )
     trace.set_defaults(func=_cmd_trace)
 

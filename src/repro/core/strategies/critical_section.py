@@ -30,8 +30,11 @@ from repro.parallel.workload import WorkloadStats
 from repro.potentials.base import EAMPotential
 from repro.potentials.eam import (
     EAMComputation,
+    density_pair_values,
     force_pair_coefficients,
     pair_geometry,
+    scatter_force_half,
+    scatter_rho_half,
 )
 
 
@@ -80,11 +83,10 @@ class CriticalSectionStrategy(ReductionStrategy):
                 if len(i_idx) == 0:
                     return
                 _, r = pair_geometry(positions, box, i_idx, j_idx)
-                phi = potential.density(r)
+                phi = density_pair_values(potential, r)
                 with self._lock:
                     with self._span("density:lock-held", n_pairs=len(i_idx)):
-                        np.add.at(rho, i_idx, phi)
-                        np.add.at(rho, j_idx, phi)
+                        scatter_rho_half(rho, i_idx, j_idx, phi)
 
             return run
 
@@ -124,13 +126,7 @@ class CriticalSectionStrategy(ReductionStrategy):
                 pair_forces = coeff[:, None] * delta
                 with self._lock:
                     with self._span("force:lock-held", n_pairs=len(i_idx)):
-                        for axis in range(3):
-                            np.add.at(
-                                forces[:, axis], i_idx, pair_forces[:, axis]
-                            )
-                            np.subtract.at(
-                                forces[:, axis], j_idx, pair_forces[:, axis]
-                            )
+                        scatter_force_half(forces, i_idx, j_idx, pair_forces)
 
             return run
 

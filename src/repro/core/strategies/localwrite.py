@@ -39,8 +39,11 @@ from repro.parallel.workload import BYTES_PER_ATOM, WorkloadStats
 from repro.potentials.base import EAMPotential
 from repro.potentials.eam import (
     EAMComputation,
+    density_pair_values,
     force_pair_coefficients,
     pair_geometry,
+    scatter_force_half,
+    scatter_rho_half,
 )
 
 
@@ -176,13 +179,14 @@ class LocalWriteStrategy(ReductionStrategy):
                 i_in, j_in = tables.interior_of(s)
                 if len(i_in):
                     _, r = pair_geometry(positions, box, i_in, j_in)
-                    phi = potential.density(r)
-                    np.add.at(rho, i_in, phi)
-                    np.add.at(rho, j_in, phi)
+                    phi = density_pair_values(potential, r)
+                    scatter_rho_half(rho, i_in, j_in, phi)
                 i_b, j_b, side = tables.boundary_of(s)
                 if len(i_b):
                     _, r = pair_geometry(positions, box, i_b, j_b)
-                    phi = potential.density(r)
+                    phi = density_pair_values(potential, r)
+                    # one-sided owned write: stays np.add.at so the task's
+                    # write set is exactly its owned boundary rows
                     own = np.where(side == 0, i_b, j_b)
                     np.add.at(rho, own, phi)
 
@@ -211,9 +215,7 @@ class LocalWriteStrategy(ReductionStrategy):
                         potential, r, fp[i_in], fp[j_in], pair_ids=(i_in, j_in)
                     )
                     pf = coeff[:, None] * delta
-                    for axis in range(3):
-                        np.add.at(forces[:, axis], i_in, pf[:, axis])
-                        np.subtract.at(forces[:, axis], j_in, pf[:, axis])
+                    scatter_force_half(forces, i_in, j_in, pf)
                 i_b, j_b, side = tables.boundary_of(s)
                 if len(i_b):
                     delta, r = pair_geometry(positions, box, i_b, j_b)

@@ -25,7 +25,11 @@ from repro.md.neighbor.verlet import NeighborList
 from repro.parallel.backends.base import ExecutionBackend
 from repro.parallel.backends.serial import SerialBackend
 from repro.potentials.base import PairPotential
-from repro.potentials.eam import EAMComputation, pair_geometry
+from repro.potentials.eam import (
+    EAMComputation,
+    pair_geometry,
+    scatter_force_half,
+)
 from repro.utils.arrays import segment_sum
 
 
@@ -147,9 +151,7 @@ class SDCPairCalculator:
                 if len(i_idx) == 0:
                     return
                 pf = _pair_forces(potential, positions, box, i_idx, j_idx)
-                for axis in range(3):
-                    np.add.at(forces[:, axis], i_idx, pf[:, axis])
-                    np.subtract.at(forces[:, axis], j_idx, pf[:, axis])
+                scatter_force_half(forces, i_idx, j_idx, pf)
 
             return run
 

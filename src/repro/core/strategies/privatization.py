@@ -28,8 +28,11 @@ from repro.parallel.workload import WorkloadStats
 from repro.potentials.base import EAMPotential
 from repro.potentials.eam import (
     EAMComputation,
+    density_pair_values,
     force_pair_coefficients,
     pair_geometry,
+    scatter_force_half,
+    scatter_rho_half,
 )
 
 #: entries merged per critical-section entry in the merge loop
@@ -75,10 +78,8 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
                 if len(i_idx) == 0:
                     return
                 _, r = pair_geometry(positions, box, i_idx, j_idx)
-                phi = potential.density(r)
-                mine = private_rho[k]
-                np.add.at(mine, i_idx, phi)
-                np.add.at(mine, j_idx, phi)
+                phi = density_pair_values(potential, r)
+                scatter_rho_half(private_rho[k], i_idx, j_idx, phi)
 
             return run
 
@@ -121,10 +122,9 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
                     potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
                 )
                 pair_forces = coeff[:, None] * delta
-                mine = private_forces[k]
-                for axis in range(3):
-                    np.add.at(mine[:, axis], i_idx, pair_forces[:, axis])
-                    np.subtract.at(mine[:, axis], j_idx, pair_forces[:, axis])
+                scatter_force_half(
+                    private_forces[k], i_idx, j_idx, pair_forces
+                )
 
             return run
 

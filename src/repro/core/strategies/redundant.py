@@ -30,10 +30,12 @@ from repro.parallel.workload import WorkloadStats
 from repro.potentials.base import EAMPotential
 from repro.potentials.eam import (
     EAMComputation,
+    density_pair_values,
     force_pair_coefficients,
     pair_geometry,
+    scatter_force_owned,
+    scatter_rho_owned,
 )
-from repro.utils.arrays import segment_sum
 
 
 class RedundantComputationStrategy(ReductionStrategy):
@@ -82,12 +84,13 @@ class RedundantComputationStrategy(ReductionStrategy):
                 if len(i_idx) == 0:
                     return
                 _, r = pair_geometry(positions, box, i_idx, j_idx)
-                phi = potential.density(r)
-                # owned rows only: offset into the chunk's contiguous range
-                local = np.bincount(
-                    i_idx - rows[0], weights=phi, minlength=len(rows)
-                )
-                rho[rows] = local[: len(rows)]
+                phi = density_pair_values(potential, r)
+                # owned rows only: offset into the chunk's contiguous range,
+                # accumulate into a chunk-local buffer so the task's write
+                # into the shared array stays a plain slice assignment
+                local = np.zeros(len(rows))
+                scatter_rho_owned(local, i_idx - rows[0], phi, len(rows))
+                rho[rows] = local
 
             return run
 
@@ -125,9 +128,11 @@ class RedundantComputationStrategy(ReductionStrategy):
                     potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
                 )
                 pair_forces = coeff[:, None] * delta
-                forces[rows] = segment_sum(
-                    pair_forces, i_idx - rows[0], len(rows)
+                local = np.zeros((len(rows), 3))
+                scatter_force_owned(
+                    local, i_idx - rows[0], pair_forces, len(rows)
                 )
+                forces[rows] = local
 
             return run
 

@@ -36,8 +36,11 @@ from repro.parallel.workload import BYTES_PER_ATOM, WorkloadStats
 from repro.potentials.base import EAMPotential
 from repro.potentials.eam import (
     EAMComputation,
+    density_pair_values,
     force_pair_coefficients,
     pair_geometry,
+    scatter_force_half,
+    scatter_rho_half,
 )
 
 
@@ -197,9 +200,8 @@ class SDCStrategy(ReductionStrategy):
                 if len(i_idx) == 0:
                     return
                 _, r = pair_geometry(positions, box, i_idx, j_idx)
-                phi = potential.density(r)
-                np.add.at(rho, i_idx, phi)
-                np.add.at(rho, j_idx, phi)
+                phi = density_pair_values(potential, r)
+                scatter_rho_half(rho, i_idx, j_idx, phi)
 
             return run
 
@@ -246,9 +248,7 @@ class SDCStrategy(ReductionStrategy):
                     potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
                 )
                 pair_forces = coeff[:, None] * delta
-                for axis in range(3):
-                    np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
-                    np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
+                scatter_force_half(forces, i_idx, j_idx, pair_forces)
 
             return run
 

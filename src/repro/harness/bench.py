@@ -23,6 +23,7 @@ import platform
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.harness.cases import Case, case_by_key
 from repro.harness.reordering import MeasuredReorderingResult, measure_reordering
 from repro.utils.profiler import PhaseProfiler
@@ -66,6 +67,8 @@ class BenchRecord:
     n_samples: int
     #: half-list pair throughput; only the ``total`` phase carries it
     pairs_per_s: Optional[float] = None
+    #: resolved kernel tier the cell ran on ("numpy", "numba")
+    kernel_tier: str = "numpy"
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -128,8 +131,14 @@ def _make_cell(
     atoms,
     nlist,
     profiler: PhaseProfiler,
+    kernel_tier: Optional[str] = None,
 ) -> Tuple[Callable[[], object], Callable[[], None]]:
-    """Build (compute closure, cleanup) for one sweep cell."""
+    """Build (compute closure, cleanup) for one sweep cell.
+
+    ``kernel_tier`` pins the cell on a kernel tier (None follows the
+    session's active tier); the resolved name lands on
+    ``profiler.kernel_tier`` so the bench records can carry it.
+    """
     from repro.core.strategies import STRATEGY_REGISTRY
     from repro.parallel.backends.serial import SerialBackend
     from repro.parallel.backends.threads import ThreadBackend
@@ -145,8 +154,11 @@ def _make_cell(
         from repro.parallel.backends.processes import ProcessSDCCalculator
 
         dims = int(strategy_key[-2]) if strategy_key != "sdc" else 2
-        calc = ProcessSDCCalculator(dims=dims, n_workers=n_workers)
+        calc = ProcessSDCCalculator(
+            dims=dims, n_workers=n_workers, kernel_tier=kernel_tier
+        )
         calc.attach_profiler(profiler)
+        profiler.kernel_tier = calc.kernel_tier
 
         def cleanup() -> None:
             calc.detach_profiler()
@@ -154,14 +166,24 @@ def _make_cell(
 
         return lambda: calc.compute(potential, atoms, nlist), cleanup
 
+    tier = kernels.get(kernel_tier) if kernel_tier is not None else None
+    profiler.kernel_tier = (
+        tier if tier is not None else kernels.active_tier()
+    ).name
+
     backend = (
         SerialBackend() if backend_key == "serial" else ThreadBackend(n_workers)
     )
 
     if strategy_key == "serial":
-        compute = _make_serial_on_backend(
+        inner = _make_serial_on_backend(
             backend, potential, atoms, nlist, profiler
         )
+
+        def compute() -> object:
+            with kernels.use_tier(tier):
+                return inner()
+
         return compute, backend.close
 
     if strategy_key.startswith("sdc-"):
@@ -178,7 +200,11 @@ def _make_cell(
         strategy.detach_profiler()
         backend.close()
 
-    return lambda: strategy.compute(potential, atoms, nlist), cleanup
+    def compute() -> object:
+        with kernels.use_tier(tier):
+            return strategy.compute(potential, atoms, nlist)
+
+    return compute, cleanup
 
 
 def bench_forces(
@@ -189,6 +215,7 @@ def bench_forces(
     warmup: int = 1,
     repeats: int = 5,
     on_skip: Optional[Callable[[str], None]] = None,
+    kernel_tier: Optional[str] = None,
 ) -> List[BenchRecord]:
     """Run the sweep; returns one record per (cell, phase)."""
     from repro.md.neighbor.verlet import build_neighbor_list
@@ -216,6 +243,7 @@ def bench_forces(
                         atoms,
                         nlist,
                         profiler,
+                        kernel_tier=kernel_tier,
                     )
                 except BenchSkip as skip:
                     if on_skip is not None:
@@ -249,6 +277,7 @@ def bench_forces(
                                 if phase == "total" and s.median_s > 0
                                 else None
                             ),
+                            kernel_tier=profiler.kernel_tier or "numpy",
                         )
                     )
     return records
@@ -266,6 +295,7 @@ def bench_steps(
     n_workers: int = 2,
     steps: int = 10,
     on_skip: Optional[Callable[[str], None]] = None,
+    kernel_tier: Optional[str] = None,
 ) -> List[BenchRecord]:
     """Repeated-compute mode: first-step vs amortized per-step cost.
 
@@ -308,6 +338,7 @@ def bench_steps(
                         atoms,
                         nlist,
                         profiler,
+                        kernel_tier=kernel_tier,
                     )
                 except BenchSkip as skip:
                     if on_skip is not None:
@@ -324,6 +355,7 @@ def bench_steps(
                 finally:
                     cleanup()
                 med, iqr = median_iqr(times[1:])
+                tier_name = profiler.kernel_tier or "numpy"
                 records.append(
                     BenchRecord(
                         case=case_key,
@@ -334,6 +366,7 @@ def bench_steps(
                         median_s=times[0],
                         iqr_s=0.0,
                         n_samples=1,
+                        kernel_tier=tier_name,
                     )
                 )
                 records.append(
@@ -347,6 +380,7 @@ def bench_steps(
                         iqr_s=iqr,
                         n_samples=len(times) - 1,
                         pairs_per_s=(n_pairs / med if med > 0 else None),
+                        kernel_tier=tier_name,
                     )
                 )
     return records
@@ -478,14 +512,15 @@ def render_bench_table(records: Sequence[BenchRecord]) -> str:
     if not records:
         return "(no benchmark records)"
     header = (
-        f"{'case':<6} {'strategy':<22} {'backend':<9} {'w':>2} "
+        f"{'case':<6} {'strategy':<22} {'backend':<9} {'tier':<6} {'w':>2} "
         f"{'phase':<16} {'median':>12} {'iqr':>12} {'pairs/s':>12}"
     )
     lines = [header, "-" * len(header)]
     for r in records:
         pairs = f"{r.pairs_per_s:,.0f}" if r.pairs_per_s else ""
         lines.append(
-            f"{r.case:<6} {r.strategy:<22} {r.backend:<9} {r.n_workers:>2} "
+            f"{r.case:<6} {r.strategy:<22} {r.backend:<9} "
+            f"{r.kernel_tier:<6} {r.n_workers:>2} "
             f"{r.phase:<16} {r.median_s:>10.6f} s {r.iqr_s:>10.6f} s "
             f"{pairs:>12}"
         )

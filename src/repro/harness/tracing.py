@@ -22,6 +22,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.harness.bench import KNOWN_BACKENDS, KNOWN_STRATEGIES, BenchSkip
 from repro.harness.cases import case_by_key
 from repro.obs.exporters import render_trace_summary, write_trace_json
@@ -50,6 +51,8 @@ class TracedRun:
     n_workers: int
     n_steps: int
     spans: List[Span] = field(default_factory=list)
+    #: resolved kernel tier the cell's force kernels ran on
+    kernel_tier: str = "numpy"
 
     @property
     def n_spans(self) -> int:
@@ -104,7 +107,10 @@ def _base_strategy(strategy_key: str) -> str:
 
 
 def _make_calculator(
-    strategy_key: str, backend_key: str, n_workers: int
+    strategy_key: str,
+    backend_key: str,
+    n_workers: int,
+    kernel_tier: Optional[str] = None,
 ) -> Tuple[object, Callable[[], None]]:
     """Build (force calculator, cleanup) for one traced sweep cell."""
     base = _base_strategy(strategy_key)
@@ -128,7 +134,9 @@ def _make_calculator(
         from repro.parallel.backends.processes import ProcessSDCCalculator
 
         calc = ProcessSDCCalculator(
-            dims=_strategy_dims(strategy_key), n_workers=n_workers
+            dims=_strategy_dims(strategy_key),
+            n_workers=n_workers,
+            kernel_tier=kernel_tier,
         )
         return calc, calc.close
 
@@ -152,6 +160,7 @@ def _trace_one(
     steps: int,
     registry: MetricsRegistry,
     run_log: Optional[RunLog],
+    kernel_tier: Optional[str] = None,
 ) -> TracedRun:
     """Run one sweep cell under the tracer and record its metrics."""
     from repro.md.simulation import Simulation
@@ -159,8 +168,10 @@ def _trace_one(
 
     label = f"{case_key}/{strategy_key}/{backend_key}"
     calculator, cleanup = _make_calculator(
-        strategy_key, backend_key, n_workers
+        strategy_key, backend_key, n_workers, kernel_tier=kernel_tier
     )
+    tier = kernels.get(kernel_tier) if kernel_tier is not None else None
+    tier_name = (tier if tier is not None else kernels.active_tier()).name
     tracer = Tracer()
     try:
         attach = getattr(calculator, "attach_tracer", None)
@@ -175,8 +186,11 @@ def _trace_one(
             run_log=run_log,
         )
         if run_log is not None:
-            run_log.log("event", event="trace-run", run=label)
-        sim.run(steps, sample_every=1)
+            run_log.log(
+                "event", event="trace-run", run=label, kernel_tier=tier_name
+            )
+        with kernels.use_tier(tier):
+            sim.run(steps, sample_every=1)
         nlist = sim.nlist
         pairs = getattr(calculator, "pair_partition", None) or getattr(
             calculator, "last_pairs", None
@@ -202,6 +216,7 @@ def _trace_one(
         n_workers=n_workers,
         n_steps=steps,
         spans=tracer.spans,
+        kernel_tier=tier_name,
     )
 
 
@@ -214,6 +229,7 @@ def run_trace(
     output_dir: Optional[str] = None,
     on_skip: Optional[Callable[[str], None]] = None,
     store_path: Optional[str] = None,
+    kernel_tier: Optional[str] = None,
 ) -> TraceReport:
     """Trace the sweep; optionally write the three artifacts.
 
@@ -250,6 +266,7 @@ def run_trace(
                                 steps,
                                 registry,
                                 run_log,
+                                kernel_tier=kernel_tier,
                             )
                         )
                     except BenchSkip as skip:

@@ -1,0 +1,186 @@
+"""Pluggable kernel tiers for the EAM hot path (ROADMAP item: compiled tier).
+
+A *tier* implements the kernel entry points behind
+:mod:`repro.potentials.eam` (pair geometry, the density/force scatters,
+and the fused phase drivers).  Two ship today:
+
+* ``"numpy"`` — the vectorized reference implementation (always present).
+* ``"numba"`` — ``@njit``-compiled CSR traversal; requires Numba.
+
+``"auto"`` picks numba when importable, numpy otherwise, silently.
+Requesting ``"numba"`` explicitly when it cannot be built emits a single
+:class:`KernelTierWarning` and returns the numpy tier — a missing or
+broken JIT never crashes a run (the *fallback contract*, see DESIGN.md).
+
+Selection surfaces, outermost wins:
+
+* ``EAMCalculator(kernel_tier=...)`` / ``ProcessSDCCalculator(kernel_tier=...)``
+* ``repro bench --kernel-tier ...`` / ``repro trace --kernel-tier ...``
+* the ``REPRO_KERNEL_TIER`` environment variable (process-wide default)
+
+Dispatch happens through a process-global *active tier*
+(:func:`active_tier`), temporarily overridden with :func:`use_tier`.  The
+global is deliberately not thread-local: strategy worker threads must see
+the tier their driver selected.  Forked process workers re-resolve from
+the spec shipped in their task payload.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.kernels.base import (
+    MIN_PAIR_SEPARATION,
+    KernelTier,
+    KernelTierWarning,
+    reset_tier_warnings,
+    warn_tier_once,
+)
+from repro.kernels.numpy_tier import NumpyKernelTier
+
+__all__ = [
+    "MIN_PAIR_SEPARATION",
+    "KernelTier",
+    "KernelTierWarning",
+    "TIER_NAMES",
+    "active_tier",
+    "available_tiers",
+    "get",
+    "numba_available",
+    "reset",
+    "set_active_tier",
+    "use_tier",
+]
+
+#: every spec ``get`` accepts
+TIER_NAMES = ("numpy", "numba", "auto")
+
+ENV_VAR = "REPRO_KERNEL_TIER"
+
+TierSpec = Union[str, KernelTier, None]
+
+_numpy_tier: Optional[NumpyKernelTier] = None
+_numba_tier: Optional[KernelTier] = None
+_numba_error: Optional[str] = None
+_active: Optional[KernelTier] = None
+
+
+def _get_numpy() -> NumpyKernelTier:
+    global _numpy_tier
+    if _numpy_tier is None:
+        _numpy_tier = NumpyKernelTier()
+    return _numpy_tier
+
+
+def _build_numba(warn: bool) -> Optional[KernelTier]:
+    """Build (once) the numba tier; None when it cannot be built.
+
+    ``warn`` controls whether failure emits the fallback warning —
+    ``"numba"`` was asked for by name, so the user should hear why they
+    are not getting it; ``"auto"`` promised only best-effort.
+    """
+    global _numba_tier, _numba_error
+    if _numba_tier is not None:
+        return _numba_tier
+    if _numba_error is None:
+        try:
+            from repro.kernels.numba_tier import NumbaKernelTier
+
+            _numba_tier = NumbaKernelTier()
+            return _numba_tier
+        except Exception as exc:
+            _numba_error = f"{type(exc).__name__}: {exc}"
+    if warn:
+        warn_tier_once(
+            "numba-unavailable",
+            f"numba kernel tier unavailable ({_numba_error}); "
+            "falling back to the numpy tier",
+        )
+    return None
+
+
+def numba_available() -> bool:
+    """True when the numba tier can actually be built in this process."""
+    return _build_numba(warn=False) is not None
+
+
+def available_tiers() -> tuple:
+    """Names of the tiers that would really run here (numpy always)."""
+    return ("numpy", "numba") if numba_available() else ("numpy",)
+
+
+def get(spec: TierSpec = "auto") -> KernelTier:
+    """Resolve a tier spec to a live tier instance.
+
+    ``"numpy"``/``"numba"``/``"auto"`` (case-insensitive), an existing
+    :class:`KernelTier` (returned as-is), or None/"" meaning the
+    ``REPRO_KERNEL_TIER`` environment default (itself defaulting to
+    numpy).  An explicit ``"numba"`` request that cannot be satisfied
+    warns once and returns the numpy tier; ``"auto"`` degrades silently.
+    """
+    if isinstance(spec, KernelTier):
+        return spec
+    if spec is None or spec == "":
+        spec = os.environ.get(ENV_VAR, "").strip() or "numpy"
+    name = spec.strip().lower()
+    if name == "numpy":
+        return _get_numpy()
+    if name == "numba":
+        return _build_numba(warn=True) or _get_numpy()
+    if name == "auto":
+        return _build_numba(warn=False) or _get_numpy()
+    raise ValueError(
+        f"unknown kernel tier {spec!r}; expected one of {TIER_NAMES}"
+    )
+
+
+def active_tier() -> KernelTier:
+    """The tier :mod:`repro.potentials.eam` currently dispatches to."""
+    global _active
+    if _active is None:
+        _active = get(None)
+    return _active
+
+
+def set_active_tier(spec: TierSpec) -> KernelTier:
+    """Set the process-wide active tier; None re-resolves the env default."""
+    global _active
+    _active = get(spec) if spec is not None else get(None)
+    return _active
+
+
+@contextmanager
+def use_tier(spec: TierSpec) -> Iterator[KernelTier]:
+    """Scoped tier override; ``None`` keeps whatever is already active.
+
+    This is how calculators select their tier per evaluation without
+    disturbing concurrent code that relies on the process default.
+    """
+    global _active
+    if spec is None:
+        yield active_tier()
+        return
+    previous = _active
+    _active = get(spec)
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+def reset() -> None:
+    """Forget all cached tiers, failures, and warnings (test isolation).
+
+    Also drops the imported numba tier module so a test that installs or
+    removes a fake ``numba`` in ``sys.modules`` gets a fresh import.
+    """
+    global _numpy_tier, _numba_tier, _numba_error, _active
+    _numpy_tier = None
+    _numba_tier = None
+    _numba_error = None
+    _active = None
+    sys.modules.pop("repro.kernels.numba_tier", None)
+    reset_tier_warnings()

@@ -1,0 +1,249 @@
+"""The kernel-tier interface and the validation shared by every tier.
+
+A *kernel tier* is one implementation of the EAM hot-path primitives: the
+pair-slice building blocks (:meth:`KernelTier.pair_geometry`,
+:meth:`KernelTier.density_pair_values`, the four scatters,
+:meth:`KernelTier.force_pair_coefficients`) plus the two fused per-phase
+drivers the serial path and the bench harness call.  The NumPy tier is the
+reference; compiled tiers (Numba today) must reproduce it to floating-point
+noise on every entry point — asserted by ``tests/kernels/``.
+
+Two contracts every tier implementation must honor:
+
+* **Bounds are asserted at dispatch time, not inside the kernel.**  The
+  NumPy scatters get index validation for free from ``np.add.at`` /
+  ``np.bincount``; a compiled loop would silently corrupt memory instead.
+  Tiers therefore call :func:`check_scatter_indices` (or the owned-row
+  variants) *before* entering compiled code, so every tier raises the same
+  ``IndexError`` for the same bad input.
+* **Instrumented arrays bypass compiled code.**  The dynamic race detector
+  hands strategies :class:`~repro.analysis.shadow.ShadowArray` reduction
+  targets whose ``__setitem__``/ufunc hooks record write sets.  A compiled
+  kernel writing through the raw buffer would make those writes invisible.
+  :func:`is_plain_ndarray` is the dispatch test: anything that is not a
+  base ``ndarray`` must be routed through the NumPy tier so racecheck sees
+  identical write sets regardless of the active tier.
+"""
+
+from __future__ import annotations
+
+import warnings
+from abc import ABC, abstractmethod
+from typing import ClassVar, Optional, Tuple
+
+import numpy as np
+
+#: pairs closer than this (Å) are treated as overlapping atoms — any
+#: spline/derivative evaluation there is extrapolated garbage and the
+#: ``1/r`` force scaling amplifies it into astronomically large forces
+MIN_PAIR_SEPARATION = 1e-6
+
+
+class KernelTierWarning(RuntimeWarning):
+    """A requested kernel tier was unavailable or broke; work continues
+    on the NumPy reference tier.  Emitted at most once per distinct cause
+    per process (see :func:`warn_tier_once`)."""
+
+
+_WARNED: set = set()
+
+
+def warn_tier_once(key: str, message: str) -> None:
+    """Emit ``message`` as a :class:`KernelTierWarning`, once per ``key``.
+
+    Fallback is allowed to happen on a hot path (every step of a long
+    run), so the diagnostic must not repeat — one warning per cause per
+    process, tracked by ``key``.
+    """
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, KernelTierWarning, stacklevel=3)
+
+
+def reset_tier_warnings() -> None:
+    """Forget which fallback warnings fired (test isolation hook)."""
+    _WARNED.clear()
+
+
+def is_plain_ndarray(array: np.ndarray) -> bool:
+    """True when ``array`` is a base ndarray (no shadow instrumentation).
+
+    Subclasses (notably :class:`~repro.analysis.shadow.ShadowArray`)
+    carry write-recording hooks that compiled kernels would bypass; the
+    dispatch layer sends those through the NumPy tier instead.
+    """
+    return type(array) is np.ndarray
+
+
+def check_scatter_indices(
+    what: str, n_atoms: int, *index_arrays: np.ndarray
+) -> None:
+    """Raise ``IndexError`` if any scatter index falls outside ``[0, n)``.
+
+    Compiled tiers call this once per entry point before handing the
+    arrays to a kernel that performs no per-element checks.
+    """
+    for i_idx in index_arrays:
+        if len(i_idx) == 0:
+            continue
+        lo = int(i_idx.min())
+        hi = int(i_idx.max())
+        if lo < 0 or hi >= n_atoms:
+            bad = hi if hi >= n_atoms else lo
+            raise IndexError(
+                f"{what} got atom index {bad}, outside the valid "
+                f"range [0, {n_atoms})"
+            )
+
+
+def check_owned_accumulator(
+    what: str, accumulator: np.ndarray, n_atoms: int
+) -> None:
+    """Raise ``IndexError`` unless the accumulator covers all atom rows."""
+    if len(accumulator) != n_atoms:
+        raise IndexError(
+            f"{what} needs a {n_atoms}-row accumulator, "
+            f"got {len(accumulator)} rows"
+        )
+
+
+def overlap_error(
+    r: np.ndarray,
+    k: int,
+    pair_ids: Optional[Tuple[np.ndarray, np.ndarray]],
+    min_separation: float,
+) -> ValueError:
+    """The canonical overlapping-atoms diagnostic, identical across tiers.
+
+    ``k`` is the slot of the closest pair; ``pair_ids`` (when given) is
+    the aligned ``(i_idx, j_idx)`` slice used to name the atoms.
+    """
+    if pair_ids is not None:
+        i_idx, j_idx = pair_ids
+        where = f"atoms {int(i_idx[k])} and {int(j_idx[k])}"
+    else:
+        where = f"pair slot {k}"
+    return ValueError(
+        f"overlapping atoms: {where} are separated by {float(r[k]):.3e} Å "
+        f"(< {min_separation:g} Å); the EAM force coefficient diverges "
+        "as 1/r — fix the initial configuration or the timestep"
+    )
+
+
+class KernelTier(ABC):
+    """One implementation of the EAM hot-path kernels.
+
+    All entry points share signatures with the module-level functions of
+    :mod:`repro.potentials.eam` (which delegate to the active tier), so a
+    strategy written against either surface is tier-agnostic.
+    """
+
+    #: registry key ("numpy", "numba", ...)
+    name: ClassVar[str] = "abstract"
+
+    #: True when this tier runs compiled code (reporting/metadata only)
+    compiled: ClassVar[bool] = False
+
+    def supports(self, potential) -> bool:
+        """Can this tier evaluate ``potential`` natively?
+
+        Tiers that cannot must still *accept* it on every entry point by
+        delegating to the NumPy tier — ``supports`` exists so callers can
+        ask ahead of time (e.g. to warn once per run).
+        """
+        return True
+
+    # --- pair-slice primitives ------------------------------------------------
+
+    @abstractmethod
+    def pair_geometry(
+        self,
+        positions: np.ndarray,
+        box,
+        i_idx: np.ndarray,
+        j_idx: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Minimum-image ``(delta, r)`` for a pair slice."""
+
+    @abstractmethod
+    def density_pair_values(self, potential, r: np.ndarray) -> np.ndarray:
+        """phi(r) for a slice of pair distances."""
+
+    @abstractmethod
+    def scatter_rho_half(
+        self,
+        rho: np.ndarray,
+        i_idx: np.ndarray,
+        j_idx: np.ndarray,
+        phi: np.ndarray,
+    ) -> None:
+        """In-place half-list density scatter: both endpoints accumulate."""
+
+    @abstractmethod
+    def scatter_rho_owned(
+        self,
+        rho: np.ndarray,
+        i_idx: np.ndarray,
+        phi: np.ndarray,
+        n_atoms: int,
+    ) -> None:
+        """Full-list density accumulation writing only owned rows."""
+
+    @abstractmethod
+    def force_pair_coefficients(
+        self,
+        potential,
+        r: np.ndarray,
+        fp_i: np.ndarray,
+        fp_j: np.ndarray,
+        pair_ids: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        min_separation: float = MIN_PAIR_SEPARATION,
+    ) -> np.ndarray:
+        """Scalar force coefficient per pair (Eq. 2 of the paper)."""
+
+    @abstractmethod
+    def scatter_force_half(
+        self,
+        forces: np.ndarray,
+        i_idx: np.ndarray,
+        j_idx: np.ndarray,
+        pair_forces: np.ndarray,
+    ) -> None:
+        """In-place half-list force scatter (Newton's third law)."""
+
+    @abstractmethod
+    def scatter_force_owned(
+        self,
+        forces: np.ndarray,
+        i_idx: np.ndarray,
+        pair_forces: np.ndarray,
+        n_atoms: int,
+    ) -> None:
+        """Full-list force accumulation into owned rows only."""
+
+    # --- fused phase drivers --------------------------------------------------
+
+    @abstractmethod
+    def density_and_pair_energy_phase(
+        self,
+        potential,
+        positions: np.ndarray,
+        box,
+        nlist,
+        counter=None,
+        want_pair_energy: bool = True,
+    ) -> Tuple[np.ndarray, float]:
+        """Phase 1 (densities) with the pair-energy sum fused in."""
+
+    @abstractmethod
+    def force_phase(
+        self,
+        potential,
+        positions: np.ndarray,
+        box,
+        nlist,
+        fp: np.ndarray,
+        counter=None,
+    ) -> np.ndarray:
+        """Phase 3: forces from the cached embedding derivatives."""

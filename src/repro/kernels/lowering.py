@@ -1,0 +1,155 @@
+"""Lowering EAM potentials to flat arrays compiled kernels can consume.
+
+Compiled tiers cannot call Python ``potential.density(r)`` per pair — the
+whole point is to keep the pair loop inside one jitted function.  So the
+potential is *lowered* once into a :class:`LoweredPotential`: a kind tag
+plus a handful of float64 arrays (analytic constants, or spline knot
+tables) that scalar device functions inside the tier evaluate from.
+
+Two kinds are supported, mirroring the library's two potential families:
+
+* ``KIND_JOHNSON`` — :class:`~repro.potentials.johnson_fe.JohnsonFePotential`
+  constants packed into ``params`` (see :data:`_JOHNSON_LAYOUT`).
+* ``KIND_TABULATED`` — :class:`~repro.potentials.tables.TabulatedEAM`
+  density/pair spline knot values and second derivatives on their shared
+  uniform radial grid.
+
+Anything else is unsupported; the tier must then delegate that call to the
+NumPy reference tier (``supports_potential`` lets callers ask up front).
+Imports of the potential classes happen lazily inside functions to keep
+``repro.kernels`` import-safe from ``repro.potentials.eam``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+KIND_JOHNSON = 0
+KIND_TABULATED = 1
+
+#: slot meanings of ``LoweredPotential.params`` for KIND_JOHNSON
+_JOHNSON_LAYOUT = ("re", "fe", "beta", "D", "a", "r_switch", "r_cut")
+
+_EMPTY = np.zeros(4, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class LoweredPotential:
+    """A potential flattened for consumption by compiled scalar evaluators.
+
+    Unused slots hold dummy values (``params`` for tabulated, the spline
+    arrays for analytic) so every kernel sees one stable argument tuple
+    and Numba compiles a single signature.
+    """
+
+    kind: int
+    params: np.ndarray
+    r_x0: float
+    r_h: float
+    dens_y: np.ndarray
+    dens_m: np.ndarray
+    pair_y: np.ndarray
+    pair_m: np.ndarray
+    cutoff: float
+    args: Tuple = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "args",
+            (
+                self.kind,
+                self.params,
+                self.r_x0,
+                self.r_h,
+                self.dens_y,
+                self.dens_m,
+                self.pair_y,
+                self.pair_m,
+            ),
+        )
+
+
+def _lower_johnson(potential) -> LoweredPotential:
+    params = np.array(
+        [getattr(potential, name) for name in _JOHNSON_LAYOUT],
+        dtype=np.float64,
+    )
+    return LoweredPotential(
+        kind=KIND_JOHNSON,
+        params=params,
+        r_x0=0.0,
+        r_h=1.0,
+        dens_y=_EMPTY,
+        dens_m=_EMPTY,
+        pair_y=_EMPTY,
+        pair_m=_EMPTY,
+        cutoff=float(potential.r_cut),
+    )
+
+
+def _lower_tabulated(potential) -> Optional[LoweredPotential]:
+    dens = potential._density
+    pair = potential._pair
+    if (
+        dens.x0 != pair.x0
+        or dens.h != pair.h
+        or dens.n != pair.n
+    ):
+        # the density and pair splines of every TabulatedEAM constructed
+        # through the public API share one radial grid; a hand-built
+        # mismatch falls back to the NumPy tier rather than guessing
+        return None
+    return LoweredPotential(
+        kind=KIND_TABULATED,
+        params=np.zeros(len(_JOHNSON_LAYOUT), dtype=np.float64),
+        r_x0=float(dens.x0),
+        r_h=float(dens.h),
+        dens_y=np.ascontiguousarray(dens.y, dtype=np.float64),
+        dens_m=np.ascontiguousarray(dens.m, dtype=np.float64),
+        pair_y=np.ascontiguousarray(pair.y, dtype=np.float64),
+        pair_m=np.ascontiguousarray(pair.m, dtype=np.float64),
+        cutoff=float(potential.cutoff),
+    )
+
+
+def _lower_uncached(potential) -> Optional[LoweredPotential]:
+    from repro.potentials.johnson_fe import JohnsonFePotential
+    from repro.potentials.tables import TabulatedEAM
+
+    if isinstance(potential, JohnsonFePotential):
+        return _lower_johnson(potential)
+    if isinstance(potential, TabulatedEAM):
+        return _lower_tabulated(potential)
+    return None
+
+
+# Lowering is cheap but per-call allocation on the hot path is not; cache
+# per potential instance.  Keyed by id() with a weakref finalizer for
+# eviction; potentials that refuse weak references are simply not cached.
+_CACHE: dict = {}
+
+
+def lower_potential(potential) -> Optional[LoweredPotential]:
+    """Lower ``potential`` (cached), or None when it has no lowering."""
+    key = id(potential)
+    hit = _CACHE.get(key)
+    if hit is not None:
+        return hit
+    lowered = _lower_uncached(potential)
+    if lowered is not None:
+        try:
+            weakref.finalize(potential, _CACHE.pop, key, None)
+        except TypeError:
+            return lowered
+        _CACHE[key] = lowered
+    return lowered
+
+
+def supports_potential(potential) -> bool:
+    """True when compiled tiers can evaluate ``potential`` natively."""
+    return lower_potential(potential) is not None

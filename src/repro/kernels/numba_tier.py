@@ -1,0 +1,667 @@
+"""The Numba-compiled kernel tier.
+
+Importing this module requires Numba; the registry in
+:mod:`repro.kernels` catches the ``ImportError`` (or any construction
+failure) and falls back to the NumPy tier with a single warning, so
+nothing above this layer ever needs to know whether a JIT exists.
+
+Layout mirrors the NumPy reference tier but the pair loops live inside
+``@njit(cache=True)`` functions: the fused phase drivers traverse the
+CSR neighbor layout row-by-row — the cell-blocked order Section II.D
+reordering already established, so consecutive rows touch nearby atoms —
+with the minimum-image fold and potential evaluation inlined per pair.
+The potential itself is consumed in lowered form
+(:mod:`repro.kernels.lowering`): a kind tag plus flat float64 arrays
+evaluated by scalar device functions.
+
+Determinism and safety decisions:
+
+* ``fastmath`` and ``parallel`` default **off** (env
+  ``REPRO_KERNEL_FASTMATH`` / ``REPRO_KERNEL_PARALLEL`` opt in) so the
+  compiled tier is a drop-in for the deterministic NumPy tier.  Only the
+  elementwise kernels ever parallelize — the half-list scatter loops
+  carry the very write races this library's strategies exist to manage,
+  so thread-level parallelism stays at the strategy layer.
+* Bounds are asserted at dispatch time (``check_scatter_indices``): a
+  compiled loop has no ``np.add.at`` safety net and would silently
+  corrupt memory on a bad index.
+* Instrumented (ShadowArray) reduction targets are routed to the NumPy
+  tier per call, so racecheck sees identical write sets on either tier.
+* Any unexpected exception escaping a compiled kernel permanently
+  degrades the instance to the NumPy tier — one warning, never a crash.
+  Deliberate ``ValueError``/``IndexError`` diagnostics pass through.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+from numba import njit, prange
+
+from repro.kernels.base import (
+    MIN_PAIR_SEPARATION,
+    KernelTier,
+    check_owned_accumulator,
+    check_scatter_indices,
+    is_plain_ndarray,
+    overlap_error,
+    warn_tier_once,
+)
+from repro.kernels.lowering import KIND_JOHNSON, lower_potential
+from repro.kernels.numpy_tier import NumpyKernelTier
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "on", "yes")
+
+
+_FASTMATH = _env_flag("REPRO_KERNEL_FASTMATH")
+_PARALLEL = _env_flag("REPRO_KERNEL_PARALLEL")
+_prange = prange if _PARALLEL else range
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+def _as_f64(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.float64)
+
+
+def _as_i64(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.int64)
+
+
+# --------------------------------------------------------------------------
+# scalar potential evaluators (device functions)
+# --------------------------------------------------------------------------
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _switch_scalar(r, r_switch, r_cut):
+    x = (r - r_switch) / (r_cut - r_switch)
+    if x < 0.0:
+        x = 0.0
+    elif x > 1.0:
+        x = 1.0
+    return 1.0 - x * x * x * (10.0 + x * (-15.0 + 6.0 * x))
+
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _switch_deriv_scalar(r, r_switch, r_cut):
+    width = r_cut - r_switch
+    x = (r - r_switch) / width
+    if x <= 0.0 or x >= 1.0:
+        return 0.0
+    return (-30.0 * x * x * (1.0 - x) * (1.0 - x)) / width
+
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _spline_value_scalar(r, x0, h, y, m):
+    n = y.shape[0]
+    end = x0 + (n - 1) * h
+    tol = 8.0 * _EPS * max(max(abs(x0), abs(end)), 1.0)
+    if r < x0 - tol or r > end + tol:
+        return 0.0
+    u = (r - x0) / h
+    k = int(u)
+    if k < 0:
+        k = 0
+    elif k > n - 2:
+        k = n - 2
+    t = u - k
+    y0 = y[k]
+    y1 = y[k + 1]
+    m0 = m[k]
+    m1 = m[k + 1]
+    b = (y1 - y0) / h - h * (2.0 * m0 + m1) / 6.0
+    th = t * h
+    return y0 + b * th + 0.5 * m0 * th * th + (m1 - m0) / (6.0 * h) * th * th * th
+
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _spline_deriv_scalar(r, x0, h, y, m):
+    n = y.shape[0]
+    end = x0 + (n - 1) * h
+    tol = 8.0 * _EPS * max(max(abs(x0), abs(end)), 1.0)
+    if r < x0 - tol or r > end + tol:
+        return 0.0
+    u = (r - x0) / h
+    k = int(u)
+    if k < 0:
+        k = 0
+    elif k > n - 2:
+        k = n - 2
+    t = u - k
+    y0 = y[k]
+    y1 = y[k + 1]
+    m0 = m[k]
+    m1 = m[k + 1]
+    b = (y1 - y0) / h - h * (2.0 * m0 + m1) / 6.0
+    th = t * h
+    return b + m0 * th + (m1 - m0) / (2.0 * h) * th * th
+
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _density_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+    if kind == KIND_JOHNSON:
+        re = params[0]
+        fe = params[1]
+        beta = params[2]
+        r_switch = params[5]
+        r_cut = params[6]
+        if r >= r_cut:
+            return 0.0
+        raw = fe * np.exp(-beta * (r / re - 1.0))
+        return raw * _switch_scalar(r, r_switch, r_cut)
+    return _spline_value_scalar(r, x0, h, dyv, dmv)
+
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _density_deriv_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+    if kind == KIND_JOHNSON:
+        re = params[0]
+        fe = params[1]
+        beta = params[2]
+        r_switch = params[5]
+        r_cut = params[6]
+        if r >= r_cut:
+            return 0.0
+        raw = fe * np.exp(-beta * (r / re - 1.0))
+        raw_d = raw * (-beta / re)
+        return raw_d * _switch_scalar(r, r_switch, r_cut) + raw * _switch_deriv_scalar(
+            r, r_switch, r_cut
+        )
+    return _spline_deriv_scalar(r, x0, h, dyv, dmv)
+
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _pair_energy_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+    if kind == KIND_JOHNSON:
+        re = params[0]
+        D = params[3]
+        a = params[4]
+        r_switch = params[5]
+        r_cut = params[6]
+        if r >= r_cut:
+            return 0.0
+        e1 = np.exp(-2.0 * a * (r - re))
+        e2 = np.exp(-a * (r - re))
+        raw = D * (e1 - 2.0 * e2)
+        return raw * _switch_scalar(r, r_switch, r_cut)
+    return _spline_value_scalar(r, x0, h, pyv, pmv)
+
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _pair_energy_deriv_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+    if kind == KIND_JOHNSON:
+        re = params[0]
+        D = params[3]
+        a = params[4]
+        r_switch = params[5]
+        r_cut = params[6]
+        if r >= r_cut:
+            return 0.0
+        e1 = np.exp(-2.0 * a * (r - re))
+        e2 = np.exp(-a * (r - re))
+        raw = D * (e1 - 2.0 * e2)
+        raw_d = D * (-2.0 * a * e1 + 2.0 * a * e2)
+        return raw_d * _switch_scalar(r, r_switch, r_cut) + raw * _switch_deriv_scalar(
+            r, r_switch, r_cut
+        )
+    return _spline_deriv_scalar(r, x0, h, pyv, pmv)
+
+
+# --------------------------------------------------------------------------
+# pair-slice kernels
+# --------------------------------------------------------------------------
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _pair_geometry_kernel(positions, i_idx, j_idx, lengths, pflags):
+    n_pairs = i_idx.shape[0]
+    delta = np.empty((n_pairs, 3))
+    r = np.empty(n_pairs)
+    for k in range(n_pairs):
+        i = i_idx[k]
+        j = j_idx[k]
+        d0 = positions[i, 0] - positions[j, 0]
+        d1 = positions[i, 1] - positions[j, 1]
+        d2 = positions[i, 2] - positions[j, 2]
+        if pflags[0]:
+            d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
+        if pflags[1]:
+            d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
+        if pflags[2]:
+            d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
+        delta[k, 0] = d0
+        delta[k, 1] = d1
+        delta[k, 2] = d2
+        r[k] = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
+    return delta, r
+
+
+@njit(cache=True, fastmath=_FASTMATH, parallel=_PARALLEL)
+def _density_values_kernel(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+    n = r.shape[0]
+    phi = np.empty(n)
+    for k in _prange(n):
+        phi[k] = _density_scalar(r[k], kind, params, x0, h, dyv, dmv, pyv, pmv)
+    return phi
+
+
+@njit(cache=True, fastmath=_FASTMATH, parallel=_PARALLEL)
+def _pair_coeff_kernel(r, fp_i, fp_j, kind, params, x0, h, dyv, dmv, pyv, pmv):
+    n = r.shape[0]
+    coeff = np.empty(n)
+    for k in _prange(n):
+        rk = r[k]
+        vp = _pair_energy_deriv_scalar(rk, kind, params, x0, h, dyv, dmv, pyv, pmv)
+        dp = _density_deriv_scalar(rk, kind, params, x0, h, dyv, dmv, pyv, pmv)
+        coeff[k] = -(vp + (fp_i[k] + fp_j[k]) * dp) / rk
+    return coeff
+
+
+@njit(cache=True)
+def _scatter_rho_half_kernel(rho, i_idx, j_idx, phi):
+    for k in range(i_idx.shape[0]):
+        rho[i_idx[k]] += phi[k]
+        rho[j_idx[k]] += phi[k]
+
+
+@njit(cache=True)
+def _scatter_rho_owned_kernel(rho, i_idx, phi):
+    for k in range(i_idx.shape[0]):
+        rho[i_idx[k]] += phi[k]
+
+
+@njit(cache=True)
+def _scatter_force_half_kernel(forces, i_idx, j_idx, pair_forces):
+    for k in range(i_idx.shape[0]):
+        i = i_idx[k]
+        j = j_idx[k]
+        forces[i, 0] += pair_forces[k, 0]
+        forces[i, 1] += pair_forces[k, 1]
+        forces[i, 2] += pair_forces[k, 2]
+        forces[j, 0] -= pair_forces[k, 0]
+        forces[j, 1] -= pair_forces[k, 1]
+        forces[j, 2] -= pair_forces[k, 2]
+
+
+@njit(cache=True)
+def _scatter_force_owned_kernel(forces, i_idx, pair_forces):
+    for k in range(i_idx.shape[0]):
+        i = i_idx[k]
+        forces[i, 0] += pair_forces[k, 0]
+        forces[i, 1] += pair_forces[k, 1]
+        forces[i, 2] += pair_forces[k, 2]
+
+
+# --------------------------------------------------------------------------
+# fused phase kernels (CSR row traversal, minimum image inlined)
+# --------------------------------------------------------------------------
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _density_energy_kernel(
+    positions, lengths, pflags, offsets, values, half, want_energy,
+    kind, params, x0, h, dyv, dmv, pyv, pmv,
+):
+    n = offsets.shape[0] - 1
+    rho = np.zeros(n)
+    energy = 0.0
+    for i in range(n):
+        p0 = positions[i, 0]
+        p1 = positions[i, 1]
+        p2 = positions[i, 2]
+        for s in range(offsets[i], offsets[i + 1]):
+            j = values[s]
+            d0 = p0 - positions[j, 0]
+            d1 = p1 - positions[j, 1]
+            d2 = p2 - positions[j, 2]
+            if pflags[0]:
+                d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
+            if pflags[1]:
+                d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
+            if pflags[2]:
+                d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
+            rr = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
+            phi = _density_scalar(rr, kind, params, x0, h, dyv, dmv, pyv, pmv)
+            rho[i] += phi
+            if half:
+                rho[j] += phi
+            if want_energy:
+                energy += _pair_energy_scalar(
+                    rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                )
+    return rho, energy
+
+
+@njit(cache=True, fastmath=_FASTMATH)
+def _force_kernel(
+    positions, lengths, pflags, offsets, values, fp, half,
+    kind, params, x0, h, dyv, dmv, pyv, pmv,
+):
+    n = offsets.shape[0] - 1
+    forces = np.zeros((n, 3))
+    rmin = np.inf
+    imin = -1
+    jmin = -1
+    for i in range(n):
+        p0 = positions[i, 0]
+        p1 = positions[i, 1]
+        p2 = positions[i, 2]
+        fpi = fp[i]
+        for s in range(offsets[i], offsets[i + 1]):
+            j = values[s]
+            d0 = p0 - positions[j, 0]
+            d1 = p1 - positions[j, 1]
+            d2 = p2 - positions[j, 2]
+            if pflags[0]:
+                d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
+            if pflags[1]:
+                d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
+            if pflags[2]:
+                d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
+            rr = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
+            if rr < rmin:
+                rmin = rr
+                imin = i
+                jmin = j
+            vp = _pair_energy_deriv_scalar(
+                rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+            )
+            dp = _density_deriv_scalar(
+                rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+            )
+            c = -(vp + (fpi + fp[j]) * dp) / rr
+            f0 = c * d0
+            f1 = c * d1
+            f2 = c * d2
+            forces[i, 0] += f0
+            forces[i, 1] += f1
+            forces[i, 2] += f2
+            if half:
+                forces[j, 0] -= f0
+                forces[j, 1] -= f1
+                forces[j, 2] -= f2
+    return forces, rmin, imin, jmin
+
+
+# --------------------------------------------------------------------------
+# the tier
+# --------------------------------------------------------------------------
+
+class NumbaKernelTier(KernelTier):
+    """Compiled (Numba njit) implementation of the kernel entry points.
+
+    Potentials without a lowering, instrumented target arrays, and any
+    kernel that unexpectedly fails are all delegated to an internal
+    NumPy reference tier; the last case warns once and sticks.
+    """
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        self._numpy = NumpyKernelTier()
+        self._broken = False
+        self._smoke_test()
+
+    def _smoke_test(self) -> None:
+        """Force one tiny compilation so a broken JIT toolchain surfaces
+        here — where the registry can catch it — not mid-simulation."""
+        rho = np.zeros(2)
+        _scatter_rho_half_kernel(
+            rho,
+            np.zeros(1, dtype=np.int64),
+            np.ones(1, dtype=np.int64),
+            np.ones(1, dtype=np.float64),
+        )
+        if rho[0] != 1.0 or rho[1] != 1.0:
+            raise RuntimeError(
+                "numba kernel smoke test produced wrong results"
+            )
+
+    def supports(self, potential) -> bool:
+        return lower_potential(potential) is not None
+
+    def _run(self, name: str, compiled_call, fallback_call):
+        """Run a compiled path, degrading permanently on unexpected errors.
+
+        Deliberate diagnostics (the bounds ``IndexError``s and the
+        overlapping-atoms ``ValueError``) propagate; anything else — a
+        typing error, a lowering failure, a broken cache — flips the
+        instance to NumPy-only with a single warning.
+        """
+        if self._broken:
+            return fallback_call()
+        try:
+            return compiled_call()
+        except (ValueError, IndexError):
+            raise
+        except Exception as exc:
+            self._broken = True
+            warn_tier_once(
+                f"numba-broken-{id(self)}",
+                f"numba kernel tier disabled after {name!r} failed "
+                f"({type(exc).__name__}: {exc}); continuing on the numpy "
+                "tier",
+            )
+            return fallback_call()
+
+    # --- pair-slice primitives ----------------------------------------------
+
+    def pair_geometry(self, positions, box, i_idx, j_idx):
+        n = len(positions)
+        check_scatter_indices("pair geometry", n, i_idx, j_idx)
+        return self._run(
+            "pair_geometry",
+            lambda: _pair_geometry_kernel(
+                _as_f64(positions),
+                _as_i64(i_idx),
+                _as_i64(j_idx),
+                box.lengths,
+                box.periodic,
+            ),
+            lambda: self._numpy.pair_geometry(positions, box, i_idx, j_idx),
+        )
+
+    def density_pair_values(self, potential, r):
+        lowered = lower_potential(potential)
+        if lowered is None:
+            return self._numpy.density_pair_values(potential, r)
+        return self._run(
+            "density_pair_values",
+            lambda: _density_values_kernel(_as_f64(r), *lowered.args),
+            lambda: self._numpy.density_pair_values(potential, r),
+        )
+
+    def scatter_rho_half(self, rho, i_idx, j_idx, phi):
+        check_scatter_indices(
+            "half-list density scatter", len(rho), i_idx, j_idx
+        )
+        if not is_plain_ndarray(rho):
+            return self._numpy.scatter_rho_half(rho, i_idx, j_idx, phi)
+        return self._run(
+            "scatter_rho_half",
+            lambda: _scatter_rho_half_kernel(
+                rho, _as_i64(i_idx), _as_i64(j_idx), _as_f64(phi)
+            ),
+            lambda: self._numpy.scatter_rho_half(rho, i_idx, j_idx, phi),
+        )
+
+    def scatter_rho_owned(self, rho, i_idx, phi, n_atoms):
+        check_owned_accumulator("owned-row density scatter", rho, n_atoms)
+        i_idx = np.asarray(i_idx)
+        check_scatter_indices("owned-row density scatter", n_atoms, i_idx)
+        if not is_plain_ndarray(rho):
+            return self._numpy.scatter_rho_owned(rho, i_idx, phi, n_atoms)
+        return self._run(
+            "scatter_rho_owned",
+            lambda: _scatter_rho_owned_kernel(
+                rho, _as_i64(i_idx), _as_f64(phi)
+            ),
+            lambda: self._numpy.scatter_rho_owned(rho, i_idx, phi, n_atoms),
+        )
+
+    def force_pair_coefficients(
+        self,
+        potential,
+        r,
+        fp_i,
+        fp_j,
+        pair_ids: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        min_separation: float = MIN_PAIR_SEPARATION,
+    ):
+        if len(r) and float(np.min(r)) < min_separation:
+            k = int(np.argmin(r))
+            raise overlap_error(r, k, pair_ids, min_separation)
+        lowered = lower_potential(potential)
+        if lowered is None:
+            return self._numpy.force_pair_coefficients(
+                potential, r, fp_i, fp_j, pair_ids, min_separation
+            )
+        return self._run(
+            "force_pair_coefficients",
+            lambda: _pair_coeff_kernel(
+                _as_f64(r), _as_f64(fp_i), _as_f64(fp_j), *lowered.args
+            ),
+            lambda: self._numpy.force_pair_coefficients(
+                potential, r, fp_i, fp_j, pair_ids, min_separation
+            ),
+        )
+
+    def scatter_force_half(self, forces, i_idx, j_idx, pair_forces):
+        check_scatter_indices(
+            "half-list force scatter", len(forces), i_idx, j_idx
+        )
+        if not is_plain_ndarray(forces):
+            return self._numpy.scatter_force_half(
+                forces, i_idx, j_idx, pair_forces
+            )
+        return self._run(
+            "scatter_force_half",
+            lambda: _scatter_force_half_kernel(
+                forces, _as_i64(i_idx), _as_i64(j_idx), _as_f64(pair_forces)
+            ),
+            lambda: self._numpy.scatter_force_half(
+                forces, i_idx, j_idx, pair_forces
+            ),
+        )
+
+    def scatter_force_owned(self, forces, i_idx, pair_forces, n_atoms):
+        check_owned_accumulator("owned-row force scatter", forces, n_atoms)
+        check_scatter_indices("owned-row force scatter", n_atoms, i_idx)
+        if not is_plain_ndarray(forces):
+            return self._numpy.scatter_force_owned(
+                forces, i_idx, pair_forces, n_atoms
+            )
+        return self._run(
+            "scatter_force_owned",
+            lambda: _scatter_force_owned_kernel(
+                forces, _as_i64(i_idx), _as_f64(pair_forces)
+            ),
+            lambda: self._numpy.scatter_force_owned(
+                forces, i_idx, pair_forces, n_atoms
+            ),
+        )
+
+    # --- fused phase drivers ------------------------------------------------
+
+    def density_and_pair_energy_phase(
+        self,
+        potential,
+        positions,
+        box,
+        nlist,
+        counter=None,
+        want_pair_energy: bool = True,
+    ):
+        lowered = lower_potential(potential)
+        if lowered is None:
+            return self._numpy.density_and_pair_energy_phase(
+                potential, positions, box, nlist, counter, want_pair_energy
+            )
+        n = len(positions)
+        values = _as_i64(nlist.csr.values)
+        n_pairs = len(values)
+        if n_pairs == 0:
+            return np.zeros(n), 0.0
+        check_scatter_indices("density phase", n, values)
+        offsets = _as_i64(nlist.csr.offsets)
+        half = bool(nlist.half)
+
+        def compiled():
+            rho, energy = _density_energy_kernel(
+                _as_f64(positions),
+                box.lengths,
+                box.periodic,
+                offsets,
+                values,
+                half,
+                want_pair_energy,
+                *lowered.args,
+            )
+            pair_energy = 0.0
+            if want_pair_energy:
+                pair_energy = float(energy) * (1.0 if half else 0.5)
+            return rho, pair_energy
+
+        rho, pair_energy = self._run(
+            "density_and_pair_energy_phase",
+            compiled,
+            lambda: self._numpy.density_and_pair_energy_phase(
+                potential, positions, box, nlist, None, want_pair_energy
+            ),
+        )
+        if counter is not None:
+            counter.add("density_pairs", n_pairs)
+            counter.add("rho_updates", (2 if half else 1) * n_pairs)
+        return rho, pair_energy
+
+    def force_phase(
+        self, potential, positions, box, nlist, fp, counter=None
+    ):
+        lowered = lower_potential(potential)
+        if lowered is None:
+            return self._numpy.force_phase(
+                potential, positions, box, nlist, fp, counter
+            )
+        n = len(positions)
+        values = _as_i64(nlist.csr.values)
+        n_pairs = len(values)
+        if n_pairs == 0:
+            return np.zeros((n, 3))
+        check_scatter_indices("force phase", n, values)
+        offsets = _as_i64(nlist.csr.offsets)
+        half = bool(nlist.half)
+
+        def compiled():
+            forces, rmin, imin, jmin = _force_kernel(
+                _as_f64(positions),
+                box.lengths,
+                box.periodic,
+                offsets,
+                values,
+                _as_f64(fp),
+                half,
+                *lowered.args,
+            )
+            if rmin < MIN_PAIR_SEPARATION:
+                raise overlap_error(
+                    np.array([rmin]),
+                    0,
+                    (np.array([imin]), np.array([jmin])),
+                    MIN_PAIR_SEPARATION,
+                )
+            return forces
+
+        forces = self._run(
+            "force_phase",
+            compiled,
+            lambda: self._numpy.force_phase(
+                potential, positions, box, nlist, fp, None
+            ),
+        )
+        if counter is not None:
+            counter.add("force_pairs", n_pairs)
+            counter.add("force_updates", (2 if half else 1) * n_pairs * 3)
+        return forces

@@ -1,0 +1,146 @@
+"""The NumPy reference kernel tier.
+
+These are the original vectorized implementations that used to live as
+module-level functions in :mod:`repro.potentials.eam` (which now delegates
+here through the active tier).  They are the semantic ground truth: every
+other tier is tested against this one, and every fallback path lands here.
+
+The scatters use unbuffered ``np.add.at`` / ``np.bincount`` so repeated
+indices inside one slice accumulate correctly, and they operate happily on
+:class:`~repro.analysis.shadow.ShadowArray` instrumented targets — which
+is why compiled tiers route instrumented calls through this tier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.base import (
+    MIN_PAIR_SEPARATION,
+    KernelTier,
+    check_owned_accumulator,
+    check_scatter_indices,
+    overlap_error,
+)
+from repro.utils.arrays import segment_sum
+
+
+class NumpyKernelTier(KernelTier):
+    """Pure-NumPy reference implementation of every kernel entry point."""
+
+    name = "numpy"
+    compiled = False
+
+    # --- pair-slice primitives ----------------------------------------------
+
+    def pair_geometry(self, positions, box, i_idx, j_idx):
+        delta = box.minimum_image(positions[i_idx] - positions[j_idx])
+        r = np.sqrt(np.sum(delta * delta, axis=1))
+        return delta, r
+
+    def density_pair_values(self, potential, r):
+        return potential.density(r)
+
+    def scatter_rho_half(self, rho, i_idx, j_idx, phi):
+        check_scatter_indices(
+            "half-list density scatter", len(rho), i_idx, j_idx
+        )
+        np.add.at(rho, i_idx, phi)
+        np.add.at(rho, j_idx, phi)
+
+    def scatter_rho_owned(self, rho, i_idx, phi, n_atoms):
+        check_owned_accumulator("owned-row density scatter", rho, n_atoms)
+        i_idx = np.asarray(i_idx)
+        check_scatter_indices("owned-row density scatter", n_atoms, i_idx)
+        rho += np.bincount(i_idx, weights=phi, minlength=n_atoms)
+
+    def force_pair_coefficients(
+        self,
+        potential,
+        r,
+        fp_i,
+        fp_j,
+        pair_ids: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        min_separation: float = MIN_PAIR_SEPARATION,
+    ):
+        if len(r) and float(np.min(r)) < min_separation:
+            k = int(np.argmin(r))
+            raise overlap_error(r, k, pair_ids, min_separation)
+        vp = potential.pair_energy_deriv(r)
+        dp = potential.density_deriv(r)
+        return -(vp + (fp_i + fp_j) * dp) / r
+
+    def scatter_force_half(self, forces, i_idx, j_idx, pair_forces):
+        check_scatter_indices(
+            "half-list force scatter", len(forces), i_idx, j_idx
+        )
+        for axis in range(3):
+            np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
+            np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
+
+    def scatter_force_owned(self, forces, i_idx, pair_forces, n_atoms):
+        check_owned_accumulator("owned-row force scatter", forces, n_atoms)
+        i_idx = np.asarray(i_idx)
+        check_scatter_indices("owned-row force scatter", n_atoms, i_idx)
+        forces += segment_sum(pair_forces, i_idx, n_atoms)
+
+    # --- fused phase drivers ------------------------------------------------
+
+    def density_and_pair_energy_phase(
+        self,
+        potential,
+        positions,
+        box,
+        nlist,
+        counter=None,
+        want_pair_energy: bool = True,
+    ):
+        n = len(positions)
+        rho = np.zeros(n)
+        i_idx, j_idx = nlist.pair_arrays()
+        if len(i_idx) == 0:
+            return rho, 0.0
+        _, r = self.pair_geometry(positions, box, i_idx, j_idx)
+        phi = self.density_pair_values(potential, r)
+        if nlist.half:
+            rho += np.bincount(i_idx, weights=phi, minlength=n)
+            rho += np.bincount(j_idx, weights=phi, minlength=n)
+        else:
+            rho += np.bincount(i_idx, weights=phi, minlength=n)
+        pair_energy = 0.0
+        if want_pair_energy:
+            v = potential.pair_energy(r)
+            pair_energy = float(np.sum(v)) * (1.0 if nlist.half else 0.5)
+        if counter is not None:
+            counter.add("density_pairs", len(i_idx))
+            counter.add("rho_updates", (2 if nlist.half else 1) * len(i_idx))
+        return rho, pair_energy
+
+    def force_phase(
+        self, potential, positions, box, nlist, fp, counter=None
+    ):
+        n = len(positions)
+        forces = np.zeros((n, 3))
+        i_idx, j_idx = nlist.pair_arrays()
+        if len(i_idx) == 0:
+            return forces
+        delta, r = self.pair_geometry(positions, box, i_idx, j_idx)
+        coeff = self.force_pair_coefficients(
+            potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+        )
+        pair_forces = coeff[:, None] * delta
+        if nlist.half:
+            forces += segment_sum(pair_forces, i_idx, n)
+            forces -= segment_sum(pair_forces, j_idx, n)
+        else:
+            # full list: both directions are present, each directed pair
+            # writes its whole contribution into the owning row only
+            forces += segment_sum(pair_forces, i_idx, n)
+        if counter is not None:
+            counter.add("force_pairs", len(i_idx))
+            counter.add(
+                "force_updates", (2 if nlist.half else 1) * len(i_idx) * 3
+            )
+        return forces

@@ -1,0 +1,111 @@
+"""`EAMCalculator` — a force calculator with an explicit kernel tier.
+
+The strategies and backends are tier-agnostic: they call the kernel
+entry points in :mod:`repro.potentials.eam`, which dispatch to the
+process-global active tier.  :class:`EAMCalculator` is the user-facing
+way to *choose* that tier per calculator instead of per process: it
+wraps any inner :class:`~repro.md.simulation.ForceCalculator` (or the
+serial kernels when none is given) and scopes every ``compute`` call
+inside :func:`repro.kernels.use_tier`, so two calculators with different
+tiers can coexist in one process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import kernels
+from repro.md.atoms import Atoms
+from repro.md.neighbor.verlet import NeighborList
+from repro.potentials.base import EAMPotential
+from repro.potentials.eam import EAMComputation, compute_eam_forces_serial
+
+
+class EAMCalculator:
+    """Tier-selecting wrapper around any force calculator.
+
+    Parameters
+    ----------
+    calculator:
+        the inner :class:`~repro.md.simulation.ForceCalculator` (a
+        strategy, a process engine, ...); None means the serial kernels.
+    kernel_tier:
+        ``"numpy"``, ``"numba"``, ``"auto"``, a live
+        :class:`~repro.kernels.KernelTier`, or None for the process
+        default (``REPRO_KERNEL_TIER``, else numpy).  Resolved eagerly,
+        so an unknown spec raises here and an unavailable numba tier
+        emits its single fallback warning at construction, not mid-run.
+    """
+
+    def __init__(
+        self,
+        calculator=None,
+        kernel_tier: kernels.TierSpec = None,
+    ) -> None:
+        self._inner = calculator
+        self._tier: Optional[kernels.KernelTier] = (
+            kernels.get(kernel_tier) if kernel_tier is not None else None
+        )
+        self._profiler = None
+
+    @property
+    def kernel_tier(self) -> str:
+        """Resolved tier name this calculator computes with."""
+        return (self._tier or kernels.active_tier()).name
+
+    @property
+    def name(self) -> str:
+        inner = (
+            getattr(self._inner, "name", type(self._inner).__name__)
+            if self._inner is not None
+            else "serial"
+        )
+        return f"{inner}[{self.kernel_tier}]"
+
+    def compute(
+        self, potential: EAMPotential, atoms: Atoms, nlist: NeighborList
+    ) -> EAMComputation:
+        """Run the 3-phase evaluation under this calculator's tier."""
+        with kernels.use_tier(self._tier):
+            if self._inner is None:
+                return compute_eam_forces_serial(
+                    potential, atoms, nlist, profiler=self._profiler
+                )
+            return self._inner.compute(potential, atoms, nlist)
+
+    # --- observability / lifecycle forwarding -------------------------------
+
+    def attach_profiler(self, profiler) -> None:
+        self._profiler = profiler
+        if profiler is not None:
+            profiler.kernel_tier = self.kernel_tier
+        hook = getattr(self._inner, "attach_profiler", None)
+        if hook is not None:
+            hook(profiler)
+
+    def detach_profiler(self) -> None:
+        self._profiler = None
+        hook = getattr(self._inner, "detach_profiler", None)
+        if hook is not None:
+            hook()
+
+    def attach_tracer(self, tracer) -> None:
+        hook = getattr(self._inner, "attach_tracer", None)
+        if hook is not None:
+            hook(tracer)
+
+    def detach_tracer(self) -> None:
+        hook = getattr(self._inner, "detach_tracer", None)
+        if hook is not None:
+            hook()
+
+    def close(self) -> None:
+        hook = getattr(self._inner, "close", None)
+        if hook is not None:
+            hook()
+
+    def __enter__(self) -> "EAMCalculator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

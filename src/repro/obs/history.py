@@ -60,10 +60,20 @@ class RunKey:
     strategy: str
     backend: str
     n_workers: int
+    #: resolved kernel tier; pre-tier records default to "numpy" (the
+    #: only tier that existed when they were written)
+    kernel_tier: str = "numpy"
 
-    def series(self) -> Tuple[str, str, str, int]:
-        """The commit-independent part (case, strategy, backend, workers)."""
-        return (self.case, self.strategy, self.backend, self.n_workers)
+    def series(self) -> Tuple[str, str, str, int, str]:
+        """The commit-independent part (case, strategy, backend, workers,
+        kernel tier)."""
+        return (
+            self.case,
+            self.strategy,
+            self.backend,
+            self.n_workers,
+            self.kernel_tier,
+        )
 
 
 @dataclass
@@ -126,6 +136,7 @@ def bench_cells(
                 strategy=str(record["strategy"]),
                 backend=str(record["backend"]),
                 n_workers=int(record["n_workers"]),  # type: ignore[arg-type]
+                kernel_tier=str(record.get("kernel_tier", "numpy")),
             )
             phase = str(record["phase"])
         except (KeyError, TypeError, ValueError):
@@ -189,14 +200,18 @@ class RunStore:
 
     def series(
         self, kind: str = "bench"
-    ) -> Dict[Tuple[str, str, str, int], List[Tuple[int, Dict[str, object]]]]:
+    ) -> Dict[
+        Tuple[str, str, str, int, str], List[Tuple[int, Dict[str, object]]]
+    ]:
         """Per-cell ``total``-phase trajectory across the whole store.
 
-        Maps (case, strategy, backend, n_workers) to the time-ordered
-        ``(seq, record)`` list — the data behind the trend sparklines.
+        Maps (case, strategy, backend, n_workers, kernel_tier) to the
+        time-ordered ``(seq, record)`` list — the data behind the trend
+        sparklines.
         """
         out: Dict[
-            Tuple[str, str, str, int], List[Tuple[int, Dict[str, object]]]
+            Tuple[str, str, str, int, str],
+            List[Tuple[int, Dict[str, object]]],
         ] = {}
         for entry in self.entries(kind):
             for (key, phase), record in bench_cells(entry).items():

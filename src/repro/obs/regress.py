@@ -73,13 +73,20 @@ class CellVerdict:
     rel_change: Optional[float] = None
     #: True when this verdict participates in the exit-code gate
     gated: bool = False
+    #: resolved kernel tier of the measurement series
+    kernel_tier: str = "numpy"
 
     @property
     def label(self) -> str:
-        return (
+        base = (
             f"{self.case}/{self.strategy}/{self.backend}"
             f"/w{self.n_workers}"
         )
+        # the numpy tier is the historical default; only non-default
+        # tiers are called out so pre-tier baselines keep their labels
+        if self.kernel_tier != "numpy":
+            return f"{base}/{self.kernel_tier}"
+        return base
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -87,6 +94,7 @@ class CellVerdict:
             "strategy": self.strategy,
             "backend": self.backend,
             "n_workers": self.n_workers,
+            "kernel_tier": self.kernel_tier,
             "phase": self.phase,
             "verdict": self.verdict,
             "candidate_median_s": self.candidate_median_s,
@@ -238,6 +246,7 @@ def compare_entries(
                     candidate_median_s=cand_m,
                     candidate_iqr_s=cand_iqr,
                     gated=gated,
+                    kernel_tier=key.kernel_tier,
                 )
             )
             continue
@@ -252,6 +261,7 @@ def compare_entries(
                 verdict=verdict,
                 candidate_median_s=cand_m,
                 candidate_iqr_s=cand_iqr,
+                kernel_tier=key.kernel_tier,
                 baseline_median_s=float(base["median_s"]),  # type: ignore[arg-type]
                 baseline_iqr_s=float(base.get("iqr_s", 0.0)),  # type: ignore[arg-type]
                 rel_change=rel,

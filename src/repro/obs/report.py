@@ -72,10 +72,11 @@ class ReportData:
     reordering_records: List[Dict[str, object]] = field(default_factory=list)
     metrics_records: List[Dict[str, object]] = field(default_factory=list)
     runlog_records: List[Dict[str, object]] = field(default_factory=list)
-    #: (case, strategy, backend, n_workers) -> [(seq, total median_s)]
-    trend: Dict[Tuple[str, str, str, int], List[Tuple[int, float]]] = field(
-        default_factory=dict
-    )
+    #: (case, strategy, backend, n_workers, kernel_tier) ->
+    #: [(seq, total median_s)]
+    trend: Dict[
+        Tuple[str, str, str, int, str], List[Tuple[int, float]]
+    ] = field(default_factory=dict)
     regression: Optional[object] = None  # RegressionReport, kept duck-typed
     source: str = ""
 
@@ -110,6 +111,9 @@ class ReportData:
             if ref is None or median <= 0.0:
                 continue
             label = f"{r['strategy']}/{r['backend']}"
+            tier = str(r.get("kernel_tier", "numpy"))
+            if tier != "numpy":
+                label = f"{label}/{tier}"
             out.setdefault(case, {}).setdefault(label, []).append(
                 (int(r["n_workers"]), ref / median)
             )
@@ -696,15 +700,16 @@ def _trend_panel(data: ReportData) -> str:
         )
     rows = []
     for key, points in sorted(data.trend.items()):
-        case, strategy, backend, workers = key
+        case, strategy, backend, workers, tier = key
         if not points:
             continue
+        tier_tag = f"/{_esc(tier)}" if tier != "numpy" else ""
         first, last = points[0][1], points[-1][1]
         delta = (last - first) / first * 100 if first > 0 else 0.0
         rows.append(
             "<tr>"
             f"<td>{_esc(case)}/{_esc(strategy)}/{_esc(backend)}"
-            f"/w{_esc(workers)}</td>"
+            f"/w{_esc(workers)}{tier_tag}</td>"
             f"<td>{_svg_sparkline(points)}</td>"
             f"<td>{len(points)}</td>"
             f"<td>{last * 1e3:.3f} ms</td>"
@@ -926,10 +931,11 @@ def render_text_summary(data: ReportData, top: int = 8) -> str:
     if data.trend:
         lines.append("## History trend (total medians)")
         for key, points in sorted(data.trend.items()):
-            case, strategy, backend, workers = key
+            case, strategy, backend, workers, tier = key
+            tier_tag = f"/{tier}" if tier != "numpy" else ""
             values = ", ".join(f"{y * 1e3:.3f}" for _, y in points[-top:])
             lines.append(
-                f"- {case}/{strategy}/{backend}/w{workers}: "
+                f"- {case}/{strategy}/{backend}/w{workers}{tier_tag}: "
                 f"[{values}] ms over {len(points)} run(s)"
             )
         lines.append("")

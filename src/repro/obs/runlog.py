@@ -74,6 +74,8 @@ def collect_run_meta(n_threads: Optional[int] = None) -> Dict[str, object]:
         numpy_version: Optional[str] = numpy.__version__
     except Exception:  # pragma: no cover - numpy is a hard dep in practice
         numpy_version = None
+    from repro import kernels
+
     meta: Dict[str, object] = {
         "hostname": socket.gethostname(),
         "platform": platform.platform(),
@@ -82,6 +84,7 @@ def collect_run_meta(n_threads: Optional[int] = None) -> Dict[str, object]:
         "python": platform.python_version(),
         "numpy": numpy_version,
         "git_sha": git_sha(),
+        "kernel_tiers": list(kernels.available_tiers()),
     }
     if n_threads is not None:
         meta["n_threads"] = n_threads

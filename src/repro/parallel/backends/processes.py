@@ -57,6 +57,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.core.coloring import lattice_coloring, validate_coloring
 from repro.core.domain import SubdomainGrid, decompose, decompose_balanced
 from repro.core.partition import (
@@ -69,11 +70,7 @@ from repro.md.atoms import Atoms
 from repro.md.neighbor.verlet import NeighborList
 from repro.parallel.backends.base import BackendError
 from repro.potentials.base import EAMPotential
-from repro.potentials.eam import (
-    EAMComputation,
-    force_pair_coefficients,
-    pair_geometry,
-)
+from repro.potentials.eam import EAMComputation
 from repro.utils.profiler import (
     NULL_PHASE,
     PHASE_BARRIER,
@@ -137,7 +134,22 @@ def _init_worker(potential: EAMPotential, record: bool, barrier) -> None:
         segments={},
         arrays={},
         box=None,
+        tier_name=None,
+        tier=None,
     )
+
+
+def _worker_tier(name: str):
+    """Resolve (and cache) this worker's kernel tier from its task payload.
+
+    The parent ships the *resolved* tier name, so a worker never repeats
+    the ``auto`` probe or re-warns about an unavailable tier — forked
+    workers see the same installed packages as the parent anyway.
+    """
+    if _WORKER.get("tier_name") != name:
+        _WORKER["tier"] = kernels.get(name)
+        _WORKER["tier_name"] = name
+    return _WORKER["tier"]
 
 
 def _warm_worker(timeout: float) -> int:
@@ -203,7 +215,7 @@ def _worker_timing(start: float) -> WorkerTiming:
 
 
 def _run_chunk(
-    task: Tuple[dict, str, Sequence[int]],
+    task: Tuple[dict, str, Sequence[int], str],
 ) -> Tuple[float, Optional[List[int]], WorkerTiming, float]:
     """Execute one chunk of same-color subdomains (density or force).
 
@@ -213,8 +225,9 @@ def _run_chunk(
     chunk's pair-energy partial sum — the force pass and the parent then
     reuse the geometry instead of recomputing it.
     """
-    spec, kind, subdomains = task
+    spec, kind, subdomains, tier_name = task
     _attach_epoch(spec)
+    tier = _worker_tier(tier_name)
     arrays = _WORKER["arrays"]
     potential = _WORKER["potential"]
     box = _WORKER["box"]
@@ -227,13 +240,12 @@ def _run_chunk(
             i_idx, j_idx, lo, hi = _worker_pairs_of(int(s))
             if len(i_idx) == 0:
                 continue
-            delta, r = pair_geometry(positions, box, i_idx, j_idx)
+            delta, r = tier.pair_geometry(positions, box, i_idx, j_idx)
             arrays["pair_delta"][lo:hi] = delta
             arrays["pair_r"][lo:hi] = r
             pair_energy += float(np.sum(potential.pair_energy(r)))
-            phi = potential.density(r)
-            np.add.at(rho, i_idx, phi)
-            np.add.at(rho, j_idx, phi)
+            phi = tier.density_pair_values(potential, r)
+            tier.scatter_rho_half(rho, i_idx, j_idx, phi)
         writes = log.flat("rho").tolist() if log is not None else None
     elif kind == "force":
         fp = arrays["fp"]
@@ -245,13 +257,11 @@ def _run_chunk(
             # geometry cached by the density pass for these exact positions
             delta = arrays["pair_delta"][lo:hi]
             r = arrays["pair_r"][lo:hi]
-            coeff = force_pair_coefficients(
+            coeff = tier.force_pair_coefficients(
                 potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
             )
             pair_forces = coeff[:, None] * delta
-            for axis in range(3):
-                np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
-                np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
+            tier.scatter_force_half(forces, i_idx, j_idx, pair_forces)
         writes = log.flat("forces").tolist() if log is not None else None
     else:  # pragma: no cover - parent only submits the two kinds
         raise ValueError(f"unknown chunk kind {kind!r}")
@@ -323,6 +333,7 @@ class ProcessSDCCalculator:
         adaptive: bool = True,
         record_writes: bool = False,
         restart_on_failure: bool = True,
+        kernel_tier: Optional[str] = None,
     ) -> None:
         if dims not in (1, 2, 3):
             raise ValueError(f"dims must be 1, 2 or 3, got {dims}")
@@ -332,6 +343,10 @@ class ProcessSDCCalculator:
             raise RuntimeError("ProcessSDCCalculator requires fork support")
         self.dims = dims
         self.n_workers = n_workers
+        #: pinned kernel tier for the worker chunks; None follows the
+        #: parent's active tier at each compute (resolved eagerly so an
+        #: unknown spec or an unavailable-tier fallback surfaces here)
+        self._tier = kernels.get(kernel_tier) if kernel_tier is not None else None
         self.axes = list(axes) if axes is not None else None
         self.adaptive = adaptive
         #: when True, workers shadow their shared-array views and ship the
@@ -382,6 +397,12 @@ class ProcessSDCCalculator:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+    @property
+    def kernel_tier(self) -> str:
+        """Resolved tier name the worker chunks run on this compute."""
+        tier = self._tier if self._tier is not None else kernels.active_tier()
+        return tier.name
 
     def worker_pids(self) -> List[int]:
         """PIDs of the live pool workers (empty before the first compute)."""
@@ -633,10 +654,13 @@ class ProcessSDCCalculator:
         """
         executor = self._resources.executor
         assert executor is not None and self._spec is not None
+        tier_name = self.kernel_tier
         start = time.perf_counter()
         try:
             futures = [
-                executor.submit(_run_chunk, (self._spec, kind, chunk))
+                executor.submit(
+                    _run_chunk, (self._spec, kind, chunk, tier_name)
+                )
                 for chunk in chunks
             ]
         except (BrokenExecutor, RuntimeError) as exc:

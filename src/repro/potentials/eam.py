@@ -1,8 +1,13 @@
 """The three-phase EAM force computation (paper Figs. 1-2, Eqs. 1-2).
 
-This module holds the *serial* reference kernels plus the pair-slice
-primitives the parallel strategies in :mod:`repro.core.strategies` are
-assembled from.  Phase structure, following Section II.C of the paper:
+This module holds the serial drivers plus the pair-slice primitives the
+parallel strategies in :mod:`repro.core.strategies` are assembled from.
+Since the kernel-tier refactor the module-level primitives are thin
+dispatchers: each call is routed to the process's *active kernel tier*
+(:func:`repro.kernels.active_tier` — the NumPy reference tier by default,
+the Numba-compiled tier when selected and available), so every strategy
+and backend built on these names gets compiled kernels for free.  Phase
+structure, following Section II.C of the paper:
 
 1. **Electron densities** (Eq. 1) — for every half-list pair, evaluate
    ``phi(r_ij)`` once and scatter it into both ``rho[i]`` and ``rho[j]``
@@ -26,18 +31,32 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.geometry.box import Box
+from repro.kernels.base import MIN_PAIR_SEPARATION
 from repro.md.atoms import Atoms
 from repro.md.neighbor.verlet import NeighborList
 from repro.potentials.base import EAMPotential
-from repro.utils.arrays import segment_sum
 from repro.utils.profiler import NULL_PHASE, PhaseProfiler
 from repro.utils.timers import Counter
 
-#: pairs closer than this (Å) are treated as overlapping atoms — any
-#: spline/derivative evaluation there is extrapolated garbage and the
-#: ``1/r`` force scaling amplifies it into astronomically large forces
-MIN_PAIR_SEPARATION = 1e-6
+__all__ = [
+    "MIN_PAIR_SEPARATION",
+    "EAMComputation",
+    "compute_eam_energy",
+    "compute_eam_forces_serial",
+    "density_pair_values",
+    "eam_density_and_pair_energy_phase",
+    "eam_density_phase",
+    "eam_embedding_phase",
+    "eam_force_phase",
+    "force_pair_coefficients",
+    "pair_geometry",
+    "scatter_force_half",
+    "scatter_force_owned",
+    "scatter_rho_half",
+    "scatter_rho_owned",
+]
 
 
 # --------------------------------------------------------------------------
@@ -55,9 +74,7 @@ def pair_geometry(
     Returns ``(delta, r)`` with ``delta[k] = pos[i_k] - pos[j_k]`` folded by
     minimum image and ``r[k] = |delta[k]|``.
     """
-    delta = box.minimum_image(positions[i_idx] - positions[j_idx])
-    r = np.sqrt(np.sum(delta * delta, axis=1))
-    return delta, r
+    return kernels.active_tier().pair_geometry(positions, box, i_idx, j_idx)
 
 
 # --------------------------------------------------------------------------
@@ -68,7 +85,7 @@ def density_pair_values(
     potential: EAMPotential, r: np.ndarray
 ) -> np.ndarray:
     """phi(r) for a slice of pair distances."""
-    return potential.density(r)
+    return kernels.active_tier().density_pair_values(potential, r)
 
 
 def scatter_rho_half(
@@ -79,12 +96,13 @@ def scatter_rho_half(
 ) -> None:
     """In-place half-list density scatter: ``rho[i] += phi; rho[j] += phi``.
 
-    This is the exact irregular reduction of paper Fig. 1.  ``np.add.at``
-    (unbuffered) is used so repeated indices inside the slice accumulate
-    correctly — the slice may contain many pairs sharing an atom.
+    This is the exact irregular reduction of paper Fig. 1.  Unbuffered
+    accumulation (``np.add.at`` on the NumPy tier, a scalar loop on
+    compiled tiers) is used so repeated indices inside the slice
+    accumulate correctly — the slice may contain many pairs sharing an
+    atom.
     """
-    np.add.at(rho, i_idx, phi)
-    np.add.at(rho, j_idx, phi)
+    kernels.active_tier().scatter_rho_half(rho, i_idx, j_idx, phi)
 
 
 def scatter_rho_owned(
@@ -105,24 +123,10 @@ def scatter_rho_owned(
         if any index falls outside ``[0, n_atoms)`` or the accumulator
         does not cover all ``n_atoms`` rows.  Out-of-range indices used
         to be silently truncated away, dropping their density
-        contributions without a trace.
+        contributions without a trace.  Every tier validates at dispatch
+        time, before any compiled code runs.
     """
-    if len(rho) != n_atoms:
-        raise IndexError(
-            f"owned-row density scatter needs a {n_atoms}-row accumulator, "
-            f"got {len(rho)} rows"
-        )
-    i_idx = np.asarray(i_idx)
-    if len(i_idx):
-        lo = int(i_idx.min())
-        hi = int(i_idx.max())
-        if lo < 0 or hi >= n_atoms:
-            bad = hi if hi >= n_atoms else lo
-            raise IndexError(
-                f"owned-row density scatter got atom index {bad}, outside "
-                f"the valid range [0, {n_atoms})"
-            )
-    rho += np.bincount(i_idx, weights=phi, minlength=n_atoms)
+    kernels.active_tier().scatter_rho_owned(rho, i_idx, phi, n_atoms)
 
 
 def force_pair_coefficients(
@@ -150,21 +154,9 @@ def force_pair_coefficients(
         turning the ``1/r`` scaling into astronomically large garbage
         forces with no diagnostic.
     """
-    if len(r) and float(np.min(r)) < min_separation:
-        k = int(np.argmin(r))
-        if pair_ids is not None:
-            i_idx, j_idx = pair_ids
-            where = f"atoms {int(i_idx[k])} and {int(j_idx[k])}"
-        else:
-            where = f"pair slot {k}"
-        raise ValueError(
-            f"overlapping atoms: {where} are separated by {float(r[k]):.3e} Å "
-            f"(< {min_separation:g} Å); the EAM force coefficient diverges "
-            "as 1/r — fix the initial configuration or the timestep"
-        )
-    vp = potential.pair_energy_deriv(r)
-    dp = potential.density_deriv(r)
-    return -(vp + (fp_i + fp_j) * dp) / r
+    return kernels.active_tier().force_pair_coefficients(
+        potential, r, fp_i, fp_j, pair_ids, min_separation
+    )
 
 
 def scatter_force_half(
@@ -177,9 +169,7 @@ def scatter_force_half(
 
     ``forces[i] += f_pair; forces[j] -= f_pair`` per component.
     """
-    for axis in range(3):
-        np.add.at(forces[:, axis], i_idx, pair_forces[:, axis])
-        np.subtract.at(forces[:, axis], j_idx, pair_forces[:, axis])
+    kernels.active_tier().scatter_force_half(forces, i_idx, j_idx, pair_forces)
 
 
 def scatter_force_owned(
@@ -189,7 +179,9 @@ def scatter_force_owned(
     n_atoms: int,
 ) -> None:
     """Full-list force accumulation into owned rows only (RC strategy)."""
-    forces += segment_sum(pair_forces, i_idx, n_atoms)
+    kernels.active_tier().scatter_force_owned(
+        forces, i_idx, pair_forces, n_atoms
+    )
 
 
 # --------------------------------------------------------------------------
@@ -225,26 +217,9 @@ def eam_density_and_pair_energy_phase(
     saves a third ``pair_arrays``/``pair_geometry`` pass over every pair.
     Returns ``(rho, pair_energy)``; the energy is 0.0 when not requested.
     """
-    n = len(positions)
-    rho = np.zeros(n)
-    i_idx, j_idx = nlist.pair_arrays()
-    if len(i_idx) == 0:
-        return rho, 0.0
-    _, r = pair_geometry(positions, box, i_idx, j_idx)
-    phi = density_pair_values(potential, r)
-    if nlist.half:
-        rho += np.bincount(i_idx, weights=phi, minlength=n)
-        rho += np.bincount(j_idx, weights=phi, minlength=n)
-    else:
-        rho += np.bincount(i_idx, weights=phi, minlength=n)
-    pair_energy = 0.0
-    if want_pair_energy:
-        v = potential.pair_energy(r)
-        pair_energy = float(np.sum(v)) * (1.0 if nlist.half else 0.5)
-    if counter is not None:
-        counter.add("density_pairs", len(i_idx))
-        counter.add("rho_updates", (2 if nlist.half else 1) * len(i_idx))
-    return rho, pair_energy
+    return kernels.active_tier().density_and_pair_energy_phase(
+        potential, positions, box, nlist, counter, want_pair_energy
+    )
 
 
 def eam_embedding_phase(
@@ -273,27 +248,9 @@ def eam_force_phase(
     counter: Optional[Counter] = None,
 ) -> np.ndarray:
     """Phase 3: forces from the cached embedding derivatives."""
-    n = len(positions)
-    forces = np.zeros((n, 3))
-    i_idx, j_idx = nlist.pair_arrays()
-    if len(i_idx) == 0:
-        return forces
-    delta, r = pair_geometry(positions, box, i_idx, j_idx)
-    coeff = force_pair_coefficients(
-        potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+    return kernels.active_tier().force_phase(
+        potential, positions, box, nlist, fp, counter
     )
-    pair_forces = coeff[:, None] * delta
-    if nlist.half:
-        forces += segment_sum(pair_forces, i_idx, n)
-        forces -= segment_sum(pair_forces, j_idx, n)
-    else:
-        # full list: both directions are present, each directed pair writes
-        # its whole contribution into the owning row only (RC semantics)
-        forces += segment_sum(pair_forces, i_idx, n)
-    if counter is not None:
-        counter.add("force_pairs", len(i_idx))
-        counter.add("force_updates", (2 if nlist.half else 1) * len(i_idx) * 3)
-    return forces
 
 
 # --------------------------------------------------------------------------

@@ -107,6 +107,10 @@ class PhaseProfiler:
         self._in_repeat = False
         self._discard = False
         self._lock = threading.Lock()
+        #: resolved kernel tier the profiled kernels ran on ("numpy",
+        #: "numba"); set by whoever attaches this profiler to a
+        #: calculator so BENCH records can label their samples
+        self.kernel_tier: Optional[str] = None
 
     # --- sample collection ----------------------------------------------------
 

@@ -1,0 +1,194 @@
+"""Property-based kernel invariants (hypothesis), checked on both tiers.
+
+Physics the kernels must preserve regardless of implementation:
+
+* Newton's third law — the half-list force scatter writes equal and
+  opposite contributions, so total force is zero on any closed system;
+* translation invariance — forces depend on minimum-image separations
+  only, never on absolute coordinates;
+* half-list / owned-list duality — one undirected pair scattered to both
+  endpoints equals two directed pairs scattered to their owners.
+
+Each property runs against the NumPy tier and the stub-compiled numba
+tier (the same source ``@njit`` would compile), so a regression in either
+implementation — or a divergence between them — fails here.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import make_fake_numba
+
+from repro import kernels
+from repro.geometry import bcc_lattice
+from repro.geometry.lattice import perturb_positions
+from repro.md.neighbor.verlet import build_neighbor_list
+from repro.potentials import fe_potential
+from repro.utils.rng import default_rng
+
+POTENTIAL = fe_potential()
+
+TIERS = ("numpy", "numba")
+
+#: hypothesis drives many examples through one test invocation; the
+#: per-test registry fixtures can't reset between examples, so the tier
+#: is set up inside each example via ``tier_under_test`` instead
+PROPERTY_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@contextmanager
+def tier_under_test(name: str):
+    """Yield a live tier, stubbing Numba in for the ``"numba"`` case."""
+    if name == "numpy":
+        yield kernels.get("numpy")
+        return
+    saved = sys.modules.get("numba")
+    sys.modules["numba"] = make_fake_numba()
+    kernels.reset()
+    try:
+        tier = kernels.get("numba")
+        assert tier.name == "numba"
+        yield tier
+    finally:
+        if saved is None:
+            sys.modules.pop("numba", None)
+        else:
+            sys.modules["numba"] = saved
+        kernels.reset()
+
+
+def perturbed_system(amplitude: float, seed: int):
+    """A 4x4x4 bcc iron cell (128 atoms) with bounded thermal disorder."""
+    positions, box = bcc_lattice(2.8665, (4, 4, 4))
+    rng = default_rng(seed)
+    positions = perturb_positions(positions, box, amplitude, rng)
+    return positions, box
+
+
+def full_forces(tier, positions, box, nlist):
+    rho, _ = tier.density_and_pair_energy_phase(
+        POTENTIAL, positions, box, nlist
+    )
+    fp = POTENTIAL.embed_deriv(rho)
+    return tier.force_phase(POTENTIAL, positions, box, nlist, fp)
+
+
+class TestNewtonThirdLaw:
+    @pytest.mark.parametrize("tier_name", TIERS)
+    @given(seed=st.integers(0, 10**6), amplitude=st.floats(0.0, 0.12))
+    @settings(max_examples=10, **PROPERTY_SETTINGS)
+    def test_total_force_is_zero(self, tier_name, seed, amplitude):
+        positions, box = perturbed_system(amplitude, seed)
+        nlist = build_neighbor_list(
+            positions, box, cutoff=POTENTIAL.cutoff, skin=0.3, half=True
+        )
+        with tier_under_test(tier_name) as tier:
+            forces = full_forces(tier, positions, box, nlist)
+        np.testing.assert_allclose(
+            forces.sum(axis=0), np.zeros(3), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("tier_name", TIERS)
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=10, **PROPERTY_SETTINGS)
+    def test_pair_scatter_antisymmetry(self, tier_name, seed):
+        """The half-list force scatter alone must conserve momentum."""
+        rng = default_rng(seed)
+        n = 40
+        n_pairs = 120
+        i_idx = rng.integers(0, n, n_pairs)
+        j_idx = rng.integers(0, n, n_pairs)
+        pair_forces = rng.normal(size=(n_pairs, 3))
+        forces = np.zeros((n, 3))
+        with tier_under_test(tier_name) as tier:
+            tier.scatter_force_half(forces, i_idx, j_idx, pair_forces)
+        np.testing.assert_allclose(
+            forces.sum(axis=0), np.zeros(3), atol=1e-10
+        )
+
+
+class TestTranslationInvariance:
+    @pytest.mark.parametrize("tier_name", TIERS)
+    @given(
+        seed=st.integers(0, 10**6),
+        sx=st.floats(-20.0, 20.0),
+        sy=st.floats(-20.0, 20.0),
+        sz=st.floats(-20.0, 20.0),
+    )
+    @settings(max_examples=10, **PROPERTY_SETTINGS)
+    def test_uniform_shift_leaves_forces_unchanged(
+        self, tier_name, seed, sx, sy, sz
+    ):
+        positions, box = perturbed_system(0.05, seed)
+        nlist = build_neighbor_list(
+            positions, box, cutoff=POTENTIAL.cutoff, skin=0.3, half=True
+        )
+        shift = np.array([sx, sy, sz])
+        with tier_under_test(tier_name) as tier:
+            reference = full_forces(tier, positions, box, nlist)
+            shifted = full_forces(tier, positions + shift, box, nlist)
+        np.testing.assert_allclose(shifted, reference, rtol=1e-12, atol=1e-12)
+
+
+class TestHalfOwnedDuality:
+    @pytest.mark.parametrize("tier_name", TIERS)
+    @given(
+        seed=st.integers(0, 10**6),
+        n_atoms=st.integers(2, 60),
+        n_pairs=st.integers(0, 200),
+    )
+    @settings(max_examples=15, **PROPERTY_SETTINGS)
+    def test_rho_half_equals_owned_on_doubled_list(
+        self, tier_name, seed, n_atoms, n_pairs
+    ):
+        rng = default_rng(seed)
+        i_idx = rng.integers(0, n_atoms, n_pairs)
+        j_idx = rng.integers(0, n_atoms, n_pairs)
+        phi = rng.uniform(0.1, 2.0, n_pairs)
+        half = np.zeros(n_atoms)
+        owned = np.zeros(n_atoms)
+        with tier_under_test(tier_name) as tier:
+            tier.scatter_rho_half(half, i_idx, j_idx, phi)
+            tier.scatter_rho_owned(
+                owned,
+                np.concatenate([i_idx, j_idx]),
+                np.concatenate([phi, phi]),
+                n_atoms,
+            )
+        np.testing.assert_allclose(owned, half, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("tier_name", TIERS)
+    @given(
+        seed=st.integers(0, 10**6),
+        n_atoms=st.integers(2, 60),
+        n_pairs=st.integers(0, 200),
+    )
+    @settings(max_examples=15, **PROPERTY_SETTINGS)
+    def test_force_half_equals_owned_on_doubled_list(
+        self, tier_name, seed, n_atoms, n_pairs
+    ):
+        rng = default_rng(seed)
+        i_idx = rng.integers(0, n_atoms, n_pairs)
+        j_idx = rng.integers(0, n_atoms, n_pairs)
+        pair_forces = rng.normal(size=(n_pairs, 3))
+        half = np.zeros((n_atoms, 3))
+        owned = np.zeros((n_atoms, 3))
+        with tier_under_test(tier_name) as tier:
+            tier.scatter_force_half(half, i_idx, j_idx, pair_forces)
+            tier.scatter_force_owned(
+                owned,
+                np.concatenate([i_idx, j_idx]),
+                np.concatenate([pair_forces, -pair_forces]),
+                n_atoms,
+            )
+        np.testing.assert_allclose(owned, half, rtol=1e-12, atol=1e-12)

@@ -109,7 +109,7 @@ class TestRunStore:
         store.append_bench(bench_payload(sha="a", median=1.0))
         store.append_bench(bench_payload(sha="b", median=2.0))
         series = store.series()
-        key = ("tiny", "serial", "serial", 1)
+        key = ("tiny", "serial", "serial", 1, "numpy")
         assert [m["median_s"] for _, m in series[key]] == [1.0, 2.0]
         assert [seq for seq, _ in series[key]] == [0, 1]
 
@@ -156,4 +156,4 @@ class TestBenchCells:
 
     def test_series_drops_git_sha(self):
         key = RunKey("abc", "tiny", "serial", "serial", 1)
-        assert key.series() == ("tiny", "serial", "serial", 1)
+        assert key.series() == ("tiny", "serial", "serial", 1, "numpy")

@@ -71,7 +71,7 @@ def full_data():
         meta={"git_sha": "abc123def", "hostname": "h"},
         bench_records=bench_records(),
         metrics_records=metrics_records(),
-        trend={("tiny", "sdc-2d", "threads", 2): [(0, 2.0), (1, 1.9)]},
+        trend={("tiny", "sdc-2d", "threads", 2, "numpy"): [(0, 2.0), (1, 1.9)]},
     )
 
 
@@ -257,7 +257,7 @@ class TestLoadReportSource:
             }
         )
         data = load_report_source(tmp_path)
-        assert ("tiny", "sdc-2d", "threads", 2) in data.trend
+        assert ("tiny", "sdc-2d", "threads", 2, "numpy") in data.trend
 
     def test_store_source(self, tmp_path):
         store = RunStore(tmp_path / "history.jsonl")
