@@ -207,7 +207,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         bench_steps,
         render_amortization_table,
         render_bench_table,
+        render_tier_speedup_table,
         reordering_records,
+        tier_speedup_records,
         write_bench_json,
     )
     from repro.harness.cases import case_by_key
@@ -260,6 +262,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         print(render_bench_table(records))
 
+    speedup_rows = None
+    if args.speedup_vs:
+        run = bench_steps if args.steps > 1 else bench_forces
+        kwargs = (
+            dict(steps=args.steps)
+            if args.steps > 1
+            else dict(warmup=warmup, repeats=repeats)
+        )
+        reference = run(
+            cases=cases,
+            strategies=strategies,
+            backends=backends,
+            n_workers=args.threads,
+            on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
+            kernel_tier=args.speedup_vs,
+            **kwargs,
+        )
+        speedup_rows = tier_speedup_records(records, reference)
+        print()
+        print(render_tier_speedup_table(speedup_rows))
+
     reorder = None
     if args.steps <= 1 and not args.skip_reordering:
         reorder = measure_reordering(
@@ -277,6 +300,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         forces_path, [r.to_dict() for r in records], n_threads=args.threads
     )
     print(f"\nwrote {forces_path}")
+    if speedup_rows:
+        speedup_path = os.path.join(args.output_dir, "BENCH_tier_speedup.json")
+        write_bench_json(speedup_path, speedup_rows, n_threads=args.threads)
+        print(f"wrote {speedup_path}")
     if reorder is not None:
         reorder_path = os.path.join(args.output_dir, "BENCH_reordering.json")
         write_bench_json(
@@ -292,6 +319,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 [r.to_dict() for r in records], n_threads=args.threads
             )
         )
+        if speedup_rows:
+            store.append_bench(
+                bench_payload(speedup_rows, n_threads=args.threads),
+                source="BENCH_tier_speedup.json",
+                kind="tier-speedup",
+            )
         if reorder is not None:
             store.append_bench(
                 bench_payload(
@@ -466,6 +499,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
+    from repro.kernels import TIER_NAMES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SDC-EAM paper reproduction toolkit",
@@ -601,11 +636,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--kernel-tier",
-        choices=["numpy", "numba", "auto"],
+        choices=list(TIER_NAMES),
         default=None,
-        help="kernel tier for the swept cells (default: the session's "
-        "active tier; numba falls back to numpy with a warning when "
-        "unavailable)",
+        help="kernel tier variant for the swept cells (default: the "
+        "session's active tier; numba variants fall back to numpy with "
+        "a warning when unavailable)",
+    )
+    bench.add_argument(
+        "--speedup-vs",
+        metavar="TIER",
+        default=None,
+        help="also sweep the same cells on this reference tier and "
+        "append per-cell total-phase tier-speedup records to --store "
+        "(e.g. --kernel-tier numba-parallel --speedup-vs numpy)",
     )
     bench.set_defaults(func=_cmd_bench)
 
@@ -649,10 +692,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--kernel-tier",
-        choices=["numpy", "numba", "auto"],
+        choices=list(TIER_NAMES),
         default=None,
-        help="kernel tier for the traced cells (default: the session's "
-        "active tier)",
+        help="kernel tier variant for the traced cells (default: the "
+        "session's active tier)",
     )
     trace.set_defaults(func=_cmd_trace)
 

@@ -44,6 +44,12 @@ class ReductionStrategy(ABC):
     #: :meth:`_array` hands out shadow-wrapped reduction arrays.
     _instrument = None
 
+    #: optional pinned kernel tier; when set, every kernel call this
+    #: strategy makes goes to it explicitly instead of the process-global
+    #: active tier — the concurrency-safe selection path (two strategies
+    #: on different threads cannot clobber each other's tier).
+    _kernel_tier = None
+
     #: optional wall-clock profiler; when set, :meth:`_phase` times the
     #: strategy's phase regions under their canonical names
     _profiler: "PhaseProfiler | None" = None
@@ -114,6 +120,33 @@ class ReductionStrategy(ABC):
             return NULL_PHASE
         return self._tracer.span(name, **args)
 
+    def set_kernel_tier(self, tier) -> None:
+        """Pin this strategy's kernel tier (None reverts to the process
+        default).
+
+        Accepts anything :func:`repro.kernels.get` accepts — a variant
+        spec string, a :class:`~repro.kernels.KernelTierConfig`, or a
+        live tier.  Resolution is eager so unknown specs raise here.
+        """
+        from repro import kernels
+
+        self._kernel_tier = kernels.get(tier) if tier is not None else None
+
+    def _tier(self):
+        """The tier this strategy's kernel calls dispatch to."""
+        from repro import kernels
+
+        return (
+            self._kernel_tier
+            if self._kernel_tier is not None
+            else kernels.active_tier()
+        )
+
+    @property
+    def kernel_tier(self) -> str:
+        """Resolved tier name this strategy computes with."""
+        return self._tier().name
+
     def attach_instrument(self, recorder) -> None:
         """Record reduction-array writes through ``recorder``.
 
@@ -170,8 +203,8 @@ class ReductionStrategy(ABC):
 
     # --- shared helpers -------------------------------------------------------
 
-    @staticmethod
     def _total_pair_energy(
+        self,
         potential: EAMPotential,
         atoms: Atoms,
         nlist: NeighborList,
@@ -180,7 +213,9 @@ class ReductionStrategy(ABC):
         i_idx, j_idx = nlist.pair_arrays()
         if len(i_idx) == 0:
             return 0.0
-        _, r = pair_geometry(atoms.positions, atoms.box, i_idx, j_idx)
+        _, r = pair_geometry(
+            atoms.positions, atoms.box, i_idx, j_idx, tier=self._tier()
+        )
         v = potential.pair_energy(r)
         return float(np.sum(v)) * (1.0 if nlist.half else 0.5)
 

@@ -73,6 +73,7 @@ class CriticalSectionStrategy(ReductionStrategy):
         positions = atoms.positions
         box = atoms.box
         n = atoms.n_atoms
+        tier = self._tier()
         chunks = atom_chunks(n, self.n_threads)
 
         rho = self._array("rho", n)
@@ -82,11 +83,11 @@ class CriticalSectionStrategy(ReductionStrategy):
                 i_idx, j_idx = rows_pair_slice(nlist, rows)
                 if len(i_idx) == 0:
                     return
-                _, r = pair_geometry(positions, box, i_idx, j_idx)
-                phi = density_pair_values(potential, r)
+                _, r = pair_geometry(positions, box, i_idx, j_idx, tier=tier)
+                phi = density_pair_values(potential, r, tier=tier)
                 with self._lock:
                     with self._span("density:lock-held", n_pairs=len(i_idx)):
-                        scatter_rho_half(rho, i_idx, j_idx, phi)
+                        scatter_rho_half(rho, i_idx, j_idx, phi, tier=tier)
 
             return run
 
@@ -119,14 +120,15 @@ class CriticalSectionStrategy(ReductionStrategy):
                 i_idx, j_idx = rows_pair_slice(nlist, rows)
                 if len(i_idx) == 0:
                     return
-                delta, r = pair_geometry(positions, box, i_idx, j_idx)
+                delta, r = pair_geometry(positions, box, i_idx, j_idx, tier=tier)
                 coeff = force_pair_coefficients(
-                    potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+                    potential, r, fp[i_idx], fp[j_idx],
+                    pair_ids=(i_idx, j_idx), tier=tier,
                 )
                 pair_forces = coeff[:, None] * delta
                 with self._lock:
                     with self._span("force:lock-held", n_pairs=len(i_idx)):
-                        scatter_force_half(forces, i_idx, j_idx, pair_forces)
+                        scatter_force_half(forces, i_idx, j_idx, pair_forces, tier=tier)
 
             return run
 

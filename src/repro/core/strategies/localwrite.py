@@ -167,6 +167,7 @@ class LocalWriteStrategy(ReductionStrategy):
             self._prepare(atoms, nlist)
         assert self._tables is not None and self._grid is not None
         tables = self._tables
+        tier = self._tier()
         positions = atoms.positions
         box = atoms.box
         n = atoms.n_atoms
@@ -178,13 +179,13 @@ class LocalWriteStrategy(ReductionStrategy):
             def run() -> None:
                 i_in, j_in = tables.interior_of(s)
                 if len(i_in):
-                    _, r = pair_geometry(positions, box, i_in, j_in)
-                    phi = density_pair_values(potential, r)
-                    scatter_rho_half(rho, i_in, j_in, phi)
+                    _, r = pair_geometry(positions, box, i_in, j_in, tier=tier)
+                    phi = density_pair_values(potential, r, tier=tier)
+                    scatter_rho_half(rho, i_in, j_in, phi, tier=tier)
                 i_b, j_b, side = tables.boundary_of(s)
                 if len(i_b):
-                    _, r = pair_geometry(positions, box, i_b, j_b)
-                    phi = density_pair_values(potential, r)
+                    _, r = pair_geometry(positions, box, i_b, j_b, tier=tier)
+                    phi = density_pair_values(potential, r, tier=tier)
                     # one-sided owned write: stays np.add.at so the task's
                     # write set is exactly its owned boundary rows
                     own = np.where(side == 0, i_b, j_b)
@@ -210,17 +211,19 @@ class LocalWriteStrategy(ReductionStrategy):
             def run() -> None:
                 i_in, j_in = tables.interior_of(s)
                 if len(i_in):
-                    delta, r = pair_geometry(positions, box, i_in, j_in)
+                    delta, r = pair_geometry(positions, box, i_in, j_in, tier=tier)
                     coeff = force_pair_coefficients(
-                        potential, r, fp[i_in], fp[j_in], pair_ids=(i_in, j_in)
+                        potential, r, fp[i_in], fp[j_in],
+                        pair_ids=(i_in, j_in), tier=tier,
                     )
                     pf = coeff[:, None] * delta
-                    scatter_force_half(forces, i_in, j_in, pf)
+                    scatter_force_half(forces, i_in, j_in, pf, tier=tier)
                 i_b, j_b, side = tables.boundary_of(s)
                 if len(i_b):
-                    delta, r = pair_geometry(positions, box, i_b, j_b)
+                    delta, r = pair_geometry(positions, box, i_b, j_b, tier=tier)
                     coeff = force_pair_coefficients(
-                        potential, r, fp[i_b], fp[j_b], pair_ids=(i_b, j_b)
+                        potential, r, fp[i_b], fp[j_b],
+                        pair_ids=(i_b, j_b), tier=tier,
                     )
                     pf = coeff[:, None] * delta
                     own = np.where(side == 0, i_b, j_b)

@@ -62,6 +62,7 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
     ) -> EAMComputation:
         if not nlist.half:
             raise ValueError("SAP consumes half neighbor lists")
+        tier = self._tier()
         positions = atoms.positions
         box = atoms.box
         n = atoms.n_atoms
@@ -77,9 +78,9 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
                 i_idx, j_idx = rows_pair_slice(nlist, rows)
                 if len(i_idx) == 0:
                     return
-                _, r = pair_geometry(positions, box, i_idx, j_idx)
-                phi = density_pair_values(potential, r)
-                scatter_rho_half(private_rho[k], i_idx, j_idx, phi)
+                _, r = pair_geometry(positions, box, i_idx, j_idx, tier=tier)
+                phi = density_pair_values(potential, r, tier=tier)
+                scatter_rho_half(private_rho[k], i_idx, j_idx, phi, tier=tier)
 
             return run
 
@@ -117,13 +118,14 @@ class ArrayPrivatizationStrategy(ReductionStrategy):
                 i_idx, j_idx = rows_pair_slice(nlist, rows)
                 if len(i_idx) == 0:
                     return
-                delta, r = pair_geometry(positions, box, i_idx, j_idx)
+                delta, r = pair_geometry(positions, box, i_idx, j_idx, tier=tier)
                 coeff = force_pair_coefficients(
-                    potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+                    potential, r, fp[i_idx], fp[j_idx],
+                    pair_ids=(i_idx, j_idx), tier=tier,
                 )
                 pair_forces = coeff[:, None] * delta
                 scatter_force_half(
-                    private_forces[k], i_idx, j_idx, pair_forces
+                    private_forces[k], i_idx, j_idx, pair_forces, tier=tier
                 )
 
             return run

@@ -71,6 +71,7 @@ class RedundantComputationStrategy(ReductionStrategy):
     ) -> EAMComputation:
         with self._phase("neighbor-rebuild"):
             full = self._full_list(nlist)
+        tier = self._tier()
         positions = atoms.positions
         box = atoms.box
         n = atoms.n_atoms
@@ -83,13 +84,13 @@ class RedundantComputationStrategy(ReductionStrategy):
                 i_idx, j_idx = rows_pair_slice(full, rows)
                 if len(i_idx) == 0:
                     return
-                _, r = pair_geometry(positions, box, i_idx, j_idx)
-                phi = density_pair_values(potential, r)
+                _, r = pair_geometry(positions, box, i_idx, j_idx, tier=tier)
+                phi = density_pair_values(potential, r, tier=tier)
                 # owned rows only: offset into the chunk's contiguous range,
                 # accumulate into a chunk-local buffer so the task's write
                 # into the shared array stays a plain slice assignment
                 local = np.zeros(len(rows))
-                scatter_rho_owned(local, i_idx - rows[0], phi, len(rows))
+                scatter_rho_owned(local, i_idx - rows[0], phi, len(rows), tier=tier)
                 rho[rows] = local
 
             return run
@@ -123,14 +124,15 @@ class RedundantComputationStrategy(ReductionStrategy):
                 i_idx, j_idx = rows_pair_slice(full, rows)
                 if len(i_idx) == 0:
                     return
-                delta, r = pair_geometry(positions, box, i_idx, j_idx)
+                delta, r = pair_geometry(positions, box, i_idx, j_idx, tier=tier)
                 coeff = force_pair_coefficients(
-                    potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+                    potential, r, fp[i_idx], fp[j_idx],
+                    pair_ids=(i_idx, j_idx), tier=tier,
                 )
                 pair_forces = coeff[:, None] * delta
                 local = np.zeros((len(rows), 3))
                 scatter_force_owned(
-                    local, i_idx - rows[0], pair_forces, len(rows)
+                    local, i_idx - rows[0], pair_forces, len(rows), tier=tier
                 )
                 forces[rows] = local
 

@@ -76,6 +76,18 @@ class SDCStrategy(ReductionStrategy):
         optional ``(box, reach) -> SubdomainGrid`` override of the
         decomposition, the second fault-injection hook (e.g. subdomain
         edges below ``2 * reach``).
+    fused:
+        color-phase fusion control.  ``None`` (default) fuses each color
+        into one kernel-tier call whenever the active tier advertises
+        :meth:`~repro.kernels.KernelTier.fused_color_phases` for the
+        potential (the numba variants with a lowerable potential) — the
+        cell-blocked pair traversal then runs entirely inside compiled
+        code, with ``numba-parallel`` ``prange``-ing over the color's
+        subdomains.  ``False`` always uses per-subdomain tasks;
+        ``True`` forces fusion even on tiers whose generic driver just
+        re-composes the primitives (a differential-testing hook).
+        Instrumented (racecheck) runs never fuse, so write sets keep
+        their per-subdomain attribution.
     """
 
     name = "sdc"
@@ -93,6 +105,7 @@ class SDCStrategy(ReductionStrategy):
             Callable[[ColorSchedule], ColorSchedule]
         ] = None,
         grid_factory: Optional[Callable[..., SubdomainGrid]] = None,
+        fused: Optional[bool] = None,
     ) -> None:
         if dims not in (1, 2, 3):
             raise ValueError(f"dims must be 1, 2 or 3, got {dims}")
@@ -107,6 +120,7 @@ class SDCStrategy(ReductionStrategy):
         self.max_per_axis = max_per_axis
         self.schedule_transform = schedule_transform
         self.grid_factory = grid_factory
+        self.fused = fused
         self._cached_nlist_id: Optional[int] = None
         self._grid: Optional[SubdomainGrid] = None
         self._pairs: Optional[PairPartition] = None
@@ -187,21 +201,42 @@ class SDCStrategy(ReductionStrategy):
         assert self._pairs is not None and self._schedule is not None
         pairs = self._pairs
         schedule = self._schedule
+        tier = self._tier()
+        fused = self._use_fused(tier, potential)
         positions = atoms.positions
         box = atoms.box
         n = atoms.n_atoms
 
         # phase 1: densities, color by color
         rho = self._array("rho", n)
+        # fused drivers return per-color pair-energy partials, saving the
+        # separate full-pair-list energy pass at the end
+        color_energy = np.zeros(max(len(schedule.phases), 1))
 
         def density_task(subdomain: int):
             def run() -> None:
                 i_idx, j_idx = pairs.pairs_of(subdomain)
                 if len(i_idx) == 0:
                     return
-                _, r = pair_geometry(positions, box, i_idx, j_idx)
-                phi = density_pair_values(potential, r)
-                scatter_rho_half(rho, i_idx, j_idx, phi)
+                _, r = pair_geometry(positions, box, i_idx, j_idx, tier=tier)
+                phi = density_pair_values(potential, r, tier=tier)
+                scatter_rho_half(rho, i_idx, j_idx, phi, tier=tier)
+
+            return run
+
+        def fused_density_task(color: int, members: np.ndarray):
+            def run() -> None:
+                color_energy[color] = tier.sdc_density_color_phase(
+                    potential,
+                    positions,
+                    box,
+                    pairs.i_idx,
+                    pairs.j_idx,
+                    pairs.offsets,
+                    np.asarray(members, dtype=np.int64),
+                    rho,
+                    want_pair_energy=True,
+                )
 
             return run
 
@@ -211,10 +246,16 @@ class SDCStrategy(ReductionStrategy):
                     f"density:color{color}",
                     color=color,
                     n_subdomains=len(members),
+                    fused=fused,
                 ):
-                    self.backend.run_phase(
-                        [density_task(int(s)) for s in members]
-                    )
+                    if fused:
+                        self.backend.run_phase(
+                            [fused_density_task(color, members)]
+                        )
+                    else:
+                        self.backend.run_phase(
+                            [density_task(int(s)) for s in members]
+                        )
 
         # phase 2: embedding, plain parallel for
         fp = np.empty(n)
@@ -243,12 +284,33 @@ class SDCStrategy(ReductionStrategy):
                 i_idx, j_idx = pairs.pairs_of(subdomain)
                 if len(i_idx) == 0:
                     return
-                delta, r = pair_geometry(positions, box, i_idx, j_idx)
+                delta, r = pair_geometry(positions, box, i_idx, j_idx, tier=tier)
                 coeff = force_pair_coefficients(
-                    potential, r, fp[i_idx], fp[j_idx], pair_ids=(i_idx, j_idx)
+                    potential,
+                    r,
+                    fp[i_idx],
+                    fp[j_idx],
+                    pair_ids=(i_idx, j_idx),
+                    tier=tier,
                 )
                 pair_forces = coeff[:, None] * delta
-                scatter_force_half(forces, i_idx, j_idx, pair_forces)
+                scatter_force_half(forces, i_idx, j_idx, pair_forces, tier=tier)
+
+            return run
+
+        def fused_force_task(members: np.ndarray):
+            def run() -> None:
+                tier.sdc_force_color_phase(
+                    potential,
+                    positions,
+                    box,
+                    pairs.i_idx,
+                    pairs.j_idx,
+                    pairs.offsets,
+                    np.asarray(members, dtype=np.int64),
+                    fp,
+                    forces,
+                )
 
             return run
 
@@ -258,15 +320,32 @@ class SDCStrategy(ReductionStrategy):
                     f"force:color{color}",
                     color=color,
                     n_subdomains=len(members),
+                    fused=fused,
                 ):
-                    self.backend.run_phase(
-                        [force_task(int(s)) for s in members]
-                    )
+                    if fused:
+                        self.backend.run_phase([fused_force_task(members)])
+                    else:
+                        self.backend.run_phase(
+                            [force_task(int(s)) for s in members]
+                        )
 
-        pair_energy = self._total_pair_energy(potential, atoms, nlist)
+        if fused:
+            # the fused density drivers already summed phi-pair energies
+            # color by color over the full (half) pair partition
+            pair_energy = float(np.sum(color_energy))
+        else:
+            pair_energy = self._total_pair_energy(potential, atoms, nlist)
         return self._finalize(
             potential, atoms, nlist, rho, fp, forces, embedding_energy, pair_energy
         )
+
+    def _use_fused(self, tier, potential: EAMPotential) -> bool:
+        """Decide color-phase fusion for this compute (see class docstring)."""
+        if self.fused is False or self._instrument is not None:
+            return False
+        if self.fused is True:
+            return True
+        return tier.fused_color_phases(potential)
 
     # --- timing plan ----------------------------------------------------------------
 

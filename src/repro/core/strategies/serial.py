@@ -32,7 +32,8 @@ class SerialStrategy(ReductionStrategy):
         nlist: NeighborList,
     ) -> EAMComputation:
         return compute_eam_forces_serial(
-            potential, atoms, nlist, profiler=self._profiler
+            potential, atoms, nlist, profiler=self._profiler,
+            tier=self._kernel_tier,
         )
 
     def plan(

@@ -79,14 +79,15 @@ class BenchSkip(RuntimeError):
 
 
 def _make_serial_on_backend(
-    backend, potential, atoms, nlist, profiler: PhaseProfiler
+    backend, potential, atoms, nlist, profiler: PhaseProfiler, tier=None
 ) -> Callable[[], object]:
     """Serial kernels dispatched as single-task phases through ``backend``.
 
     This is what "serial strategy on the threads backend" means: the same
     three-phase structure, each phase one closure, so the backend's
     dispatch/join overhead (and the observer's barrier accounting) is
-    measured against the pure in-process call.
+    measured against the pure in-process call.  ``tier`` pins the kernel
+    tier explicitly (None follows the process-global active tier).
     """
     from repro.potentials.eam import (
         eam_density_and_pair_energy_phase,
@@ -98,7 +99,7 @@ def _make_serial_on_backend(
 
     def density() -> None:
         state["rho"], state["pair_energy"] = eam_density_and_pair_energy_phase(
-            potential, atoms.positions, atoms.box, nlist
+            potential, atoms.positions, atoms.box, nlist, tier=tier
         )
 
     def embed() -> None:
@@ -108,7 +109,7 @@ def _make_serial_on_backend(
 
     def force() -> None:
         state["forces"] = eam_force_phase(
-            potential, atoms.positions, atoms.box, nlist, state["fp"]
+            potential, atoms.positions, atoms.box, nlist, state["fp"], tier=tier
         )
 
     def compute() -> object:
@@ -176,15 +177,11 @@ def _make_cell(
     )
 
     if strategy_key == "serial":
+        # the tier travels inside the phase closures — no global override
         inner = _make_serial_on_backend(
-            backend, potential, atoms, nlist, profiler
+            backend, potential, atoms, nlist, profiler, tier=tier
         )
-
-        def compute() -> object:
-            with kernels.use_tier(tier):
-                return inner()
-
-        return compute, backend.close
+        return inner, backend.close
 
     if strategy_key.startswith("sdc-"):
         strategy = STRATEGY_REGISTRY["sdc"](
@@ -194,17 +191,16 @@ def _make_cell(
         strategy = STRATEGY_REGISTRY[strategy_key](
             n_threads=n_workers, backend=backend
         )
+    # pin instead of use_tier(): concurrent sweep cells (or a user's own
+    # driver on another thread) never race on the process-global slot
+    strategy.set_kernel_tier(tier)
     strategy.attach_profiler(profiler)
 
     def cleanup() -> None:
         strategy.detach_profiler()
         backend.close()
 
-    def compute() -> object:
-        with kernels.use_tier(tier):
-            return strategy.compute(potential, atoms, nlist)
-
-    return compute, cleanup
+    return lambda: strategy.compute(potential, atoms, nlist), cleanup
 
 
 def bench_forces(
@@ -413,6 +409,72 @@ def render_amortization_table(records: Sequence[BenchRecord]) -> str:
         lines.append(
             f"{case:<6} {strategy:<22} {backend:<9} {workers:>2} "
             f"{first:>10.6f} s {amortized:>10.6f} s {speedup:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def tier_speedup_records(
+    candidate: Sequence[BenchRecord],
+    reference: Sequence[BenchRecord],
+) -> List[Dict[str, object]]:
+    """Per-cell kernel-tier speedups: reference median / candidate median.
+
+    Pairs candidate and reference records cell-by-cell on
+    ``(case, strategy, backend, n_workers)`` using each sweep's
+    end-to-end phase (``total`` for the forces sweep, ``amortized`` for
+    the repeated-compute mode) and emits one history-store record per
+    matched cell.  A speedup > 1 means the candidate tier is faster.
+    """
+    end_phases = ("total", PHASE_AMORTIZED)
+
+    def index(records: Sequence[BenchRecord]):
+        out: Dict[Tuple[str, str, str, int], BenchRecord] = {}
+        for r in records:
+            if r.phase in end_phases:
+                out[(r.case, r.strategy, r.backend, r.n_workers)] = r
+        return out
+
+    cand, ref = index(candidate), index(reference)
+    rows: List[Dict[str, object]] = []
+    for key in sorted(cand):
+        if key not in ref:
+            continue
+        c, r = cand[key], ref[key]
+        if c.median_s <= 0:
+            continue
+        case, strategy, backend, workers = key
+        rows.append(
+            {
+                "kind": "tier-speedup",
+                "case": case,
+                "strategy": strategy,
+                "backend": backend,
+                "n_workers": workers,
+                "phase": c.phase,
+                "kernel_tier": c.kernel_tier,
+                "reference_tier": r.kernel_tier,
+                "median_s": c.median_s,
+                "reference_median_s": r.median_s,
+                "speedup": r.median_s / c.median_s,
+            }
+        )
+    return rows
+
+
+def render_tier_speedup_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Human-readable tier-speedup table (one row per matched cell)."""
+    if not rows:
+        return "(no tier-speedup records)"
+    header = (
+        f"{'case':<6} {'strategy':<22} {'backend':<9} {'w':>2} "
+        f"{'tier':<22} {'vs':<8} {'speedup':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['case']:<6} {row['strategy']:<22} {row['backend']:<9} "
+            f"{row['n_workers']:>2} {row['kernel_tier']:<22} "
+            f"{row['reference_tier']:<8} {row['speedup']:>7.2f}x"
         )
     return "\n".join(lines)
 

@@ -2,35 +2,51 @@
 
 A *tier* implements the kernel entry points behind
 :mod:`repro.potentials.eam` (pair geometry, the density/force scatters,
-and the fused phase drivers).  Two ship today:
+and the fused phase drivers).  Two bases ship today:
 
 * ``"numpy"`` — the vectorized reference implementation (always present).
 * ``"numba"`` — ``@njit``-compiled CSR traversal; requires Numba.
 
+The numba base has first-class *variants* that select its compilation
+flags per spec: ``"numba-parallel"`` (``prange`` over the elementwise
+kernels and the fused SDC color-phase drivers), ``"numba-fastmath"``,
+and ``"numba-parallel-fastmath"``.  Each variant compiles its own kernel
+set lazily on first request and is cached by its
+:class:`~repro.kernels.config.KernelTierConfig`.
+
 ``"auto"`` picks numba when importable, numpy otherwise, silently.
-Requesting ``"numba"`` explicitly when it cannot be built emits a single
-:class:`KernelTierWarning` and returns the numpy tier — a missing or
-broken JIT never crashes a run (the *fallback contract*, see DESIGN.md).
+Requesting ``"numba"`` (or any variant) explicitly when it cannot be
+built emits a single :class:`KernelTierWarning` and returns the numpy
+tier — a missing or broken JIT never crashes a run (the *fallback
+contract*, see DESIGN.md).
 
 Selection surfaces, outermost wins:
 
 * ``EAMCalculator(kernel_tier=...)`` / ``ProcessSDCCalculator(kernel_tier=...)``
+* ``strategy.set_kernel_tier(...)`` on any reduction strategy
 * ``repro bench --kernel-tier ...`` / ``repro trace --kernel-tier ...``
 * the ``REPRO_KERNEL_TIER`` environment variable (process-wide default)
 
 Dispatch happens through a process-global *active tier*
-(:func:`active_tier`), temporarily overridden with :func:`use_tier`.  The
-global is deliberately not thread-local: strategy worker threads must see
-the tier their driver selected.  Forked process workers re-resolve from
-the spec shipped in their task payload.
+(:func:`active_tier`), temporarily overridden with :func:`use_tier`.
+The global is deliberately not thread-local: strategy worker threads
+must see the tier their driver selected.  **Concurrent drivers must not
+rely on** :func:`use_tier` — it swaps one process-wide slot, so two
+calculators overriding it from different threads clobber each other
+mid-evaluation.  Drivers that may run concurrently pass their resolved
+tier explicitly instead (``strategy.set_kernel_tier`` /
+``compute_eam_forces_serial(tier=...)``), which is what
+:class:`~repro.md.calculator.EAMCalculator` does.  Forked process
+workers re-resolve from the variant name shipped in their task payload.
 """
 
 from __future__ import annotations
 
 import os
 import sys
+import threading
 from contextlib import contextmanager
-from typing import Iterator, Optional, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.kernels.base import (
     MIN_PAIR_SEPARATION,
@@ -39,33 +55,53 @@ from repro.kernels.base import (
     reset_tier_warnings,
     warn_tier_once,
 )
+from repro.kernels.config import (
+    ENV_FASTMATH,
+    ENV_PARALLEL,
+    KernelTierConfig,
+    parse_tier_spec,
+)
 from repro.kernels.numpy_tier import NumpyKernelTier
 
 __all__ = [
     "MIN_PAIR_SEPARATION",
+    "ENV_FASTMATH",
+    "ENV_PARALLEL",
     "KernelTier",
+    "KernelTierConfig",
     "KernelTierWarning",
     "TIER_NAMES",
     "active_tier",
     "available_tiers",
     "get",
     "numba_available",
+    "parse_tier_spec",
     "reset",
     "set_active_tier",
     "use_tier",
 ]
 
-#: every spec ``get`` accepts
-TIER_NAMES = ("numpy", "numba", "auto")
+#: canonical specs ``get`` accepts (flags may also trail ``auto``)
+TIER_NAMES = (
+    "numpy",
+    "numba",
+    "auto",
+    "numba-parallel",
+    "numba-fastmath",
+    "numba-parallel-fastmath",
+)
 
 ENV_VAR = "REPRO_KERNEL_TIER"
 
-TierSpec = Union[str, KernelTier, None]
+TierSpec = Union[str, KernelTier, KernelTierConfig, None]
 
 _numpy_tier: Optional[NumpyKernelTier] = None
-_numba_tier: Optional[KernelTier] = None
+#: one numba tier per (parallel, fastmath) compilation config
+_numba_tiers: Dict[Tuple[bool, bool], KernelTier] = {}
 _numba_error: Optional[str] = None
 _active: Optional[KernelTier] = None
+#: guards the active-tier slot swaps (not held across user code)
+_active_lock = threading.RLock()
 
 
 def _get_numpy() -> NumpyKernelTier:
@@ -75,22 +111,27 @@ def _get_numpy() -> NumpyKernelTier:
     return _numpy_tier
 
 
-def _build_numba(warn: bool) -> Optional[KernelTier]:
-    """Build (once) the numba tier; None when it cannot be built.
+def _build_numba(config: KernelTierConfig, warn: bool) -> Optional[KernelTier]:
+    """Build (once per config) a numba tier; None when it cannot be built.
 
     ``warn`` controls whether failure emits the fallback warning —
     ``"numba"`` was asked for by name, so the user should hear why they
-    are not getting it; ``"auto"`` promised only best-effort.
+    are not getting it; ``"auto"`` promised only best-effort.  An import
+    failure poisons every variant (they share the toolchain), so it is
+    recorded once and never retried within a process.
     """
-    global _numba_tier, _numba_error
-    if _numba_tier is not None:
-        return _numba_tier
+    global _numba_error
+    key = (config.parallel, config.fastmath)
+    tier = _numba_tiers.get(key)
+    if tier is not None:
+        return tier
     if _numba_error is None:
         try:
             from repro.kernels.numba_tier import NumbaKernelTier
 
-            _numba_tier = NumbaKernelTier()
-            return _numba_tier
+            tier = NumbaKernelTier(config)
+            _numba_tiers[key] = tier
+            return tier
         except Exception as exc:
             _numba_error = f"{type(exc).__name__}: {exc}"
     if warn:
@@ -104,71 +145,87 @@ def _build_numba(warn: bool) -> Optional[KernelTier]:
 
 def numba_available() -> bool:
     """True when the numba tier can actually be built in this process."""
-    return _build_numba(warn=False) is not None
+    return _build_numba(KernelTierConfig(base="numba"), warn=False) is not None
 
 
 def available_tiers() -> tuple:
-    """Names of the tiers that would really run here (numpy always)."""
+    """Names of the base tiers that would really run here (numpy always).
+
+    Variant specs (``numba-parallel``, ...) compile from the same
+    toolchain, so base availability is the whole story.
+    """
     return ("numpy", "numba") if numba_available() else ("numpy",)
 
 
 def get(spec: TierSpec = "auto") -> KernelTier:
     """Resolve a tier spec to a live tier instance.
 
-    ``"numpy"``/``"numba"``/``"auto"`` (case-insensitive), an existing
-    :class:`KernelTier` (returned as-is), or None/"" meaning the
-    ``REPRO_KERNEL_TIER`` environment default (itself defaulting to
-    numpy).  An explicit ``"numba"`` request that cannot be satisfied
-    warns once and returns the numpy tier; ``"auto"`` degrades silently.
+    Accepts a variant spec string (any of :data:`TIER_NAMES`, plus
+    flagged ``auto-*`` forms; case-insensitive), a
+    :class:`KernelTierConfig`, an existing :class:`KernelTier` (returned
+    as-is), or None/"" meaning the ``REPRO_KERNEL_TIER`` environment
+    default (itself defaulting to numpy).  An explicit ``numba`` request
+    that cannot be satisfied warns once and returns the numpy tier;
+    ``"auto"`` degrades silently.
     """
     if isinstance(spec, KernelTier):
         return spec
-    if spec is None or spec == "":
-        spec = os.environ.get(ENV_VAR, "").strip() or "numpy"
-    name = spec.strip().lower()
-    if name == "numpy":
+    if isinstance(spec, KernelTierConfig):
+        config = spec
+    else:
+        if spec is None or spec == "":
+            spec = os.environ.get(ENV_VAR, "").strip() or "numpy"
+        config = parse_tier_spec(spec)
+    if config.base == "numpy":
         return _get_numpy()
-    if name == "numba":
-        return _build_numba(warn=True) or _get_numpy()
-    if name == "auto":
-        return _build_numba(warn=False) or _get_numpy()
-    raise ValueError(
-        f"unknown kernel tier {spec!r}; expected one of {TIER_NAMES}"
-    )
+    warn = config.base == "numba"
+    return _build_numba(config, warn=warn) or _get_numpy()
 
 
 def active_tier() -> KernelTier:
     """The tier :mod:`repro.potentials.eam` currently dispatches to."""
     global _active
     if _active is None:
-        _active = get(None)
+        with _active_lock:
+            if _active is None:
+                _active = get(None)
     return _active
 
 
 def set_active_tier(spec: TierSpec) -> KernelTier:
     """Set the process-wide active tier; None re-resolves the env default."""
     global _active
-    _active = get(spec) if spec is not None else get(None)
-    return _active
+    tier = get(spec) if spec is not None else get(None)
+    with _active_lock:
+        _active = tier
+    return tier
 
 
 @contextmanager
 def use_tier(spec: TierSpec) -> Iterator[KernelTier]:
-    """Scoped tier override; ``None`` keeps whatever is already active.
+    """Scoped override of the *process-wide* tier; ``None`` keeps the
+    current one.
 
-    This is how calculators select their tier per evaluation without
-    disturbing concurrent code that relies on the process default.
+    The swap itself is locked, but the override is global for the whole
+    ``with`` body — two threads nesting different ``use_tier`` blocks
+    still see each other's tier.  Concurrent drivers must pass their
+    tier explicitly (``strategy.set_kernel_tier`` /
+    ``compute_eam_forces_serial(tier=...)``) instead of relying on this;
+    ``use_tier`` remains for single-threaded scoping and tests.
     """
-    global _active
     if spec is None:
         yield active_tier()
         return
-    previous = _active
-    _active = get(spec)
+    tier = get(spec)
+    with _active_lock:
+        global _active
+        previous = _active
+        _active = tier
     try:
-        yield _active
+        yield tier
     finally:
-        _active = previous
+        with _active_lock:
+            _active = previous
 
 
 def reset() -> None:
@@ -177,9 +234,9 @@ def reset() -> None:
     Also drops the imported numba tier module so a test that installs or
     removes a fake ``numba`` in ``sys.modules`` gets a fresh import.
     """
-    global _numpy_tier, _numba_tier, _numba_error, _active
+    global _numpy_tier, _numba_error, _active
     _numpy_tier = None
-    _numba_tier = None
+    _numba_tiers.clear()
     _numba_error = None
     _active = None
     sys.modules.pop("repro.kernels.numba_tier", None)

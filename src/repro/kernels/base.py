@@ -154,6 +154,20 @@ class KernelTier(ABC):
         """
         return True
 
+    def fused_color_phases(self, potential) -> bool:
+        """True when the SDC color-phase drivers below run as single
+        compiled calls for ``potential``.
+
+        The generic implementations work on every tier but merely
+        re-compose the pair-slice primitives, so they are not worth
+        replacing a backend's per-subdomain task dispatch for (that
+        dispatch is what gives the threads backend its concurrency).  A
+        compiled tier overrides this to advertise that one call covers
+        the whole color — the SDC strategy then collapses each color
+        into a single fused task.
+        """
+        return False
+
     # --- pair-slice primitives ------------------------------------------------
 
     @abstractmethod
@@ -247,3 +261,68 @@ class KernelTier(ABC):
         counter=None,
     ) -> np.ndarray:
         """Phase 3: forces from the cached embedding derivatives."""
+
+    # --- fused SDC color-phase drivers ----------------------------------------
+
+    def sdc_density_color_phase(
+        self,
+        potential,
+        positions: np.ndarray,
+        box,
+        i_idx: np.ndarray,
+        j_idx: np.ndarray,
+        offsets: np.ndarray,
+        members: np.ndarray,
+        rho: np.ndarray,
+        want_pair_energy: bool = True,
+    ) -> float:
+        """One SDC density color phase: scatter phi over every member
+        subdomain's pairs, returning the color's pair-energy partial.
+
+        ``i_idx``/``j_idx`` are the pair partition's permuted
+        (subdomain-contiguous, cell-blocked) pair arrays, ``offsets`` its
+        per-subdomain CSR offsets, ``members`` the subdomain ids of this
+        color.  Same-color write sets are disjoint by construction, which
+        is what makes a ``parallel=True`` override race-free.  The
+        generic implementation composes the pair-slice primitives
+        subdomain by subdomain.
+        """
+        energy = 0.0
+        for s in members:
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            if hi == lo:
+                continue
+            ii = i_idx[lo:hi]
+            jj = j_idx[lo:hi]
+            _, r = self.pair_geometry(positions, box, ii, jj)
+            phi = self.density_pair_values(potential, r)
+            self.scatter_rho_half(rho, ii, jj, phi)
+            if want_pair_energy:
+                energy += float(np.sum(potential.pair_energy(r)))
+        return energy
+
+    def sdc_force_color_phase(
+        self,
+        potential,
+        positions: np.ndarray,
+        box,
+        i_idx: np.ndarray,
+        j_idx: np.ndarray,
+        offsets: np.ndarray,
+        members: np.ndarray,
+        fp: np.ndarray,
+        forces: np.ndarray,
+    ) -> None:
+        """One SDC force color phase: Eq. 2 scatter over every member
+        subdomain's pairs (layout as in :meth:`sdc_density_color_phase`)."""
+        for s in members:
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            if hi == lo:
+                continue
+            ii = i_idx[lo:hi]
+            jj = j_idx[lo:hi]
+            delta, r = self.pair_geometry(positions, box, ii, jj)
+            coeff = self.force_pair_coefficients(
+                potential, r, fp[ii], fp[jj], pair_ids=(ii, jj)
+            )
+            self.scatter_force_half(forces, ii, jj, coeff[:, None] * delta)

@@ -6,22 +6,29 @@ failure) and falls back to the NumPy tier with a single warning, so
 nothing above this layer ever needs to know whether a JIT exists.
 
 Layout mirrors the NumPy reference tier but the pair loops live inside
-``@njit(cache=True)`` functions: the fused phase drivers traverse the
-CSR neighbor layout row-by-row — the cell-blocked order Section II.D
-reordering already established, so consecutive rows touch nearby atoms —
-with the minimum-image fold and potential evaluation inlined per pair.
-The potential itself is consumed in lowered form
+``@njit`` functions: the fused phase drivers traverse the CSR neighbor
+layout row-by-row — the cell-blocked order Section II.D reordering
+already established, so consecutive rows touch nearby atoms — with the
+minimum-image fold and potential evaluation inlined per pair.  The
+potential itself is consumed in lowered form
 (:mod:`repro.kernels.lowering`): a kind tag plus flat float64 arrays
 evaluated by scalar device functions.
 
+Every tier *variant* (:class:`~repro.kernels.config.KernelTierConfig`)
+compiles its own kernel set through :func:`build_kernel_set`, keyed by
+its ``(parallel, fastmath)`` flags — the flags are no longer snapshotted
+from the environment at import time.  ``cache=True`` is not used: the
+kernels are closures over their compilation flags, which Numba's
+on-disk cache cannot key.
+
 Determinism and safety decisions:
 
-* ``fastmath`` and ``parallel`` default **off** (env
-  ``REPRO_KERNEL_FASTMATH`` / ``REPRO_KERNEL_PARALLEL`` opt in) so the
-  compiled tier is a drop-in for the deterministic NumPy tier.  Only the
-  elementwise kernels ever parallelize — the half-list scatter loops
-  carry the very write races this library's strategies exist to manage,
-  so thread-level parallelism stays at the strategy layer.
+* ``fastmath`` and ``parallel`` default **off** (the plain ``"numba"``
+  variant) so the compiled tier is a drop-in for the deterministic
+  NumPy tier.  Under ``parallel=True`` the elementwise kernels and the
+  fused SDC color-phase drivers ``prange``; the latter are race-free by
+  construction because same-color subdomain write sets are disjoint —
+  the half-list scatter loops *within one subdomain* stay sequential.
 * Bounds are asserted at dispatch time (``check_scatter_indices``): a
   compiled loop has no ``np.add.at`` safety net and would silently
   corrupt memory on a bad index.
@@ -34,8 +41,8 @@ Determinism and safety decisions:
 
 from __future__ import annotations
 
-import os
-from typing import Optional, Tuple
+from types import SimpleNamespace
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from numba import njit, prange
@@ -49,17 +56,9 @@ from repro.kernels.base import (
     overlap_error,
     warn_tier_once,
 )
+from repro.kernels.config import KernelTierConfig
 from repro.kernels.lowering import KIND_JOHNSON, lower_potential
 from repro.kernels.numpy_tier import NumpyKernelTier
-
-
-def _env_flag(name: str) -> bool:
-    return os.environ.get(name, "").strip().lower() in ("1", "true", "on", "yes")
-
-
-_FASTMATH = _env_flag("REPRO_KERNEL_FASTMATH")
-_PARALLEL = _env_flag("REPRO_KERNEL_PARALLEL")
-_prange = prange if _PARALLEL else range
 
 _EPS = float(np.finfo(np.float64).eps)
 
@@ -72,317 +71,431 @@ def _as_i64(a: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(a, dtype=np.int64)
 
 
-# --------------------------------------------------------------------------
-# scalar potential evaluators (device functions)
-# --------------------------------------------------------------------------
-
-@njit(cache=True, fastmath=_FASTMATH)
-def _switch_scalar(r, r_switch, r_cut):
-    x = (r - r_switch) / (r_cut - r_switch)
-    if x < 0.0:
-        x = 0.0
-    elif x > 1.0:
-        x = 1.0
-    return 1.0 - x * x * x * (10.0 + x * (-15.0 + 6.0 * x))
+#: one compiled kernel set per (parallel, fastmath) — shared by every
+#: tier instance with the same flags, so variants never recompile
+_KERNEL_SETS: Dict[Tuple[bool, bool], SimpleNamespace] = {}
 
 
-@njit(cache=True, fastmath=_FASTMATH)
-def _switch_deriv_scalar(r, r_switch, r_cut):
-    width = r_cut - r_switch
-    x = (r - r_switch) / width
-    if x <= 0.0 or x >= 1.0:
-        return 0.0
-    return (-30.0 * x * x * (1.0 - x) * (1.0 - x)) / width
+def build_kernel_set(
+    parallel: bool = False, fastmath: bool = False
+) -> SimpleNamespace:
+    """Compile (once per flag pair) the full kernel set for a variant.
 
+    The kernels close over ``parallel``/``fastmath`` instead of reading
+    module globals, which is what makes variants first-class: a process
+    can hold the deterministic ``numba`` tier and the ``numba-parallel``
+    tier side by side, each dispatching to its own compiled functions.
+    """
+    key = (bool(parallel), bool(fastmath))
+    cached = _KERNEL_SETS.get(key)
+    if cached is not None:
+        return cached
 
-@njit(cache=True, fastmath=_FASTMATH)
-def _spline_value_scalar(r, x0, h, y, m):
-    n = y.shape[0]
-    end = x0 + (n - 1) * h
-    tol = 8.0 * _EPS * max(max(abs(x0), abs(end)), 1.0)
-    if r < x0 - tol or r > end + tol:
-        return 0.0
-    u = (r - x0) / h
-    k = int(u)
-    if k < 0:
-        k = 0
-    elif k > n - 2:
-        k = n - 2
-    t = u - k
-    y0 = y[k]
-    y1 = y[k + 1]
-    m0 = m[k]
-    m1 = m[k + 1]
-    b = (y1 - y0) / h - h * (2.0 * m0 + m1) / 6.0
-    th = t * h
-    return y0 + b * th + 0.5 * m0 * th * th + (m1 - m0) / (6.0 * h) * th * th * th
+    _pr = prange if parallel else range
 
+    def jit(func=None, *, par: bool = False):
+        decorator = njit(cache=False, fastmath=fastmath, parallel=par)
+        return decorator(func) if func is not None else decorator
 
-@njit(cache=True, fastmath=_FASTMATH)
-def _spline_deriv_scalar(r, x0, h, y, m):
-    n = y.shape[0]
-    end = x0 + (n - 1) * h
-    tol = 8.0 * _EPS * max(max(abs(x0), abs(end)), 1.0)
-    if r < x0 - tol or r > end + tol:
-        return 0.0
-    u = (r - x0) / h
-    k = int(u)
-    if k < 0:
-        k = 0
-    elif k > n - 2:
-        k = n - 2
-    t = u - k
-    y0 = y[k]
-    y1 = y[k + 1]
-    m0 = m[k]
-    m1 = m[k + 1]
-    b = (y1 - y0) / h - h * (2.0 * m0 + m1) / 6.0
-    th = t * h
-    return b + m0 * th + (m1 - m0) / (2.0 * h) * th * th
+    # --- scalar potential evaluators (device functions) -------------------
 
+    @jit
+    def _switch_scalar(r, r_switch, r_cut):
+        x = (r - r_switch) / (r_cut - r_switch)
+        if x < 0.0:
+            x = 0.0
+        elif x > 1.0:
+            x = 1.0
+        return 1.0 - x * x * x * (10.0 + x * (-15.0 + 6.0 * x))
 
-@njit(cache=True, fastmath=_FASTMATH)
-def _density_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
-    if kind == KIND_JOHNSON:
-        re = params[0]
-        fe = params[1]
-        beta = params[2]
-        r_switch = params[5]
-        r_cut = params[6]
-        if r >= r_cut:
+    @jit
+    def _switch_deriv_scalar(r, r_switch, r_cut):
+        width = r_cut - r_switch
+        x = (r - r_switch) / width
+        if x <= 0.0 or x >= 1.0:
             return 0.0
-        raw = fe * np.exp(-beta * (r / re - 1.0))
-        return raw * _switch_scalar(r, r_switch, r_cut)
-    return _spline_value_scalar(r, x0, h, dyv, dmv)
+        return (-30.0 * x * x * (1.0 - x) * (1.0 - x)) / width
 
-
-@njit(cache=True, fastmath=_FASTMATH)
-def _density_deriv_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
-    if kind == KIND_JOHNSON:
-        re = params[0]
-        fe = params[1]
-        beta = params[2]
-        r_switch = params[5]
-        r_cut = params[6]
-        if r >= r_cut:
+    @jit
+    def _spline_value_scalar(r, x0, h, y, m):
+        n = y.shape[0]
+        end = x0 + (n - 1) * h
+        tol = 8.0 * _EPS * max(max(abs(x0), abs(end)), 1.0)
+        if r < x0 - tol or r > end + tol:
             return 0.0
-        raw = fe * np.exp(-beta * (r / re - 1.0))
-        raw_d = raw * (-beta / re)
-        return raw_d * _switch_scalar(r, r_switch, r_cut) + raw * _switch_deriv_scalar(
-            r, r_switch, r_cut
+        u = (r - x0) / h
+        k = int(u)
+        if k < 0:
+            k = 0
+        elif k > n - 2:
+            k = n - 2
+        t = u - k
+        y0 = y[k]
+        y1 = y[k + 1]
+        m0 = m[k]
+        m1 = m[k + 1]
+        b = (y1 - y0) / h - h * (2.0 * m0 + m1) / 6.0
+        th = t * h
+        return (
+            y0 + b * th + 0.5 * m0 * th * th + (m1 - m0) / (6.0 * h) * th * th * th
         )
-    return _spline_deriv_scalar(r, x0, h, dyv, dmv)
 
-
-@njit(cache=True, fastmath=_FASTMATH)
-def _pair_energy_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
-    if kind == KIND_JOHNSON:
-        re = params[0]
-        D = params[3]
-        a = params[4]
-        r_switch = params[5]
-        r_cut = params[6]
-        if r >= r_cut:
+    @jit
+    def _spline_deriv_scalar(r, x0, h, y, m):
+        n = y.shape[0]
+        end = x0 + (n - 1) * h
+        tol = 8.0 * _EPS * max(max(abs(x0), abs(end)), 1.0)
+        if r < x0 - tol or r > end + tol:
             return 0.0
-        e1 = np.exp(-2.0 * a * (r - re))
-        e2 = np.exp(-a * (r - re))
-        raw = D * (e1 - 2.0 * e2)
-        return raw * _switch_scalar(r, r_switch, r_cut)
-    return _spline_value_scalar(r, x0, h, pyv, pmv)
+        u = (r - x0) / h
+        k = int(u)
+        if k < 0:
+            k = 0
+        elif k > n - 2:
+            k = n - 2
+        t = u - k
+        y0 = y[k]
+        y1 = y[k + 1]
+        m0 = m[k]
+        m1 = m[k + 1]
+        b = (y1 - y0) / h - h * (2.0 * m0 + m1) / 6.0
+        th = t * h
+        return b + m0 * th + (m1 - m0) / (2.0 * h) * th * th
 
+    @jit
+    def _density_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+        if kind == KIND_JOHNSON:
+            re = params[0]
+            fe = params[1]
+            beta = params[2]
+            r_switch = params[5]
+            r_cut = params[6]
+            if r >= r_cut:
+                return 0.0
+            raw = fe * np.exp(-beta * (r / re - 1.0))
+            return raw * _switch_scalar(r, r_switch, r_cut)
+        return _spline_value_scalar(r, x0, h, dyv, dmv)
 
-@njit(cache=True, fastmath=_FASTMATH)
-def _pair_energy_deriv_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
-    if kind == KIND_JOHNSON:
-        re = params[0]
-        D = params[3]
-        a = params[4]
-        r_switch = params[5]
-        r_cut = params[6]
-        if r >= r_cut:
-            return 0.0
-        e1 = np.exp(-2.0 * a * (r - re))
-        e2 = np.exp(-a * (r - re))
-        raw = D * (e1 - 2.0 * e2)
-        raw_d = D * (-2.0 * a * e1 + 2.0 * a * e2)
-        return raw_d * _switch_scalar(r, r_switch, r_cut) + raw * _switch_deriv_scalar(
-            r, r_switch, r_cut
-        )
-    return _spline_deriv_scalar(r, x0, h, pyv, pmv)
+    @jit
+    def _density_deriv_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+        if kind == KIND_JOHNSON:
+            re = params[0]
+            fe = params[1]
+            beta = params[2]
+            r_switch = params[5]
+            r_cut = params[6]
+            if r >= r_cut:
+                return 0.0
+            raw = fe * np.exp(-beta * (r / re - 1.0))
+            raw_d = raw * (-beta / re)
+            return raw_d * _switch_scalar(
+                r, r_switch, r_cut
+            ) + raw * _switch_deriv_scalar(r, r_switch, r_cut)
+        return _spline_deriv_scalar(r, x0, h, dyv, dmv)
 
+    @jit
+    def _pair_energy_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+        if kind == KIND_JOHNSON:
+            re = params[0]
+            D = params[3]
+            a = params[4]
+            r_switch = params[5]
+            r_cut = params[6]
+            if r >= r_cut:
+                return 0.0
+            e1 = np.exp(-2.0 * a * (r - re))
+            e2 = np.exp(-a * (r - re))
+            raw = D * (e1 - 2.0 * e2)
+            return raw * _switch_scalar(r, r_switch, r_cut)
+        return _spline_value_scalar(r, x0, h, pyv, pmv)
 
-# --------------------------------------------------------------------------
-# pair-slice kernels
-# --------------------------------------------------------------------------
+    @jit
+    def _pair_energy_deriv_scalar(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+        if kind == KIND_JOHNSON:
+            re = params[0]
+            D = params[3]
+            a = params[4]
+            r_switch = params[5]
+            r_cut = params[6]
+            if r >= r_cut:
+                return 0.0
+            e1 = np.exp(-2.0 * a * (r - re))
+            e2 = np.exp(-a * (r - re))
+            raw = D * (e1 - 2.0 * e2)
+            raw_d = D * (-2.0 * a * e1 + 2.0 * a * e2)
+            return raw_d * _switch_scalar(
+                r, r_switch, r_cut
+            ) + raw * _switch_deriv_scalar(r, r_switch, r_cut)
+        return _spline_deriv_scalar(r, x0, h, pyv, pmv)
 
-@njit(cache=True, fastmath=_FASTMATH)
-def _pair_geometry_kernel(positions, i_idx, j_idx, lengths, pflags):
-    n_pairs = i_idx.shape[0]
-    delta = np.empty((n_pairs, 3))
-    r = np.empty(n_pairs)
-    for k in range(n_pairs):
-        i = i_idx[k]
-        j = j_idx[k]
-        d0 = positions[i, 0] - positions[j, 0]
-        d1 = positions[i, 1] - positions[j, 1]
-        d2 = positions[i, 2] - positions[j, 2]
-        if pflags[0]:
-            d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
-        if pflags[1]:
-            d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
-        if pflags[2]:
-            d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
-        delta[k, 0] = d0
-        delta[k, 1] = d1
-        delta[k, 2] = d2
-        r[k] = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
-    return delta, r
+    # --- pair-slice kernels -----------------------------------------------
 
-
-@njit(cache=True, fastmath=_FASTMATH, parallel=_PARALLEL)
-def _density_values_kernel(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
-    n = r.shape[0]
-    phi = np.empty(n)
-    for k in _prange(n):
-        phi[k] = _density_scalar(r[k], kind, params, x0, h, dyv, dmv, pyv, pmv)
-    return phi
-
-
-@njit(cache=True, fastmath=_FASTMATH, parallel=_PARALLEL)
-def _pair_coeff_kernel(r, fp_i, fp_j, kind, params, x0, h, dyv, dmv, pyv, pmv):
-    n = r.shape[0]
-    coeff = np.empty(n)
-    for k in _prange(n):
-        rk = r[k]
-        vp = _pair_energy_deriv_scalar(rk, kind, params, x0, h, dyv, dmv, pyv, pmv)
-        dp = _density_deriv_scalar(rk, kind, params, x0, h, dyv, dmv, pyv, pmv)
-        coeff[k] = -(vp + (fp_i[k] + fp_j[k]) * dp) / rk
-    return coeff
-
-
-@njit(cache=True)
-def _scatter_rho_half_kernel(rho, i_idx, j_idx, phi):
-    for k in range(i_idx.shape[0]):
-        rho[i_idx[k]] += phi[k]
-        rho[j_idx[k]] += phi[k]
-
-
-@njit(cache=True)
-def _scatter_rho_owned_kernel(rho, i_idx, phi):
-    for k in range(i_idx.shape[0]):
-        rho[i_idx[k]] += phi[k]
-
-
-@njit(cache=True)
-def _scatter_force_half_kernel(forces, i_idx, j_idx, pair_forces):
-    for k in range(i_idx.shape[0]):
-        i = i_idx[k]
-        j = j_idx[k]
-        forces[i, 0] += pair_forces[k, 0]
-        forces[i, 1] += pair_forces[k, 1]
-        forces[i, 2] += pair_forces[k, 2]
-        forces[j, 0] -= pair_forces[k, 0]
-        forces[j, 1] -= pair_forces[k, 1]
-        forces[j, 2] -= pair_forces[k, 2]
-
-
-@njit(cache=True)
-def _scatter_force_owned_kernel(forces, i_idx, pair_forces):
-    for k in range(i_idx.shape[0]):
-        i = i_idx[k]
-        forces[i, 0] += pair_forces[k, 0]
-        forces[i, 1] += pair_forces[k, 1]
-        forces[i, 2] += pair_forces[k, 2]
-
-
-# --------------------------------------------------------------------------
-# fused phase kernels (CSR row traversal, minimum image inlined)
-# --------------------------------------------------------------------------
-
-@njit(cache=True, fastmath=_FASTMATH)
-def _density_energy_kernel(
-    positions, lengths, pflags, offsets, values, half, want_energy,
-    kind, params, x0, h, dyv, dmv, pyv, pmv,
-):
-    n = offsets.shape[0] - 1
-    rho = np.zeros(n)
-    energy = 0.0
-    for i in range(n):
-        p0 = positions[i, 0]
-        p1 = positions[i, 1]
-        p2 = positions[i, 2]
-        for s in range(offsets[i], offsets[i + 1]):
-            j = values[s]
-            d0 = p0 - positions[j, 0]
-            d1 = p1 - positions[j, 1]
-            d2 = p2 - positions[j, 2]
+    @jit
+    def pair_geometry(positions, i_idx, j_idx, lengths, pflags):
+        n_pairs = i_idx.shape[0]
+        delta = np.empty((n_pairs, 3))
+        r = np.empty(n_pairs)
+        for k in range(n_pairs):
+            i = i_idx[k]
+            j = j_idx[k]
+            d0 = positions[i, 0] - positions[j, 0]
+            d1 = positions[i, 1] - positions[j, 1]
+            d2 = positions[i, 2] - positions[j, 2]
             if pflags[0]:
                 d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
             if pflags[1]:
                 d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
             if pflags[2]:
                 d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
-            rr = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
-            phi = _density_scalar(rr, kind, params, x0, h, dyv, dmv, pyv, pmv)
-            rho[i] += phi
-            if half:
-                rho[j] += phi
-            if want_energy:
-                energy += _pair_energy_scalar(
-                    rr, kind, params, x0, h, dyv, dmv, pyv, pmv
-                )
-    return rho, energy
+            delta[k, 0] = d0
+            delta[k, 1] = d1
+            delta[k, 2] = d2
+            r[k] = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
+        return delta, r
 
+    @jit(par=parallel)
+    def density_values(r, kind, params, x0, h, dyv, dmv, pyv, pmv):
+        n = r.shape[0]
+        phi = np.empty(n)
+        for k in _pr(n):
+            phi[k] = _density_scalar(
+                r[k], kind, params, x0, h, dyv, dmv, pyv, pmv
+            )
+        return phi
 
-@njit(cache=True, fastmath=_FASTMATH)
-def _force_kernel(
-    positions, lengths, pflags, offsets, values, fp, half,
-    kind, params, x0, h, dyv, dmv, pyv, pmv,
-):
-    n = offsets.shape[0] - 1
-    forces = np.zeros((n, 3))
-    rmin = np.inf
-    imin = -1
-    jmin = -1
-    for i in range(n):
-        p0 = positions[i, 0]
-        p1 = positions[i, 1]
-        p2 = positions[i, 2]
-        fpi = fp[i]
-        for s in range(offsets[i], offsets[i + 1]):
-            j = values[s]
-            d0 = p0 - positions[j, 0]
-            d1 = p1 - positions[j, 1]
-            d2 = p2 - positions[j, 2]
-            if pflags[0]:
-                d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
-            if pflags[1]:
-                d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
-            if pflags[2]:
-                d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
-            rr = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
-            if rr < rmin:
-                rmin = rr
-                imin = i
-                jmin = j
+    @jit(par=parallel)
+    def pair_coeff(r, fp_i, fp_j, kind, params, x0, h, dyv, dmv, pyv, pmv):
+        n = r.shape[0]
+        coeff = np.empty(n)
+        for k in _pr(n):
+            rk = r[k]
             vp = _pair_energy_deriv_scalar(
-                rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                rk, kind, params, x0, h, dyv, dmv, pyv, pmv
             )
             dp = _density_deriv_scalar(
-                rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                rk, kind, params, x0, h, dyv, dmv, pyv, pmv
             )
-            c = -(vp + (fpi + fp[j]) * dp) / rr
-            f0 = c * d0
-            f1 = c * d1
-            f2 = c * d2
-            forces[i, 0] += f0
-            forces[i, 1] += f1
-            forces[i, 2] += f2
-            if half:
+            coeff[k] = -(vp + (fp_i[k] + fp_j[k]) * dp) / rk
+        return coeff
+
+    @jit
+    def scatter_rho_half(rho, i_idx, j_idx, phi):
+        for k in range(i_idx.shape[0]):
+            rho[i_idx[k]] += phi[k]
+            rho[j_idx[k]] += phi[k]
+
+    @jit
+    def scatter_rho_owned(rho, i_idx, phi):
+        for k in range(i_idx.shape[0]):
+            rho[i_idx[k]] += phi[k]
+
+    @jit
+    def scatter_force_half(forces, i_idx, j_idx, pair_forces):
+        for k in range(i_idx.shape[0]):
+            i = i_idx[k]
+            j = j_idx[k]
+            forces[i, 0] += pair_forces[k, 0]
+            forces[i, 1] += pair_forces[k, 1]
+            forces[i, 2] += pair_forces[k, 2]
+            forces[j, 0] -= pair_forces[k, 0]
+            forces[j, 1] -= pair_forces[k, 1]
+            forces[j, 2] -= pair_forces[k, 2]
+
+    @jit
+    def scatter_force_owned(forces, i_idx, pair_forces):
+        for k in range(i_idx.shape[0]):
+            i = i_idx[k]
+            forces[i, 0] += pair_forces[k, 0]
+            forces[i, 1] += pair_forces[k, 1]
+            forces[i, 2] += pair_forces[k, 2]
+
+    # --- fused phase kernels (CSR row traversal, minimum image inlined) ---
+
+    @jit
+    def density_energy_phase(
+        positions, lengths, pflags, offsets, values, half, want_energy,
+        kind, params, x0, h, dyv, dmv, pyv, pmv,
+    ):
+        n = offsets.shape[0] - 1
+        rho = np.zeros(n)
+        energy = 0.0
+        for i in range(n):
+            p0 = positions[i, 0]
+            p1 = positions[i, 1]
+            p2 = positions[i, 2]
+            for s in range(offsets[i], offsets[i + 1]):
+                j = values[s]
+                d0 = p0 - positions[j, 0]
+                d1 = p1 - positions[j, 1]
+                d2 = p2 - positions[j, 2]
+                if pflags[0]:
+                    d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
+                if pflags[1]:
+                    d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
+                if pflags[2]:
+                    d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
+                rr = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
+                phi = _density_scalar(
+                    rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                )
+                rho[i] += phi
+                if half:
+                    rho[j] += phi
+                if want_energy:
+                    energy += _pair_energy_scalar(
+                        rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                    )
+        return rho, energy
+
+    @jit
+    def force_phase(
+        positions, lengths, pflags, offsets, values, fp, half,
+        kind, params, x0, h, dyv, dmv, pyv, pmv,
+    ):
+        n = offsets.shape[0] - 1
+        forces = np.zeros((n, 3))
+        rmin = np.inf
+        imin = -1
+        jmin = -1
+        for i in range(n):
+            p0 = positions[i, 0]
+            p1 = positions[i, 1]
+            p2 = positions[i, 2]
+            fpi = fp[i]
+            for s in range(offsets[i], offsets[i + 1]):
+                j = values[s]
+                d0 = p0 - positions[j, 0]
+                d1 = p1 - positions[j, 1]
+                d2 = p2 - positions[j, 2]
+                if pflags[0]:
+                    d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
+                if pflags[1]:
+                    d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
+                if pflags[2]:
+                    d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
+                rr = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
+                if rr < rmin:
+                    rmin = rr
+                    imin = i
+                    jmin = j
+                vp = _pair_energy_deriv_scalar(
+                    rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                )
+                dp = _density_deriv_scalar(
+                    rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                )
+                c = -(vp + (fpi + fp[j]) * dp) / rr
+                f0 = c * d0
+                f1 = c * d1
+                f2 = c * d2
+                forces[i, 0] += f0
+                forces[i, 1] += f1
+                forces[i, 2] += f2
+                if half:
+                    forces[j, 0] -= f0
+                    forces[j, 1] -= f1
+                    forces[j, 2] -= f2
+        return forces, rmin, imin, jmin
+
+    # --- fused SDC color-phase kernels ------------------------------------
+    #
+    # One call executes one color of the SDC schedule over the pair
+    # partition's subdomain-contiguous (cell-blocked) pair arrays.  The
+    # outer loop is over member subdomains — their write sets are
+    # disjoint within a color, so ``prange`` here is race-free by
+    # construction; the scatter loop inside one subdomain stays
+    # sequential.  Scalar sum/min reductions (energy, rmin) are the
+    # prange reduction forms Numba supports.
+
+    @jit(par=parallel)
+    def sdc_density_color_phase(
+        positions, lengths, pflags, pi, pj, offsets, members, rho,
+        want_energy, kind, params, x0, h, dyv, dmv, pyv, pmv,
+    ):
+        energy = 0.0
+        for m in _pr(members.shape[0]):
+            s = members[m]
+            for k in range(offsets[s], offsets[s + 1]):
+                i = pi[k]
+                j = pj[k]
+                d0 = positions[i, 0] - positions[j, 0]
+                d1 = positions[i, 1] - positions[j, 1]
+                d2 = positions[i, 2] - positions[j, 2]
+                if pflags[0]:
+                    d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
+                if pflags[1]:
+                    d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
+                if pflags[2]:
+                    d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
+                rr = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
+                phi = _density_scalar(
+                    rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                )
+                rho[i] += phi
+                rho[j] += phi
+                if want_energy:
+                    energy += _pair_energy_scalar(
+                        rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                    )
+        return energy
+
+    @jit(par=parallel)
+    def sdc_force_color_phase(
+        positions, lengths, pflags, pi, pj, offsets, members, fp, forces,
+        kind, params, x0, h, dyv, dmv, pyv, pmv,
+    ):
+        rmin = np.inf
+        for m in _pr(members.shape[0]):
+            s = members[m]
+            for k in range(offsets[s], offsets[s + 1]):
+                i = pi[k]
+                j = pj[k]
+                d0 = positions[i, 0] - positions[j, 0]
+                d1 = positions[i, 1] - positions[j, 1]
+                d2 = positions[i, 2] - positions[j, 2]
+                if pflags[0]:
+                    d0 -= lengths[0] * np.floor(d0 / lengths[0] + 0.5)
+                if pflags[1]:
+                    d1 -= lengths[1] * np.floor(d1 / lengths[1] + 0.5)
+                if pflags[2]:
+                    d2 -= lengths[2] * np.floor(d2 / lengths[2] + 0.5)
+                rr = np.sqrt(d0 * d0 + d1 * d1 + d2 * d2)
+                rmin = min(rmin, rr)
+                vp = _pair_energy_deriv_scalar(
+                    rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                )
+                dp = _density_deriv_scalar(
+                    rr, kind, params, x0, h, dyv, dmv, pyv, pmv
+                )
+                c = -(vp + (fp[i] + fp[j]) * dp) / rr
+                f0 = c * d0
+                f1 = c * d1
+                f2 = c * d2
+                forces[i, 0] += f0
+                forces[i, 1] += f1
+                forces[i, 2] += f2
                 forces[j, 0] -= f0
                 forces[j, 1] -= f1
                 forces[j, 2] -= f2
-    return forces, rmin, imin, jmin
+        return rmin
+
+    kernel_set = SimpleNamespace(
+        parallel=bool(parallel),
+        fastmath=bool(fastmath),
+        pair_geometry=pair_geometry,
+        density_values=density_values,
+        pair_coeff=pair_coeff,
+        scatter_rho_half=scatter_rho_half,
+        scatter_rho_owned=scatter_rho_owned,
+        scatter_force_half=scatter_force_half,
+        scatter_force_owned=scatter_force_owned,
+        density_energy_phase=density_energy_phase,
+        force_phase=force_phase,
+        sdc_density_color_phase=sdc_density_color_phase,
+        sdc_force_color_phase=sdc_force_color_phase,
+    )
+    _KERNEL_SETS[key] = kernel_set
+    return kernel_set
 
 
 # --------------------------------------------------------------------------
@@ -392,24 +505,31 @@ def _force_kernel(
 class NumbaKernelTier(KernelTier):
     """Compiled (Numba njit) implementation of the kernel entry points.
 
-    Potentials without a lowering, instrumented target arrays, and any
-    kernel that unexpectedly fails are all delegated to an internal
-    NumPy reference tier; the last case warns once and sticks.
+    One instance per :class:`KernelTierConfig` variant; its ``name`` is
+    the variant's canonical spec (``"numba"``, ``"numba-parallel"``,
+    ...).  Potentials without a lowering, instrumented target arrays,
+    and any kernel that unexpectedly fails are all delegated to an
+    internal NumPy reference tier; the last case warns once and sticks.
     """
 
-    name = "numba"
     compiled = True
 
-    def __init__(self) -> None:
+    def __init__(self, config: Optional[KernelTierConfig] = None) -> None:
+        self.config = config or KernelTierConfig(base="numba")
+        # an "auto" spec that resolved here IS the numba tier
+        self.name = self.config.name.replace("auto", "numba", 1)
         self._numpy = NumpyKernelTier()
         self._broken = False
+        self._kernels = build_kernel_set(
+            parallel=self.config.parallel, fastmath=self.config.fastmath
+        )
         self._smoke_test()
 
     def _smoke_test(self) -> None:
         """Force one tiny compilation so a broken JIT toolchain surfaces
         here — where the registry can catch it — not mid-simulation."""
         rho = np.zeros(2)
-        _scatter_rho_half_kernel(
+        self._kernels.scatter_rho_half(
             rho,
             np.zeros(1, dtype=np.int64),
             np.ones(1, dtype=np.int64),
@@ -422,6 +542,12 @@ class NumbaKernelTier(KernelTier):
 
     def supports(self, potential) -> bool:
         return lower_potential(potential) is not None
+
+    def fused_color_phases(self, potential) -> bool:
+        """The SDC color-phase drivers run as one compiled call per color
+        (worth collapsing the per-subdomain task dispatch) whenever the
+        potential lowers and the JIT has not degraded."""
+        return not self._broken and lower_potential(potential) is not None
 
     def _run(self, name: str, compiled_call, fallback_call):
         """Run a compiled path, degrading permanently on unexpected errors.
@@ -441,7 +567,7 @@ class NumbaKernelTier(KernelTier):
             self._broken = True
             warn_tier_once(
                 f"numba-broken-{id(self)}",
-                f"numba kernel tier disabled after {name!r} failed "
+                f"{self.name} kernel tier disabled after {name!r} failed "
                 f"({type(exc).__name__}: {exc}); continuing on the numpy "
                 "tier",
             )
@@ -454,7 +580,7 @@ class NumbaKernelTier(KernelTier):
         check_scatter_indices("pair geometry", n, i_idx, j_idx)
         return self._run(
             "pair_geometry",
-            lambda: _pair_geometry_kernel(
+            lambda: self._kernels.pair_geometry(
                 _as_f64(positions),
                 _as_i64(i_idx),
                 _as_i64(j_idx),
@@ -470,7 +596,7 @@ class NumbaKernelTier(KernelTier):
             return self._numpy.density_pair_values(potential, r)
         return self._run(
             "density_pair_values",
-            lambda: _density_values_kernel(_as_f64(r), *lowered.args),
+            lambda: self._kernels.density_values(_as_f64(r), *lowered.args),
             lambda: self._numpy.density_pair_values(potential, r),
         )
 
@@ -482,7 +608,7 @@ class NumbaKernelTier(KernelTier):
             return self._numpy.scatter_rho_half(rho, i_idx, j_idx, phi)
         return self._run(
             "scatter_rho_half",
-            lambda: _scatter_rho_half_kernel(
+            lambda: self._kernels.scatter_rho_half(
                 rho, _as_i64(i_idx), _as_i64(j_idx), _as_f64(phi)
             ),
             lambda: self._numpy.scatter_rho_half(rho, i_idx, j_idx, phi),
@@ -496,7 +622,7 @@ class NumbaKernelTier(KernelTier):
             return self._numpy.scatter_rho_owned(rho, i_idx, phi, n_atoms)
         return self._run(
             "scatter_rho_owned",
-            lambda: _scatter_rho_owned_kernel(
+            lambda: self._kernels.scatter_rho_owned(
                 rho, _as_i64(i_idx), _as_f64(phi)
             ),
             lambda: self._numpy.scatter_rho_owned(rho, i_idx, phi, n_atoms),
@@ -521,7 +647,7 @@ class NumbaKernelTier(KernelTier):
             )
         return self._run(
             "force_pair_coefficients",
-            lambda: _pair_coeff_kernel(
+            lambda: self._kernels.pair_coeff(
                 _as_f64(r), _as_f64(fp_i), _as_f64(fp_j), *lowered.args
             ),
             lambda: self._numpy.force_pair_coefficients(
@@ -539,7 +665,7 @@ class NumbaKernelTier(KernelTier):
             )
         return self._run(
             "scatter_force_half",
-            lambda: _scatter_force_half_kernel(
+            lambda: self._kernels.scatter_force_half(
                 forces, _as_i64(i_idx), _as_i64(j_idx), _as_f64(pair_forces)
             ),
             lambda: self._numpy.scatter_force_half(
@@ -556,7 +682,7 @@ class NumbaKernelTier(KernelTier):
             )
         return self._run(
             "scatter_force_owned",
-            lambda: _scatter_force_owned_kernel(
+            lambda: self._kernels.scatter_force_owned(
                 forces, _as_i64(i_idx), _as_f64(pair_forces)
             ),
             lambda: self._numpy.scatter_force_owned(
@@ -590,7 +716,7 @@ class NumbaKernelTier(KernelTier):
         half = bool(nlist.half)
 
         def compiled():
-            rho, energy = _density_energy_kernel(
+            rho, energy = self._kernels.density_energy_phase(
                 _as_f64(positions),
                 box.lengths,
                 box.periodic,
@@ -635,7 +761,7 @@ class NumbaKernelTier(KernelTier):
         half = bool(nlist.half)
 
         def compiled():
-            forces, rmin, imin, jmin = _force_kernel(
+            forces, rmin, imin, jmin = self._kernels.force_phase(
                 _as_f64(positions),
                 box.lengths,
                 box.periodic,
@@ -665,3 +791,138 @@ class NumbaKernelTier(KernelTier):
             counter.add("force_pairs", n_pairs)
             counter.add("force_updates", (2 if half else 1) * n_pairs * 3)
         return forces
+
+    # --- fused SDC color-phase drivers --------------------------------------
+
+    def _check_color_phase(
+        self, what, n_atoms, i_idx, j_idx, offsets, members
+    ):
+        """Dispatch-time validation for one color's member slices."""
+        n_sub = len(offsets) - 1
+        if len(members) and (
+            int(members.min()) < 0 or int(members.max()) >= n_sub
+        ):
+            raise IndexError(
+                f"{what} got subdomain id outside [0, {n_sub})"
+            )
+        for s in members:
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            check_scatter_indices(
+                what, n_atoms, i_idx[lo:hi], j_idx[lo:hi]
+            )
+
+    def _color_phase_pairs(self, i_idx, j_idx, offsets, members):
+        """Concatenated (i, j) pair slices of a color (error paths only)."""
+        parts_i = [
+            i_idx[int(offsets[s]): int(offsets[s + 1])] for s in members
+        ]
+        parts_j = [
+            j_idx[int(offsets[s]): int(offsets[s + 1])] for s in members
+        ]
+        return np.concatenate(parts_i), np.concatenate(parts_j)
+
+    def sdc_density_color_phase(
+        self,
+        potential,
+        positions,
+        box,
+        i_idx,
+        j_idx,
+        offsets,
+        members,
+        rho,
+        want_pair_energy: bool = True,
+    ):
+        lowered = lower_potential(potential)
+        if lowered is None or not is_plain_ndarray(rho):
+            return super().sdc_density_color_phase(
+                potential, positions, box, i_idx, j_idx, offsets, members,
+                rho, want_pair_energy,
+            )
+        members = _as_i64(np.asarray(members))
+        i_idx = _as_i64(i_idx)
+        j_idx = _as_i64(j_idx)
+        offsets = _as_i64(offsets)
+        self._check_color_phase(
+            "density color phase", len(rho), i_idx, j_idx, offsets, members
+        )
+        return self._run(
+            "sdc_density_color_phase",
+            lambda: float(
+                self._kernels.sdc_density_color_phase(
+                    _as_f64(positions),
+                    box.lengths,
+                    box.periodic,
+                    i_idx,
+                    j_idx,
+                    offsets,
+                    members,
+                    rho,
+                    want_pair_energy,
+                    *lowered.args,
+                )
+            ),
+            lambda: super(NumbaKernelTier, self).sdc_density_color_phase(
+                potential, positions, box, i_idx, j_idx, offsets, members,
+                rho, want_pair_energy,
+            ),
+        )
+
+    def sdc_force_color_phase(
+        self,
+        potential,
+        positions,
+        box,
+        i_idx,
+        j_idx,
+        offsets,
+        members,
+        fp,
+        forces,
+    ):
+        lowered = lower_potential(potential)
+        if lowered is None or not is_plain_ndarray(forces):
+            return super().sdc_force_color_phase(
+                potential, positions, box, i_idx, j_idx, offsets, members,
+                fp, forces,
+            )
+        members = _as_i64(np.asarray(members))
+        i_idx = _as_i64(i_idx)
+        j_idx = _as_i64(j_idx)
+        offsets = _as_i64(offsets)
+        self._check_color_phase(
+            "force color phase", len(forces), i_idx, j_idx, offsets, members
+        )
+
+        def compiled():
+            rmin = self._kernels.sdc_force_color_phase(
+                _as_f64(positions),
+                box.lengths,
+                box.periodic,
+                i_idx,
+                j_idx,
+                offsets,
+                members,
+                _as_f64(fp),
+                forces,
+                *lowered.args,
+            )
+            if rmin < MIN_PAIR_SEPARATION:
+                # locate the offending pair for the canonical diagnostic
+                # (error path only — worth a vectorized geometry pass)
+                ii, jj = self._color_phase_pairs(
+                    i_idx, j_idx, offsets, members
+                )
+                _, r = self._numpy.pair_geometry(positions, box, ii, jj)
+                k = int(np.argmin(r))
+                raise overlap_error(r, k, (ii, jj), MIN_PAIR_SEPARATION)
+            return None
+
+        return self._run(
+            "sdc_force_color_phase",
+            compiled,
+            lambda: super(NumbaKernelTier, self).sdc_force_color_phase(
+                potential, positions, box, i_idx, j_idx, offsets, members,
+                fp, forces,
+            ),
+        )

@@ -2,12 +2,19 @@
 
 The strategies and backends are tier-agnostic: they call the kernel
 entry points in :mod:`repro.potentials.eam`, which dispatch to the
-process-global active tier.  :class:`EAMCalculator` is the user-facing
-way to *choose* that tier per calculator instead of per process: it
-wraps any inner :class:`~repro.md.simulation.ForceCalculator` (or the
-serial kernels when none is given) and scopes every ``compute`` call
-inside :func:`repro.kernels.use_tier`, so two calculators with different
-tiers can coexist in one process.
+process-global active tier unless handed a tier explicitly.
+:class:`EAMCalculator` is the user-facing way to *choose* that tier per
+calculator instead of per process: it wraps any inner
+:class:`~repro.md.simulation.ForceCalculator` (or the serial kernels
+when none is given) and pins the resolved tier onto the inner's
+``set_kernel_tier`` hook when it has one — the concurrency-safe path,
+since the tier then travels with every kernel call instead of through
+the process-global active slot.  Inners without the hook still get the
+scoped :func:`repro.kernels.use_tier` override, which is correct for
+single-driver processes but documented as unsafe for concurrent
+drivers.  Tier specs accept the variant grammar
+(``"numba-parallel"``, ``"numba-fastmath"``, ...) or a
+:class:`~repro.kernels.KernelTierConfig`.
 """
 
 from __future__ import annotations
@@ -30,7 +37,9 @@ class EAMCalculator:
         the inner :class:`~repro.md.simulation.ForceCalculator` (a
         strategy, a process engine, ...); None means the serial kernels.
     kernel_tier:
-        ``"numpy"``, ``"numba"``, ``"auto"``, a live
+        a tier variant spec (``"numpy"``, ``"numba"``,
+        ``"numba-parallel"``, ``"numba-fastmath"``, ``"auto"``, ...), a
+        :class:`~repro.kernels.KernelTierConfig`, a live
         :class:`~repro.kernels.KernelTier`, or None for the process
         default (``REPRO_KERNEL_TIER``, else numpy).  Resolved eagerly,
         so an unknown spec raises here and an unavailable numba tier
@@ -47,6 +56,15 @@ class EAMCalculator:
             kernels.get(kernel_tier) if kernel_tier is not None else None
         )
         self._profiler = None
+        # pin the tier on the inner when it supports explicit selection —
+        # the tier then rides along with every kernel call, so concurrent
+        # calculators never race on the process-global active tier
+        self._inner_pinned = False
+        if self._tier is not None and self._inner is not None:
+            hook = getattr(self._inner, "set_kernel_tier", None)
+            if hook is not None:
+                hook(self._tier)
+                self._inner_pinned = True
 
     @property
     def kernel_tier(self) -> str:
@@ -66,11 +84,15 @@ class EAMCalculator:
         self, potential: EAMPotential, atoms: Atoms, nlist: NeighborList
     ) -> EAMComputation:
         """Run the 3-phase evaluation under this calculator's tier."""
+        if self._inner is None:
+            return compute_eam_forces_serial(
+                potential, atoms, nlist, profiler=self._profiler, tier=self._tier
+            )
+        if self._inner_pinned or self._tier is None:
+            return self._inner.compute(potential, atoms, nlist)
+        # hook-less inner: fall back to the scoped global override (fine
+        # when this is the only driver computing in the process)
         with kernels.use_tier(self._tier):
-            if self._inner is None:
-                return compute_eam_forces_serial(
-                    potential, atoms, nlist, profiler=self._profiler
-                )
             return self._inner.compute(potential, atoms, nlist)
 
     # --- observability / lifecycle forwarding -------------------------------

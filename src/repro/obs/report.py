@@ -70,6 +70,8 @@ class ReportData:
     meta: Dict[str, object] = field(default_factory=dict)
     bench_records: List[Dict[str, object]] = field(default_factory=list)
     reordering_records: List[Dict[str, object]] = field(default_factory=list)
+    #: per-cell kernel-tier speedups (``repro bench --speedup-vs``)
+    tier_speedup_records: List[Dict[str, object]] = field(default_factory=list)
     metrics_records: List[Dict[str, object]] = field(default_factory=list)
     runlog_records: List[Dict[str, object]] = field(default_factory=list)
     #: (case, strategy, backend, n_workers, kernel_tier) ->
@@ -223,6 +225,12 @@ def load_report_source(
                 data.reordering_records = list(
                     json.load(handle).get("records", [])
                 )
+        tier_path = os.path.join(source, "BENCH_tier_speedup.json")
+        if os.path.exists(tier_path):
+            with open(tier_path, "r", encoding="utf-8") as handle:
+                data.tier_speedup_records = list(
+                    json.load(handle).get("records", [])
+                )
         for name, attr in (
             ("metrics.jsonl", "metrics_records"),
             ("run.jsonl", "runlog_records"),
@@ -253,6 +261,9 @@ def load_report_source(
         latest_reorder = store.latest("reordering")
         if latest_reorder is not None:
             data.reordering_records = latest_reorder.records
+        latest_tier = store.latest("tier-speedup")
+        if latest_tier is not None:
+            data.tier_speedup_records = latest_tier.records
     if store is not None:
         for key, points in store.series("bench").items():
             data.trend[key] = [
@@ -541,6 +552,38 @@ def _speedup_panel(data: ReportData) -> str:
         note="Total-phase median of each strategy x backend cell, "
         "normalized to the serial/serial cell of the same case "
         "(the paper's Fig. 5-9 presentation).",
+    )
+
+
+def _tier_speedup_panel(data: ReportData) -> str:
+    rows = [
+        r for r in data.tier_speedup_records if "speedup" in r
+    ]
+    if not rows:
+        return ""
+    table_rows = [
+        (
+            r.get("case", ""),
+            f"{r.get('strategy', '')}/{r.get('backend', '')}"
+            f"/w{r.get('n_workers', '')}",
+            r.get("kernel_tier", ""),
+            r.get("reference_tier", ""),
+            f"{float(r['median_s']) * 1e3:.3f} ms",
+            f"{float(r['reference_median_s']) * 1e3:.3f} ms",
+            f"{float(r['speedup']):.2f}x",
+        )
+        for r in rows
+    ]
+    return _panel(
+        "panel-tier-speedup",
+        "Kernel-tier speedup",
+        _table(
+            ("case", "cell", "tier", "vs", "median", "ref median", "speedup"),
+            table_rows,
+        ),
+        note="End-to-end phase medians of the same sweep cell on two "
+        "kernel tiers (repro bench --kernel-tier X --speedup-vs Y); "
+        "speedup > 1 means the candidate tier is faster.",
     )
 
 
@@ -868,6 +911,7 @@ def render_html(data: ReportData, title: str = "repro performance report") -> st
         [
             _regression_panel(data),
             _speedup_panel(data),
+            _tier_speedup_panel(data),
             _strategy_panel(data),
             _amortization_panel(data),
             _imbalance_panel(data),
@@ -906,6 +950,16 @@ def render_text_summary(data: ReportData, top: int = 8) -> str:
                     f"w{int(x)}: {y:.2f}x" for x, y in pts
                 )
                 lines.append(f"- {case}/{label}: {curve}")
+        lines.append("")
+    tier_rows = [r for r in data.tier_speedup_records if "speedup" in r]
+    if tier_rows:
+        lines.append("## Kernel-tier speedup")
+        for r in tier_rows:
+            lines.append(
+                f"- {r.get('case')}/{r.get('strategy')}/{r.get('backend')}"
+                f"/w{r.get('n_workers')}: {r.get('kernel_tier')} vs "
+                f"{r.get('reference_tier')} = {float(r['speedup']):.2f}x"
+            )
         lines.append("")
     amort = data.amortization_rows()
     if amort:

@@ -152,6 +152,23 @@ def _worker_tier(name: str):
     return _WORKER["tier"]
 
 
+def _probe_worker_tier(timeout: float) -> Tuple[int, Optional[str], Optional[str]]:
+    """Diagnostic task: report this worker's resolved kernel-tier state.
+
+    Returns ``(pid, tier_name_from_payload, resolved_tier.name)``.  The
+    barrier rendezvous guarantees that ``n_workers`` concurrent probes
+    land on ``n_workers`` *distinct* workers, so the parent can assert
+    every worker (not just a lucky one) resolved the variant it shipped.
+    """
+    _WORKER["barrier"].wait(timeout=timeout)
+    tier = _WORKER.get("tier")
+    return (
+        os.getpid(),
+        _WORKER.get("tier_name"),
+        tier.name if tier is not None else None,
+    )
+
+
 def _warm_worker(timeout: float) -> int:
     """Startup task: rendezvous so every pool slot forks a real worker.
 
@@ -333,7 +350,7 @@ class ProcessSDCCalculator:
         adaptive: bool = True,
         record_writes: bool = False,
         restart_on_failure: bool = True,
-        kernel_tier: Optional[str] = None,
+        kernel_tier: "kernels.TierSpec" = None,
     ) -> None:
         if dims not in (1, 2, 3):
             raise ValueError(f"dims must be 1, 2 or 3, got {dims}")
@@ -403,6 +420,40 @@ class ProcessSDCCalculator:
         """Resolved tier name the worker chunks run on this compute."""
         tier = self._tier if self._tier is not None else kernels.active_tier()
         return tier.name
+
+    def set_kernel_tier(self, tier) -> None:
+        """Pin the worker chunks' kernel tier (None reverts to the
+        parent's active tier at each compute).
+
+        Accepts anything :func:`repro.kernels.get` accepts — a variant
+        spec string such as ``"numba-parallel"``, a
+        :class:`~repro.kernels.KernelTierConfig`, or a live tier.  The
+        *resolved* variant name ships inside every task payload, so
+        forked workers rebuild exactly this variant instead of
+        inheriting whatever import-time flags the parent process had.
+        """
+        self._tier = kernels.get(tier) if tier is not None else None
+
+    def worker_kernel_tiers(self, timeout: float = 30.0) -> Dict[int, str]:
+        """Resolved tier name per live worker pid (diagnostic).
+
+        Submits one barrier-rendezvous probe per pool slot, so every
+        worker answers once.  Workers that have not yet run a chunk
+        report the empty string.  Requires a live pool (compute at least
+        once first).
+        """
+        executor = self._resources.executor
+        if executor is None:
+            raise RuntimeError("no live pool; call compute() first")
+        futures = [
+            executor.submit(_probe_worker_tier, timeout)
+            for _ in range(self.n_workers)
+        ]
+        out: Dict[int, str] = {}
+        for future in futures:
+            pid, _, resolved = future.result(timeout=timeout)
+            out[pid] = resolved or ""
+        return out
 
     def worker_pids(self) -> List[int]:
         """PIDs of the live pool workers (empty before the first compute)."""

@@ -63,18 +63,27 @@ __all__ = [
 # pair geometry
 # --------------------------------------------------------------------------
 
+def _tier(tier: "Optional[kernels.KernelTier]") -> "kernels.KernelTier":
+    """The dispatch target: an explicitly passed tier, else the process
+    default.  Concurrent drivers pass tiers explicitly (see
+    :mod:`repro.kernels`); the module-level names keep working for
+    single-tier processes and interactive use."""
+    return tier if tier is not None else kernels.active_tier()
+
+
 def pair_geometry(
     positions: np.ndarray,
     box: Box,
     i_idx: np.ndarray,
     j_idx: np.ndarray,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Minimum-image separation vectors and distances for a pair slice.
 
     Returns ``(delta, r)`` with ``delta[k] = pos[i_k] - pos[j_k]`` folded by
     minimum image and ``r[k] = |delta[k]|``.
     """
-    return kernels.active_tier().pair_geometry(positions, box, i_idx, j_idx)
+    return _tier(tier).pair_geometry(positions, box, i_idx, j_idx)
 
 
 # --------------------------------------------------------------------------
@@ -82,10 +91,12 @@ def pair_geometry(
 # --------------------------------------------------------------------------
 
 def density_pair_values(
-    potential: EAMPotential, r: np.ndarray
+    potential: EAMPotential,
+    r: np.ndarray,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> np.ndarray:
     """phi(r) for a slice of pair distances."""
-    return kernels.active_tier().density_pair_values(potential, r)
+    return _tier(tier).density_pair_values(potential, r)
 
 
 def scatter_rho_half(
@@ -93,6 +104,7 @@ def scatter_rho_half(
     i_idx: np.ndarray,
     j_idx: np.ndarray,
     phi: np.ndarray,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> None:
     """In-place half-list density scatter: ``rho[i] += phi; rho[j] += phi``.
 
@@ -102,7 +114,7 @@ def scatter_rho_half(
     accumulate correctly — the slice may contain many pairs sharing an
     atom.
     """
-    kernels.active_tier().scatter_rho_half(rho, i_idx, j_idx, phi)
+    _tier(tier).scatter_rho_half(rho, i_idx, j_idx, phi)
 
 
 def scatter_rho_owned(
@@ -110,6 +122,7 @@ def scatter_rho_owned(
     i_idx: np.ndarray,
     phi: np.ndarray,
     n_atoms: int,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> None:
     """Full-list density accumulation writing only owned rows.
 
@@ -126,7 +139,7 @@ def scatter_rho_owned(
         contributions without a trace.  Every tier validates at dispatch
         time, before any compiled code runs.
     """
-    kernels.active_tier().scatter_rho_owned(rho, i_idx, phi, n_atoms)
+    _tier(tier).scatter_rho_owned(rho, i_idx, phi, n_atoms)
 
 
 def force_pair_coefficients(
@@ -136,6 +149,7 @@ def force_pair_coefficients(
     fp_j: np.ndarray,
     pair_ids: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     min_separation: float = MIN_PAIR_SEPARATION,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> np.ndarray:
     """Scalar force coefficient per pair (Eq. 2 of the paper).
 
@@ -154,7 +168,7 @@ def force_pair_coefficients(
         turning the ``1/r`` scaling into astronomically large garbage
         forces with no diagnostic.
     """
-    return kernels.active_tier().force_pair_coefficients(
+    return _tier(tier).force_pair_coefficients(
         potential, r, fp_i, fp_j, pair_ids, min_separation
     )
 
@@ -164,12 +178,13 @@ def scatter_force_half(
     i_idx: np.ndarray,
     j_idx: np.ndarray,
     pair_forces: np.ndarray,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> None:
     """In-place half-list force scatter (paper Fig. 2).
 
     ``forces[i] += f_pair; forces[j] -= f_pair`` per component.
     """
-    kernels.active_tier().scatter_force_half(forces, i_idx, j_idx, pair_forces)
+    _tier(tier).scatter_force_half(forces, i_idx, j_idx, pair_forces)
 
 
 def scatter_force_owned(
@@ -177,11 +192,10 @@ def scatter_force_owned(
     i_idx: np.ndarray,
     pair_forces: np.ndarray,
     n_atoms: int,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> None:
     """Full-list force accumulation into owned rows only (RC strategy)."""
-    kernels.active_tier().scatter_force_owned(
-        forces, i_idx, pair_forces, n_atoms
-    )
+    _tier(tier).scatter_force_owned(forces, i_idx, pair_forces, n_atoms)
 
 
 # --------------------------------------------------------------------------
@@ -194,10 +208,12 @@ def eam_density_phase(
     box: Box,
     nlist: NeighborList,
     counter: Optional[Counter] = None,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> np.ndarray:
     """Phase 1: electron densities from a half (or full) neighbor list."""
     rho, _ = eam_density_and_pair_energy_phase(
-        potential, positions, box, nlist, counter, want_pair_energy=False
+        potential, positions, box, nlist, counter,
+        want_pair_energy=False, tier=tier,
     )
     return rho
 
@@ -209,6 +225,7 @@ def eam_density_and_pair_energy_phase(
     nlist: NeighborList,
     counter: Optional[Counter] = None,
     want_pair_energy: bool = True,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> Tuple[np.ndarray, float]:
     """Phase 1 with the pair-energy sum fused in.
 
@@ -217,7 +234,7 @@ def eam_density_and_pair_energy_phase(
     saves a third ``pair_arrays``/``pair_geometry`` pass over every pair.
     Returns ``(rho, pair_energy)``; the energy is 0.0 when not requested.
     """
-    return kernels.active_tier().density_and_pair_energy_phase(
+    return _tier(tier).density_and_pair_energy_phase(
         potential, positions, box, nlist, counter, want_pair_energy
     )
 
@@ -246,9 +263,10 @@ def eam_force_phase(
     nlist: NeighborList,
     fp: np.ndarray,
     counter: Optional[Counter] = None,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> np.ndarray:
     """Phase 3: forces from the cached embedding derivatives."""
-    return kernels.active_tier().force_phase(
+    return _tier(tier).force_phase(
         potential, positions, box, nlist, fp, counter
     )
 
@@ -279,6 +297,7 @@ def compute_eam_forces_serial(
     nlist: NeighborList,
     counter: Optional[Counter] = None,
     profiler: Optional[PhaseProfiler] = None,
+    tier: "Optional[kernels.KernelTier]" = None,
 ) -> EAMComputation:
     """Full serial EAM evaluation; also updates ``atoms`` in place.
 
@@ -293,13 +312,13 @@ def compute_eam_forces_serial(
     box = atoms.box
     with profiler.phase("density") if profiler else NULL_PHASE:
         rho, pair_energy = eam_density_and_pair_energy_phase(
-            potential, positions, box, nlist, counter
+            potential, positions, box, nlist, counter, tier=tier
         )
     with profiler.phase("embedding") if profiler else NULL_PHASE:
         emb_energy, fp = eam_embedding_phase(potential, rho, counter)
     with profiler.phase("force") if profiler else NULL_PHASE:
         forces = eam_force_phase(
-            potential, positions, box, nlist, fp, counter
+            potential, positions, box, nlist, fp, counter, tier=tier
         )
     atoms.rho[:] = rho
     atoms.fp[:] = fp

@@ -86,8 +86,6 @@ class TestFallbackContract:
     def test_broken_jit_degrades_with_single_warning(
         self, stub_numba, small_atoms, small_nlist, potential, monkeypatch
     ):
-        import repro.kernels.numba_tier as nt
-
         tier = kernels.get("numba")
         assert tier.name == "numba"
         reference = kernels.get("numpy").force_phase(
@@ -101,7 +99,7 @@ class TestFallbackContract:
         def boom(*args, **kwargs):
             raise RuntimeError("typing failure")
 
-        monkeypatch.setattr(nt, "_force_kernel", boom)
+        monkeypatch.setattr(tier._kernels, "force_phase", boom)
         with warnings.catch_warnings(record=True) as record:
             warnings.simplefilter("always")
             forces = tier.force_phase(

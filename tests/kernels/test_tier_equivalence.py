@@ -22,12 +22,16 @@ from repro.md import EAMCalculator, Simulation
 REAL_NUMBA = importlib.util.find_spec("numba") is not None
 
 
-@pytest.fixture()
-def tiers(stub_numba):
-    """(numpy tier, stub-compiled numba tier) pair."""
+@pytest.fixture(params=["numba", "numba-parallel"])
+def tiers(request, stub_numba):
+    """(numpy tier, stub-compiled numba variant tier) pair.
+
+    Parametrized over the plain and the ``parallel=True`` variants so the
+    whole differential suite runs against both kernel sets.
+    """
     numpy_tier = kernels.get("numpy")
-    numba_tier = kernels.get("numba")
-    assert numba_tier.name == "numba"
+    numba_tier = kernels.get(request.param)
+    assert numba_tier.name == request.param
     return numpy_tier, numba_tier
 
 
@@ -275,12 +279,15 @@ def _run_trajectory(atoms, potential, calculator, steps=20):
 
 
 class TestTrajectories:
-    def test_serial_trajectory_matches(self, stub_numba, small_atoms, potential):
+    @pytest.mark.parametrize("variant", ["numba", "numba-parallel"])
+    def test_serial_trajectory_matches(
+        self, stub_numba, small_atoms, potential, variant
+    ):
         reference = _run_trajectory(
             small_atoms.copy(), potential, EAMCalculator(kernel_tier="numpy")
         )
         stubbed = _run_trajectory(
-            small_atoms.copy(), potential, EAMCalculator(kernel_tier="numba")
+            small_atoms.copy(), potential, EAMCalculator(kernel_tier=variant)
         )
         np.testing.assert_allclose(
             stubbed.positions, reference.positions, atol=1e-8
@@ -289,8 +296,15 @@ class TestTrajectories:
             stubbed.velocities, reference.velocities, atol=1e-8
         )
 
+    @pytest.mark.parametrize("variant", ["numba", "numba-parallel"])
     def test_threaded_sdc_cell_matches_reference(
-        self, stub_numba, sdc_atoms, sdc_nlist, potential, reference_result
+        self,
+        stub_numba,
+        sdc_atoms,
+        sdc_nlist,
+        potential,
+        reference_result,
+        variant,
     ):
         from repro.core.strategies import STRATEGY_REGISTRY
         from repro.parallel.backends.threads import ThreadBackend
@@ -299,8 +313,8 @@ class TestTrajectories:
         strategy = STRATEGY_REGISTRY["sdc"](
             dims=2, n_threads=2, backend=backend
         )
-        calc = EAMCalculator(strategy, kernel_tier="numba")
-        assert calc.kernel_tier == "numba"
+        calc = EAMCalculator(strategy, kernel_tier=variant)
+        assert calc.kernel_tier == variant
         try:
             result = calc.compute(potential, sdc_atoms.copy(), sdc_nlist)
         finally:
@@ -317,9 +331,12 @@ class TestTrajectories:
 class TestRealNumba:
     """The same comparisons against an actually-compiled tier (CI cell)."""
 
-    def test_fused_phases_match(self, potential, small_atoms, small_nlist):
-        numba_tier = kernels.get("numba")
-        assert numba_tier.name == "numba" and numba_tier.compiled
+    @pytest.mark.parametrize("variant", ["numba", "numba-parallel"])
+    def test_fused_phases_match(
+        self, potential, small_atoms, small_nlist, variant
+    ):
+        numba_tier = kernels.get(variant)
+        assert numba_tier.name == variant and numba_tier.compiled
         numpy_tier = kernels.get("numpy")
         rho_np, e_np = numpy_tier.density_and_pair_energy_phase(
             potential, small_atoms.positions, small_atoms.box, small_nlist
@@ -338,12 +355,13 @@ class TestRealNumba:
         )
         np.testing.assert_allclose(f_nb, f_np, rtol=1e-9, atol=1e-10)
 
-    def test_compiled_trajectory_matches(self, potential, small_atoms):
+    @pytest.mark.parametrize("variant", ["numba", "numba-parallel"])
+    def test_compiled_trajectory_matches(self, potential, small_atoms, variant):
         reference = _run_trajectory(
             small_atoms.copy(), potential, EAMCalculator(kernel_tier="numpy")
         )
         compiled = _run_trajectory(
-            small_atoms.copy(), potential, EAMCalculator(kernel_tier="numba")
+            small_atoms.copy(), potential, EAMCalculator(kernel_tier=variant)
         )
         np.testing.assert_allclose(
             compiled.positions, reference.positions, atol=1e-7
