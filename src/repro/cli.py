@@ -23,6 +23,15 @@ them without writing code:
 * ``report``     — render the self-contained HTML performance dashboard
   (speedup curves, strategy bars, imbalance metrics, history trends)
   plus a terminal summary.
+* ``doctor``     — self-check workload through every layer (environment,
+  kernel tier, physics invariants, process engine, recorder round-trip);
+  prints the diagnosis table, dumps ``health.jsonl``, exits 1 on any
+  critical finding.  ``--inject`` deliberately breaks one layer so the
+  failure visibility itself can be tested.
+* ``health``     — summarize a run directory's ``health.jsonl`` (event
+  counts by category/severity, notable warnings); exit 2 when the
+  artifact is missing/invalid, and with ``--strict`` exit 1 when any
+  warning-or-worse event was recorded.
 
 ``bench`` and ``trace`` accept ``--store`` to append their artifacts to
 the performance-history store (default ``.repro/history.jsonl``) that
@@ -488,6 +497,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"\nwrote {report.trace_path}"
             f"\nwrote {report.metrics_path}"
             f"\nwrote {report.runlog_path}"
+            f"\nwrote {report.health_path}"
         )
         print(
             "open the trace at https://ui.perfetto.dev or chrome://tracing"
@@ -495,6 +505,75 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if report.store_path is not None:
         print(f"appended to history store {report.store_path}")
     return 0 if report.runs else 1
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.harness.doctor import run_doctor
+
+    report = run_doctor(
+        case=args.case,
+        steps=args.steps,
+        n_workers=args.workers,
+        kernel_tier=args.kernel_tier,
+        inject=args.inject,
+        output_dir=args.output_dir,
+    )
+    print(report.render())
+    if report.health_path is not None:
+        print(f"\nwrote {report.health_path}")
+    return report.exit_code
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.recorder import read_health_jsonl, severity_rank
+
+    path = args.source
+    if os.path.isdir(path):
+        path = os.path.join(path, "health.jsonl")
+    if not os.path.exists(path):
+        print(f"error: no health.jsonl at {path!r}", file=sys.stderr)
+        return 2
+    try:
+        meta, events = read_health_jsonl(path)
+    except (ValueError, OSError) as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return 2
+    counts = meta.get("counts") or {}
+    print(
+        f"{path}: {len(events)} events in ring "
+        f"({meta.get('n_recorded')} recorded, "
+        f"{meta.get('n_dropped')} evicted)"
+    )
+    by_key = {
+        k: v for k, v in sorted(counts.items()) if isinstance(v, int)
+    }
+    for key, n in by_key.items():
+        print(f"  {key:<32} {n}")
+    notable = [
+        e
+        for e in events
+        if severity_rank(str(e.get("severity", "info")))
+        >= severity_rank("warning")
+    ]
+    if notable:
+        print(f"\n{len(notable)} warning+ events:")
+        for e in notable[-args.top:]:
+            extras = {
+                k: v
+                for k, v in e.items()
+                if k not in ("kind", "t", "category", "event", "severity")
+            }
+            print(
+                f"  [{e.get('severity')}] {e.get('category')}/"
+                f"{e.get('event')} {extras}"
+            )
+    else:
+        print("\nno warning-or-worse events recorded")
+    if args.strict and notable:
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -760,6 +839,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=8, help="rows per terminal summary section"
     )
     rep.set_defaults(func=_cmd_report)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="self-check workload + diagnosis table (exit 1 on any "
+        "critical finding)",
+    )
+    doctor.add_argument(
+        "--case", default="tiny", help="case key for the check workload"
+    )
+    doctor.add_argument("--steps", type=int, default=3)
+    doctor.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="process-pool size for the engine check",
+    )
+    doctor.add_argument(
+        "--kernel-tier",
+        choices=list(TIER_NAMES),
+        default=None,
+        help="tier to resolve in the kernel-tier check (an explicit "
+        "numba variant that degrades is a critical finding)",
+    )
+    doctor.add_argument(
+        "--inject",
+        choices=["none", "tier-degradation", "worker-kill"],
+        default="none",
+        help="deliberately break one layer to prove the failure is "
+        "visible (doctor must then exit 1)",
+    )
+    doctor.add_argument(
+        "--output-dir",
+        default=None,
+        help="dump health.jsonl (the flight-recorder ring) here",
+    )
+    doctor.set_defaults(func=_cmd_doctor)
+
+    health = sub.add_parser(
+        "health",
+        help="summarize a run's health.jsonl (exit 2 when missing)",
+    )
+    health.add_argument(
+        "source",
+        help="run directory containing health.jsonl, or the file itself",
+    )
+    health.add_argument(
+        "--top", type=int, default=10, help="notable events to print"
+    )
+    health.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any warning-or-worse event was recorded",
+    )
+    health.set_defaults(func=_cmd_health)
     return parser
 
 

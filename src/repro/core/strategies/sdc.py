@@ -44,6 +44,16 @@ from repro.potentials.eam import (
 )
 
 
+def _count_health(name: str) -> None:
+    """Bump a named health counter (never raises)."""
+    try:
+        from repro.obs.recorder import count
+
+        count(name)
+    except Exception:  # pragma: no cover - telemetry stays optional
+        pass
+
+
 class SDCStrategy(ReductionStrategy):
     """The Spatial Decomposition Coloring strategy.
 
@@ -125,6 +135,7 @@ class SDCStrategy(ReductionStrategy):
         self._grid: Optional[SubdomainGrid] = None
         self._pairs: Optional[PairPartition] = None
         self._schedule: Optional[ColorSchedule] = None
+        self._last_fused: Optional[bool] = None
 
     # --- decomposition ---------------------------------------------------------
 
@@ -135,7 +146,9 @@ class SDCStrategy(ReductionStrategy):
         list is created or updated".
         """
         if self._cached_nlist_id == id(nlist) and self._pairs is not None:
+            _count_health("sdc_decomp_cache_hit")
             return
+        _count_health("sdc_decomp_cache_miss")
         reach = nlist.cutoff + nlist.skin
         if self.grid_factory is not None:
             grid = self.grid_factory(atoms.box, reach)
@@ -340,12 +353,34 @@ class SDCStrategy(ReductionStrategy):
         )
 
     def _use_fused(self, tier, potential: EAMPotential) -> bool:
-        """Decide color-phase fusion for this compute (see class docstring)."""
+        """Decide color-phase fusion for this compute (see class docstring).
+
+        The decision lands in the health plane: a counter per compute,
+        plus a ``scheduler``-category event whenever it *changes* (first
+        compute, or a tier/potential swap flipping fusion mid-run).
+        """
         if self.fused is False or self._instrument is not None:
-            return False
-        if self.fused is True:
-            return True
-        return tier.fused_color_phases(potential)
+            fused = False
+        elif self.fused is True:
+            fused = True
+        else:
+            fused = tier.fused_color_phases(potential)
+        _count_health("sdc_fused_compute" if fused else "sdc_unfused_compute")
+        if fused != self._last_fused:
+            self._last_fused = fused
+            try:
+                from repro.obs.recorder import record
+
+                record(
+                    "scheduler",
+                    "fusion-change",
+                    fused=fused,
+                    tier=tier.name,
+                    forced=self.fused,
+                )
+            except Exception:  # pragma: no cover - telemetry stays optional
+                pass
+        return fused
 
     # --- timing plan ----------------------------------------------------------------
 

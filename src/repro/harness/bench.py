@@ -552,11 +552,25 @@ def write_bench_json(
 def bench_payload(
     records: Sequence[Dict[str, object]],
     n_threads: Optional[int] = None,
+    kernel_tier: Optional[str] = None,
 ) -> Dict[str, object]:
     """The ``repro-bench-v2`` payload for ``records`` (also what the
-    history store ingests without a file round-trip)."""
+    history store ingests without a file round-trip).
+
+    The meta block stamps the *resolved* tier variant the records ran
+    on: the explicit ``kernel_tier`` when given, else the single tier
+    the records agree on, else the process's active tier.
+    """
     from repro.obs.runlog import collect_run_meta
 
+    if kernel_tier is None:
+        tiers = {
+            str(r.get("kernel_tier"))
+            for r in records
+            if isinstance(r, dict) and r.get("kernel_tier")
+        }
+        if len(tiers) == 1:
+            kernel_tier = tiers.pop()
     return {
         "schema": "repro-bench-v2",
         "host": {
@@ -564,7 +578,7 @@ def bench_payload(
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
-        "meta": collect_run_meta(n_threads),
+        "meta": collect_run_meta(n_threads, kernel_tier=kernel_tier),
         "records": list(records),
     }
 

@@ -11,7 +11,10 @@ and the recorded spans, and emits three artifacts:
   stream (pairs processed, per-subdomain sizes, per-color static and
   measured load-imbalance ratios, halo fraction, barrier slack);
 * ``run.jsonl`` — the structured run log (environment meta, per-sample
-  observables, neighbor rebuilds).
+  observables, neighbor rebuilds);
+* ``health.jsonl`` — the flight-recorder dump for the whole sweep
+  (engine/kernel/scheduler lifecycle events plus any physics invariant
+  breaches from the per-cell :class:`~repro.obs.health.HealthMonitor`).
 
 The text summary ranks the worst-balanced color phases across all cells.
 """
@@ -31,6 +34,8 @@ from repro.obs.metrics import (
     record_schedule_metrics,
     record_span_metrics,
 )
+from repro.obs.health import HealthMonitor
+from repro.obs.recorder import get_recorder
 from repro.obs.runlog import RunLog, collect_run_meta
 from repro.obs.tracer import Span, Tracer
 
@@ -69,6 +74,7 @@ class TraceReport:
     trace_path: Optional[str] = None
     metrics_path: Optional[str] = None
     runlog_path: Optional[str] = None
+    health_path: Optional[str] = None
     store_path: Optional[str] = None
 
     def span_groups(self) -> List[Tuple[str, Sequence[Span]]]:
@@ -178,12 +184,14 @@ def _trace_one(
         if attach is not None:
             attach(tracer)
         atoms = case_by_key(case_key).build(temperature=50.0)
+        health = HealthMonitor(calculator=calculator)
         sim = Simulation(
             atoms,
             fe_potential(),
             calculator=calculator,
             tracer=tracer,
             run_log=run_log,
+            health=health,
         )
         if run_log is not None:
             run_log.log(
@@ -191,6 +199,13 @@ def _trace_one(
             )
         with kernels.use_tier(tier):
             sim.run(steps, sample_every=1)
+        if run_log is not None:
+            run_log.log(
+                "health",
+                event="run-health-summary",
+                run=label,
+                **health.summary_fields(),
+            )
         nlist = sim.nlist
         pairs = getattr(calculator, "pair_partition", None) or getattr(
             calculator, "last_pairs", None
@@ -281,12 +296,14 @@ def run_trace(
     if output_dir is not None:
         report.trace_path = os.path.join(output_dir, "trace.json")
         report.metrics_path = os.path.join(output_dir, "metrics.jsonl")
+        report.health_path = os.path.join(output_dir, "health.jsonl")
         write_trace_json(
             report.trace_path,
             report.span_groups(),
             meta=collect_run_meta(n_workers),
         )
         registry.write_jsonl(report.metrics_path)
+        get_recorder().dump(report.health_path)
     if store_path is not None:
         from repro.obs.history import RunStore
 
@@ -300,6 +317,12 @@ def run_trace(
         )
         store.append_records(
             "runlog", run_log.records, meta=meta, source="run.jsonl"
+        )
+        store.append_records(
+            "health",
+            get_recorder().records(),
+            meta=meta,
+            source="health.jsonl",
         )
         report.store_path = store.path
     return report

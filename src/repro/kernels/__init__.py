@@ -76,8 +76,10 @@ __all__ = [
     "get",
     "numba_available",
     "parse_tier_spec",
+    "poison_numba",
     "reset",
     "set_active_tier",
+    "tier_status",
     "use_tier",
 ]
 
@@ -129,11 +131,33 @@ def _build_numba(config: KernelTierConfig, warn: bool) -> Optional[KernelTier]:
         try:
             from repro.kernels.numba_tier import NumbaKernelTier
 
+            import time as _time
+
+            started = _time.perf_counter()
             tier = NumbaKernelTier(config)
             _numba_tiers[key] = tier
+            _record_health(
+                "jit-compile",
+                "info",
+                variant=tier.name,
+                compile_seconds=_time.perf_counter() - started,
+                parallel=config.parallel,
+                fastmath=config.fastmath,
+            )
             return tier
         except Exception as exc:
             _numba_error = f"{type(exc).__name__}: {exc}"
+            if not warn:
+                # the silent (auto) path never reaches warn_tier_once, so
+                # the degradation event is recorded here — once, at the
+                # moment the failure is first discovered
+                _record_health(
+                    "tier-fallback",
+                    "info",
+                    requested=config.name,
+                    reason=_numba_error,
+                    silent=True,
+                )
     if warn:
         warn_tier_once(
             "numba-unavailable",
@@ -141,6 +165,26 @@ def _build_numba(config: KernelTierConfig, warn: bool) -> Optional[KernelTier]:
             "falling back to the numpy tier",
         )
     return None
+
+
+def _record_health(event: str, severity: str = "info", **fields: object) -> None:
+    """Record a ``kernel``-category health event (never raises)."""
+    try:
+        from repro.obs.recorder import record
+
+        record("kernel", event, severity=severity, **fields)
+    except Exception:  # pragma: no cover - health plane must stay optional
+        pass
+
+
+def _count_health(name: str) -> None:
+    """Bump a named health counter (never raises)."""
+    try:
+        from repro.obs.recorder import count
+
+        count(name)
+    except Exception:  # pragma: no cover - health plane must stay optional
+        pass
 
 
 def numba_available() -> bool:
@@ -177,9 +221,18 @@ def get(spec: TierSpec = "auto") -> KernelTier:
             spec = os.environ.get(ENV_VAR, "").strip() or "numpy"
         config = parse_tier_spec(spec)
     if config.base == "numpy":
-        return _get_numpy()
-    warn = config.base == "numba"
-    return _build_numba(config, warn=warn) or _get_numpy()
+        resolved: KernelTier = _get_numpy()
+    else:
+        warn = config.base == "numba"
+        resolved = _build_numba(config, warn=warn) or _get_numpy()
+        if warn and not resolved.compiled:
+            # explicit numba request degraded to numpy: the warning above
+            # fired at most once, but the event stream should attribute
+            # every degraded resolution (requested vs resolved) — counters
+            # keep that cheap after the first event
+            _count_health(f"kernel_degraded_resolve/{config.name}")
+    _count_health(f"kernel_resolve/{resolved.name}")
+    return resolved
 
 
 def active_tier() -> KernelTier:
@@ -197,7 +250,14 @@ def set_active_tier(spec: TierSpec) -> KernelTier:
     global _active
     tier = get(spec) if spec is not None else get(None)
     with _active_lock:
-        _active = tier
+        previous, _active = _active, tier
+    if previous is not tier:
+        _record_health(
+            "active-tier-set",
+            "info",
+            tier=tier.name,
+            previous=previous.name if previous is not None else None,
+        )
     return tier
 
 
@@ -226,6 +286,48 @@ def use_tier(spec: TierSpec) -> Iterator[KernelTier]:
     finally:
         with _active_lock:
             _active = previous
+
+
+def tier_status() -> Dict[str, object]:
+    """Registry state for the health snapshot — observation only.
+
+    Reports what the registry *knows so far* without forcing a JIT
+    build: the active tier, the environment default, which numba
+    variants have compiled, whether numba has been imported (and its
+    version), and the recorded build failure if any.  Use
+    :func:`numba_available` when you actually want a build attempt.
+    """
+    with _active_lock:
+        active = _active
+    numba_module = sys.modules.get("numba")
+    return {
+        "active": active.name if active is not None else None,
+        "active_compiled": bool(active.compiled) if active is not None else None,
+        "env_default": os.environ.get(ENV_VAR, "").strip() or None,
+        "built_variants": sorted(t.name for t in _numba_tiers.values()),
+        "numba_imported": numba_module is not None,
+        "numba_version": getattr(numba_module, "__version__", None),
+        "numba_error": _numba_error,
+    }
+
+
+def poison_numba(reason: str = "fault injection") -> None:
+    """Force every future numba build to fail (diagnostic fault injection).
+
+    `repro doctor --inject tier-degradation` uses this to prove the
+    degradation path is *visible*: after poisoning, an explicit
+    ``get("numba")`` must warn, fall back to numpy, and leave a
+    ``tier-fallback`` event in the flight recorder.  Compiled tiers
+    already built are forgotten; an active compiled tier is demoted to
+    numpy.  Undo with :func:`reset`.
+    """
+    global _numba_error, _active
+    _numba_tiers.clear()
+    _numba_error = f"poisoned: {reason}"
+    with _active_lock:
+        if _active is not None and _active.compiled:
+            _active = _get_numpy()
+    _record_health("numba-poisoned", "info", reason=reason)
 
 
 def reset() -> None:

@@ -53,11 +53,27 @@ def warn_tier_once(key: str, message: str) -> None:
 
     Fallback is allowed to happen on a hot path (every step of a long
     run), so the diagnostic must not repeat — one warning per cause per
-    process, tracked by ``key``.
+    process, tracked by ``key``.  The same once-per-cause rule feeds the
+    flight recorder: every warned fallback/degradation also lands as a
+    structured ``kernel``-category health event carrying the reason, so
+    a run that never printed its warnings (filtered, redirected) still
+    shows the degradation in ``health.jsonl``.
     """
     if key in _WARNED:
         return
     _WARNED.add(key)
+    try:
+        from repro.obs.recorder import record
+
+        record(
+            "kernel",
+            "tier-fallback",
+            severity="warning",
+            key=key,
+            reason=message,
+        )
+    except Exception:  # pragma: no cover - health plane must stay optional
+        pass
     warnings.warn(message, KernelTierWarning, stacklevel=3)
 
 

@@ -97,6 +97,23 @@ class EAMCalculator:
 
     # --- observability / lifecycle forwarding -------------------------------
 
+    def health_snapshot(self) -> dict:
+        """Engine/tier state for the health plane.
+
+        Wraps the inner calculator's ``health_snapshot`` when it has one
+        (the process engine reports pool/arena lifecycle state); plain
+        inners still report the resolved tier and calculator name.
+        """
+        snapshot = {
+            "engine": self.name,
+            "kernel_tier": self.kernel_tier,
+            "tier_pinned": self._tier is not None,
+        }
+        hook = getattr(self._inner, "health_snapshot", None)
+        if callable(hook):
+            snapshot["inner"] = hook()
+        return snapshot
+
     def attach_profiler(self, profiler) -> None:
         self._profiler = profiler
         if profiler is not None:

@@ -46,6 +46,14 @@ class SerialCalculator:
     ) -> EAMComputation:
         return compute_eam_forces_serial(potential, atoms, nlist)
 
+    def health_snapshot(self) -> dict:
+        from repro import kernels
+
+        return {
+            "engine": "serial",
+            "kernel_tier": kernels.active_tier().name,
+        }
+
 
 @dataclass
 class StepRecord:
@@ -96,6 +104,14 @@ class Simulation:
         optional :class:`~repro.obs.runlog.RunLog`; when set, the driver
         appends ``observables`` records at every sample and an ``event``
         record per neighbor rebuild.
+    health:
+        optional :class:`~repro.obs.health.HealthMonitor`; when set, the
+        driver runs the physics invariant checks (energy drift, momentum,
+        force-sum residual) after every force evaluation of the stepping
+        loop, and threshold crossings land in the flight recorder and the
+        run log.  The monitor is bound to this driver's calculator so
+        :meth:`~repro.obs.health.HealthMonitor.snapshot` covers the
+        engine too.
     """
 
     def __init__(
@@ -109,6 +125,7 @@ class Simulation:
         rebuild_every: Optional[int] = None,
         tracer=None,
         run_log=None,
+        health=None,
     ) -> None:
         if rebuild_every is not None and rebuild_every <= 0:
             raise ValueError("rebuild_every must be positive when given")
@@ -121,6 +138,9 @@ class Simulation:
         self.rebuild_every = rebuild_every
         self.tracer = tracer
         self.run_log = run_log
+        self.health = health
+        if health is not None and health.calculator is None:
+            health.attach_calculator(self.calculator)
         self.nlist: Optional[NeighborList] = None
         self.stopwatch = Stopwatch()
         self._last_computation: Optional[EAMComputation] = None
@@ -185,6 +205,17 @@ class Simulation:
                     event="neighbor-rebuild",
                     n_pairs=self.nlist.n_pairs,
                 )
+            try:
+                from repro.obs.recorder import record
+
+                record(
+                    "scheduler",
+                    "neighbor-rebuild",
+                    n_pairs=self.nlist.n_pairs,
+                    n_atoms=self.atoms.n_atoms,
+                )
+            except Exception:  # pragma: no cover - telemetry stays optional
+                pass
         assert self.nlist is not None
         return self.nlist
 
@@ -246,6 +277,13 @@ class Simulation:
                 if self.thermostat is not None:
                     self.thermostat.apply(
                         self.atoms, self.integrator.timestep
+                    )
+                if self.health is not None:
+                    self.health.observe_step(
+                        step,
+                        self.atoms,
+                        result.potential_energy,
+                        run_log=self.run_log,
                     )
             if step % sample_every == 0 or step == n_steps - 1:
                 record = StepRecord(

@@ -11,7 +11,12 @@ surface the analysis and profiling layers already use.  Four pieces:
 * :mod:`repro.obs.exporters` — Chrome trace-event (Perfetto) export and
   the worst-balanced-phase text summary;
 * :mod:`repro.obs.runlog` — JSONL structured run logs + the environment
-  meta block.
+  meta block;
+* :mod:`repro.obs.recorder` / :mod:`repro.obs.health` — the runtime
+  health plane: the always-on flight recorder every subsystem feeds,
+  the physics invariant monitors, and the
+  :meth:`~repro.obs.health.HealthMonitor.snapshot` API behind
+  ``repro doctor`` / ``repro health``.
 
 On top of the per-run artifacts, the performance-history layer compares
 runs over time:
@@ -34,6 +39,22 @@ from repro.obs.atomicio import (
     atomic_append_text,
     atomic_write,
     atomic_write_text,
+)
+from repro.obs.health import (
+    HealthMonitor,
+    InvariantThresholds,
+    PhysicsMonitor,
+)
+from repro.obs.recorder import (
+    HEALTH_SCHEMA_VERSION,
+    FlightRecorder,
+    HealthEvent,
+    get_recorder,
+    install_excepthook,
+    read_health_jsonl,
+    set_recorder,
+    uninstall_excepthook,
+    validate_health_records,
 )
 from repro.obs.exporters import (
     render_trace_summary,
@@ -79,6 +100,18 @@ __all__ = [
     "atomic_append_text",
     "atomic_write",
     "atomic_write_text",
+    "HEALTH_SCHEMA_VERSION",
+    "FlightRecorder",
+    "HealthEvent",
+    "HealthMonitor",
+    "InvariantThresholds",
+    "PhysicsMonitor",
+    "get_recorder",
+    "install_excepthook",
+    "read_health_jsonl",
+    "set_recorder",
+    "uninstall_excepthook",
+    "validate_health_records",
     "HistoryEntry",
     "RunKey",
     "RunStore",

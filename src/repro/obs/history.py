@@ -8,7 +8,7 @@ store file (default ``.repro/history.jsonl``), carrying:
 
 * a monotonically increasing ``seq`` number (append order);
 * the ``kind`` discriminator (``bench`` / ``reordering`` / ``metrics`` /
-  ``runlog``);
+  ``runlog`` / ``health``);
 * the run's ``meta`` environment block (hostname, git SHA, thread count,
   Python/NumPy versions) preserved verbatim;
 * the artifact's records.
@@ -291,8 +291,9 @@ class RunStore:
         """Ingest every known artifact found in ``directory``.
 
         Recognized filenames: ``BENCH_forces.json``,
-        ``BENCH_reordering.json``, ``metrics.jsonl``, ``run.jsonl``.
-        Returns the appended entries (possibly empty).
+        ``BENCH_reordering.json``, ``metrics.jsonl``, ``run.jsonl``,
+        ``health.jsonl`` (validated against the health schema before
+        ingest).  Returns the appended entries (possibly empty).
         """
         directory = os.fspath(directory)
         appended: List[HistoryEntry] = []
@@ -318,6 +319,16 @@ class RunStore:
                         kind, _read_jsonl(path), source=name
                     )
                 )
+        path = os.path.join(directory, "health.jsonl")
+        if os.path.exists(path):
+            from repro.obs.recorder import read_health_jsonl
+
+            meta, events = read_health_jsonl(path)
+            appended.append(
+                self.append_records(
+                    "health", [meta] + events, source="health.jsonl"
+                )
+            )
         return appended
 
 

@@ -16,6 +16,9 @@ history store:
   :class:`~repro.obs.history.RunStore`;
 * **regressions panel** — the verdict table of ``repro compare`` when a
   comparison was run;
+* **health panel** — the flight-recorder digest from ``health.jsonl``
+  (event counts per category/severity, engine restarts, kernel-tier
+  fallbacks, physics invariant breaches);
 * **meta panel** — the environment block of the newest artifact.
 
 The output is strict XHTML (every tag closed, all dynamic text escaped)
@@ -74,6 +77,8 @@ class ReportData:
     tier_speedup_records: List[Dict[str, object]] = field(default_factory=list)
     metrics_records: List[Dict[str, object]] = field(default_factory=list)
     runlog_records: List[Dict[str, object]] = field(default_factory=list)
+    #: health.jsonl stream: the ``health-meta`` header + event records
+    health_records: List[Dict[str, object]] = field(default_factory=list)
     #: (case, strategy, backend, n_workers, kernel_tier) ->
     #: [(seq, total median_s)]
     trend: Dict[
@@ -195,6 +200,27 @@ class ReportData:
             if m.get("metric") == "halo_fraction"
         }
 
+    def health_meta(self) -> Dict[str, object]:
+        """The ``health-meta`` header of the ingested health stream."""
+        for r in self.health_records:
+            if r.get("kind") == "health-meta":
+                return r
+        return {}
+
+    def health_events(
+        self, min_severity: str = "debug"
+    ) -> List[Dict[str, object]]:
+        """The health event records at or above ``min_severity``."""
+        from repro.obs.recorder import severity_rank
+
+        floor = severity_rank(min_severity)
+        return [
+            r
+            for r in self.health_records
+            if r.get("kind") == "health"
+            and severity_rank(str(r.get("severity", "info"))) >= floor
+        ]
+
 
 def load_report_source(
     source,
@@ -205,7 +231,8 @@ def load_report_source(
 
     A directory source reads the per-run artifacts it contains
     (``BENCH_forces.json``, ``BENCH_reordering.json``, ``metrics.jsonl``,
-    ``run.jsonl``) plus ``history.jsonl`` / ``.repro/history.jsonl`` for
+    ``run.jsonl``, ``health.jsonl``) plus ``history.jsonl`` /
+    ``.repro/history.jsonl`` for
     the trend panel; a ``.jsonl`` file source is treated as a history
     store and the newest entry of each kind becomes the "current" run.
     """
@@ -234,6 +261,7 @@ def load_report_source(
         for name, attr in (
             ("metrics.jsonl", "metrics_records"),
             ("run.jsonl", "runlog_records"),
+            ("health.jsonl", "health_records"),
         ):
             path = os.path.join(source, name)
             if os.path.exists(path):
@@ -264,6 +292,9 @@ def load_report_source(
         latest_tier = store.latest("tier-speedup")
         if latest_tier is not None:
             data.tier_speedup_records = latest_tier.records
+        latest_health = store.latest("health")
+        if latest_health is not None:
+            data.health_records = latest_health.records
     if store is not None:
         for key, points in store.series("bench").items():
             data.trend[key] = [
@@ -817,6 +848,74 @@ def _regression_panel(data: ReportData) -> str:
     return _panel("panel-regressions", "Regression verdicts", body)
 
 
+def _health_panel(data: ReportData) -> str:
+    if not data.health_records:
+        return ""
+    meta = data.health_meta()
+    counts = meta.get("counts")
+    if not isinstance(counts, Mapping):
+        counts = {}
+    worst = "info"
+    from repro.obs.recorder import severity_rank
+
+    for r in data.health_events():
+        sev = str(r.get("severity", "info"))
+        if severity_rank(sev) > severity_rank(worst):
+            worst = sev
+    status_cls = (
+        "bad" if severity_rank(worst) >= severity_rank("warning") else "good"
+    )
+    header = (
+        f'<p><span class="status {status_cls}">worst severity: '
+        f"{_esc(worst)}</span> — {_esc(meta.get('n_recorded', 0))} events "
+        f"recorded, {_esc(meta.get('n_dropped', 0))} evicted from the "
+        f"ring</p>"
+    )
+    count_rows = [
+        (key, value)
+        for key, value in sorted(counts.items())
+        if isinstance(value, int)
+    ]
+    body = [header]
+    if count_rows:
+        body.append(_table(("counter", "count"), count_rows))
+    notable = data.health_events(min_severity="warning")
+    if notable:
+        body.append(
+            _table(
+                ("severity", "category", "event", "detail"),
+                [
+                    (
+                        r.get("severity", ""),
+                        r.get("category", ""),
+                        r.get("event", ""),
+                        ", ".join(
+                            f"{k}={v}"
+                            for k, v in sorted(r.items())
+                            if k
+                            not in (
+                                "kind",
+                                "t",
+                                "category",
+                                "event",
+                                "severity",
+                            )
+                        ),
+                    )
+                    for r in notable[-12:]
+                ],
+            )
+        )
+    return _panel(
+        "panel-health",
+        "Runtime health",
+        "".join(body),
+        note="Flight-recorder digest from health.jsonl: engine/pool "
+        "lifecycle, kernel-tier fallbacks, scheduler cache activity, and "
+        "physics invariant breaches (see repro doctor / repro health).",
+    )
+
+
 def _meta_panel(data: ReportData) -> str:
     if not data.meta:
         return ""
@@ -915,6 +1014,7 @@ def render_html(data: ReportData, title: str = "repro performance report") -> st
             _strategy_panel(data),
             _amortization_panel(data),
             _imbalance_panel(data),
+            _health_panel(data),
             _trend_panel(data),
             _meta_panel(data),
         ]
@@ -980,6 +1080,27 @@ def render_text_summary(data: ReportData, top: int = 8) -> str:
             lines.append(
                 f"- {r['run']} {r['phase']}: {r['ratio']:.2f}x, "
                 f"slack {float(r['slack_s']) * 1e3:.3f} ms"
+            )
+        lines.append("")
+    if data.health_records:
+        from repro.obs.recorder import severity_rank
+
+        meta = data.health_meta()
+        notable = data.health_events(min_severity="warning")
+        worst = "info"
+        for r in data.health_events():
+            sev = str(r.get("severity", "info"))
+            if severity_rank(sev) > severity_rank(worst):
+                worst = sev
+        lines.append("## Runtime health")
+        lines.append(
+            f"- worst severity {worst}; {meta.get('n_recorded', 0)} events "
+            f"recorded ({meta.get('n_dropped', 0)} evicted)"
+        )
+        for r in notable[-top:]:
+            lines.append(
+                f"- [{r.get('severity')}] {r.get('category')}/"
+                f"{r.get('event')}"
             )
         lines.append("")
     if data.trend:

@@ -11,6 +11,9 @@ Canonical kinds:
   ``trace.json`` instead);
 * ``metric`` — mirrored metric samples;
 * ``observables`` — per-sample MD observables from the simulation loop;
+* ``health`` — mirrored health-plane records: invariant threshold
+  crossings from :class:`~repro.obs.health.PhysicsMonitor` and the
+  end-of-run health summary (see :mod:`repro.obs.recorder`);
 * ``event`` — anything else worth grepping for.
 
 The ``meta`` record carries ``schema_version``
@@ -35,6 +38,7 @@ import os
 import platform
 import socket
 import subprocess
+import sys
 import threading
 import time
 from typing import Dict, List, Optional
@@ -66,8 +70,19 @@ def git_sha(cwd: Optional[str] = None) -> Optional[str]:
     return sha if out.returncode == 0 and sha else None
 
 
-def collect_run_meta(n_threads: Optional[int] = None) -> Dict[str, object]:
-    """Host/environment block identifying where a run happened."""
+def collect_run_meta(
+    n_threads: Optional[int] = None, kernel_tier: Optional[str] = None
+) -> Dict[str, object]:
+    """Host/environment block identifying where a run happened.
+
+    ``kernel_tier`` names the *resolved* tier variant the run computed
+    with (e.g. ``"numba-parallel-fastmath"``) — callers that pinned a
+    tier pass it explicitly; otherwise the process's active tier is
+    stamped.  ``kernel_tiers`` still lists the buildable tier *bases*
+    (capability), and ``numba`` records the version actually imported
+    into this process (None when numba never loaded) — together these
+    attribute any health event or timing to the exact code that ran.
+    """
     try:
         import numpy
 
@@ -76,6 +91,10 @@ def collect_run_meta(n_threads: Optional[int] = None) -> Dict[str, object]:
         numpy_version = None
     from repro import kernels
 
+    if kernel_tier is None:
+        kernel_tier = kernels.active_tier().name
+    numba_module = sys.modules.get("numba")
+
     meta: Dict[str, object] = {
         "hostname": socket.gethostname(),
         "platform": platform.platform(),
@@ -83,7 +102,9 @@ def collect_run_meta(n_threads: Optional[int] = None) -> Dict[str, object]:
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": numpy_version,
+        "numba": getattr(numba_module, "__version__", None),
         "git_sha": git_sha(),
+        "kernel_tier": kernel_tier,
         "kernel_tiers": list(kernels.available_tiers()),
     }
     if n_threads is not None:

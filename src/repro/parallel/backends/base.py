@@ -64,10 +64,18 @@ class MultiObserver(PhaseObserver):
     simultaneously.  Children need only implement the hook surface
     structurally (no subclass requirement — same contract as the backend
     itself).
+
+    The fan-out is *exception-isolated*: observers are passengers, so one
+    child raising must neither abort the phase nor starve its siblings —
+    the exception is swallowed, recorded as an ``observer``-category
+    health event (once per (child, hook); repeats only bump a counter),
+    and the remaining children still run.  ``KeyboardInterrupt`` and
+    friends still propagate: only ``Exception`` is contained.
     """
 
     def __init__(self, *observers: PhaseObserver) -> None:
         self.observers: List[PhaseObserver] = list(observers)
+        self._reported: set = set()
 
     def add(self, observer: PhaseObserver) -> None:
         self.observers.append(observer)
@@ -79,21 +87,45 @@ class MultiObserver(PhaseObserver):
     def __len__(self) -> int:
         return len(self.observers)
 
-    def on_phase_begin(self, phase: int, n_tasks: int) -> None:
+    def _dispatch(self, hook: str, *args) -> None:
         for observer in self.observers:
-            observer.on_phase_begin(phase, n_tasks)
+            try:
+                getattr(observer, hook)(*args)
+            except Exception as exc:
+                self._record_failure(observer, hook, exc)
+
+    def _record_failure(
+        self, observer: PhaseObserver, hook: str, exc: Exception
+    ) -> None:
+        try:
+            from repro.obs.recorder import count, record
+
+            key = (id(observer), hook)
+            count("observer_failures")
+            if key not in self._reported:
+                self._reported.add(key)
+                record(
+                    "observer",
+                    "observer-failed",
+                    severity="warning",
+                    observer=type(observer).__name__,
+                    hook=hook,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+        except Exception:  # pragma: no cover - isolation must hold regardless
+            pass
+
+    def on_phase_begin(self, phase: int, n_tasks: int) -> None:
+        self._dispatch("on_phase_begin", phase, n_tasks)
 
     def on_task_begin(self, phase: int, task: int) -> None:
-        for observer in self.observers:
-            observer.on_task_begin(phase, task)
+        self._dispatch("on_task_begin", phase, task)
 
     def on_task_end(self, phase: int, task: int) -> None:
-        for observer in self.observers:
-            observer.on_task_end(phase, task)
+        self._dispatch("on_task_end", phase, task)
 
     def on_phase_end(self, phase: int) -> None:
-        for observer in self.observers:
-            observer.on_phase_end(phase)
+        self._dispatch("on_phase_end", phase)
 
 
 def _noop() -> None:
@@ -195,6 +227,18 @@ class ExecutionBackend(ABC):
                 observer.on_task_end(phase, task)
 
         return run
+
+    def health_snapshot(self) -> dict:
+        """Backend lifecycle state for the health plane.
+
+        The base implementation covers stateless backends (serial);
+        pooled backends extend it with their worker/pool state.
+        """
+        return {
+            "backend": type(self).__name__,
+            "observed": self._observer is not None,
+            "phases_run": self._phase_counter,
+        }
 
     def close(self) -> None:
         """Release any worker resources (idempotent)."""

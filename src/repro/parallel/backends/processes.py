@@ -90,6 +90,26 @@ WorkerTiming = Dict[str, float]
 _WARM_TIMEOUT_S = 60.0
 
 
+def _record_health(event: str, severity: str = "info", **fields: object) -> None:
+    """Record an ``engine``-category health event (never raises)."""
+    try:
+        from repro.obs.recorder import record
+
+        record("engine", event, severity=severity, **fields)
+    except Exception:  # pragma: no cover - health plane must stay optional
+        pass
+
+
+def _count_health(name: str) -> None:
+    """Bump a named health counter (never raises)."""
+    try:
+        from repro.obs.recorder import count
+
+        count(name)
+    except Exception:  # pragma: no cover - health plane must stay optional
+        pass
+
+
 def _arena_layout(
     n_atoms: int, n_pairs: int, n_subdomains: int
 ) -> Dict[str, Tuple[Tuple[int, ...], np.dtype]]:
@@ -390,6 +410,10 @@ class ProcessSDCCalculator:
         self._epoch = 0
         self._spec: Optional[dict] = None
         self._pool_potential: Optional[EAMPotential] = None
+        # lifecycle counters surfaced by health_snapshot()
+        self._n_pool_spawns = 0
+        self._n_restarts = 0
+        self._n_worker_deaths = 0
 
     # --- lifecycle -------------------------------------------------------------
 
@@ -399,6 +423,12 @@ class ProcessSDCCalculator:
         The calculator stays usable: the next ``compute`` re-creates the
         pool and arena from scratch.
         """
+        if self._resources.executor is not None or self._resources.segments:
+            _record_health(
+                "engine-close",
+                n_workers=self.n_workers,
+                shm_bytes_released=self.arena_bytes(),
+            )
         self._resources.release()
         self._arrays = {}
         self._shapes = {}
@@ -461,6 +491,29 @@ class ProcessSDCCalculator:
         if executor is None:
             return []
         return list(getattr(executor, "_processes", {}))
+
+    def arena_bytes(self) -> int:
+        """Total bytes of live ``/dev/shm`` segments this engine owns."""
+        return sum(
+            segment.size for segment in self._resources.segments.values()
+        )
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """Engine lifecycle state for :meth:`HealthMonitor.snapshot`."""
+        return {
+            "engine": self.name,
+            "pool_live": self._resources.executor is not None,
+            "n_workers": self.n_workers,
+            "worker_pids": self.worker_pids(),
+            "epoch": self._epoch,
+            "arena_segments": len(self._resources.segments),
+            "arena_bytes": self.arena_bytes(),
+            "n_pool_spawns": self._n_pool_spawns,
+            "n_restarts": self._n_restarts,
+            "n_worker_deaths": self._n_worker_deaths,
+            "kernel_tier": self.kernel_tier,
+            "decomposition_cached": self._pairs is not None,
+        }
 
     # --- observability ---------------------------------------------------------
 
@@ -560,7 +613,9 @@ class ProcessSDCCalculator:
         (the caller must then republish the pair CSR to the arena).
         """
         if self._cached_nlist_id == id(nlist) and self._pairs is not None:
+            _count_health("sdc_decomp_cache_hit")
             return False
+        _count_health("sdc_decomp_cache_miss")
         reach = nlist.cutoff + nlist.skin
         if self.adaptive:
             grid = decompose_balanced(
@@ -643,6 +698,13 @@ class ProcessSDCCalculator:
                     for key, segment in self._resources.segments.items()
                 },
             }
+            _record_health(
+                "arena-resize" if resized else "arena-respec",
+                epoch=self._epoch,
+                n_atoms=n,
+                n_pairs=self._pairs.n_pairs,
+                shm_bytes=self.arena_bytes(),
+            )
 
     def _box_matches(self, box) -> bool:
         cached = None if self._spec is None else self._spec["box"]
@@ -662,6 +724,7 @@ class ProcessSDCCalculator:
         ):
             self._resources.discard_executor()
         if self._resources.executor is None:
+            started = time.perf_counter()
             ctx = mp.get_context("fork")
             barrier = ctx.Barrier(self.n_workers)
             executor = ProcessPoolExecutor(
@@ -682,11 +745,25 @@ class ProcessSDCCalculator:
                     future.result()
             except Exception as exc:
                 executor.shutdown(wait=False, cancel_futures=True)
+                _record_health(
+                    "pool-spawn-failed",
+                    severity="critical",
+                    n_workers=self.n_workers,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 raise BackendError(
                     "process pool died during startup"
                 ) from exc
             self._resources.executor = executor
             self._pool_potential = potential
+            self._n_pool_spawns += 1
+            _record_health(
+                "pool-spawn",
+                n_workers=self.n_workers,
+                spawn_seconds=time.perf_counter() - started,
+                spawn_count=self._n_pool_spawns,
+                pids=self.worker_pids(),
+            )
 
     # --- phase execution -------------------------------------------------------
 
@@ -716,6 +793,14 @@ class ProcessSDCCalculator:
             ]
         except (BrokenExecutor, RuntimeError) as exc:
             self._resources.discard_executor(wait=False)
+            self._n_worker_deaths += 1
+            _record_health(
+                "worker-death",
+                severity="warning",
+                phase=label,
+                where="submit",
+                error=f"{type(exc).__name__}: {exc}",
+            )
             raise BackendError(
                 f"process pool broken submitting {label}"
             ) from exc
@@ -729,6 +814,14 @@ class ProcessSDCCalculator:
                 results.append(future.result())
             elif isinstance(exc, BrokenExecutor):
                 self._resources.discard_executor(wait=False)
+                self._n_worker_deaths += 1
+                _record_health(
+                    "worker-death",
+                    severity="warning",
+                    phase=label,
+                    where="result",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 raise BackendError(
                     f"process pool worker died during {label}"
                 ) from exc
@@ -832,9 +925,22 @@ class ProcessSDCCalculator:
             try:
                 embedding_energy, pair_energy = self._scatter_phases(potential)
                 break
-            except BackendError:
+            except BackendError as exc:
                 if attempt or not self.restart_on_failure:
+                    _record_health(
+                        "engine-failed",
+                        severity="critical",
+                        error=str(exc),
+                        attempt=attempt,
+                    )
                     raise
+                self._n_restarts += 1
+                _record_health(
+                    "pool-restart",
+                    severity="warning",
+                    restart_count=self._n_restarts,
+                    error=str(exc),
+                )
                 with self._phase(PHASE_SETUP):
                     with self._span("setup", restart=True):
                         self._ensure_executor(potential)

@@ -47,6 +47,11 @@ class ThreadBackend(ExecutionBackend):
         finally:
             end_phase()
 
+    def health_snapshot(self) -> dict:
+        snapshot = super().health_snapshot()
+        snapshot.update(n_threads=self.n_threads, pool_live=self._pool is not None)
+        return snapshot
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)

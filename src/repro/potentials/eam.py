@@ -63,12 +63,30 @@ __all__ = [
 # pair geometry
 # --------------------------------------------------------------------------
 
-def _tier(tier: "Optional[kernels.KernelTier]") -> "kernels.KernelTier":
+def _tier(
+    tier: "Optional[kernels.KernelTier]", entry: Optional[str] = None
+) -> "kernels.KernelTier":
     """The dispatch target: an explicitly passed tier, else the process
     default.  Concurrent drivers pass tiers explicitly (see
     :mod:`repro.kernels`); the module-level names keep working for
-    single-tier processes and interactive use."""
+    single-tier processes and interactive use.
+
+    ``entry`` names the kernel entry point for the health plane's
+    per-entry-point dispatch counters (``eam_dispatch/<entry>``) — a
+    plain counter bump, no event objects, so the hot path stays cheap.
+    """
+    if entry is not None:
+        _health_count(f"eam_dispatch/{entry}")
     return tier if tier is not None else kernels.active_tier()
+
+
+def _health_count(name: str) -> None:
+    try:
+        from repro.obs.recorder import count
+
+        count(name)
+    except Exception:  # pragma: no cover - telemetry must never break forces
+        pass
 
 
 def pair_geometry(
@@ -83,7 +101,9 @@ def pair_geometry(
     Returns ``(delta, r)`` with ``delta[k] = pos[i_k] - pos[j_k]`` folded by
     minimum image and ``r[k] = |delta[k]|``.
     """
-    return _tier(tier).pair_geometry(positions, box, i_idx, j_idx)
+    return _tier(tier, "pair_geometry").pair_geometry(
+        positions, box, i_idx, j_idx
+    )
 
 
 # --------------------------------------------------------------------------
@@ -96,7 +116,9 @@ def density_pair_values(
     tier: "Optional[kernels.KernelTier]" = None,
 ) -> np.ndarray:
     """phi(r) for a slice of pair distances."""
-    return _tier(tier).density_pair_values(potential, r)
+    return _tier(tier, "density_pair_values").density_pair_values(
+        potential, r
+    )
 
 
 def scatter_rho_half(
@@ -114,7 +136,7 @@ def scatter_rho_half(
     accumulate correctly — the slice may contain many pairs sharing an
     atom.
     """
-    _tier(tier).scatter_rho_half(rho, i_idx, j_idx, phi)
+    _tier(tier, "scatter_rho_half").scatter_rho_half(rho, i_idx, j_idx, phi)
 
 
 def scatter_rho_owned(
@@ -139,7 +161,9 @@ def scatter_rho_owned(
         contributions without a trace.  Every tier validates at dispatch
         time, before any compiled code runs.
     """
-    _tier(tier).scatter_rho_owned(rho, i_idx, phi, n_atoms)
+    _tier(tier, "scatter_rho_owned").scatter_rho_owned(
+        rho, i_idx, phi, n_atoms
+    )
 
 
 def force_pair_coefficients(
@@ -168,7 +192,7 @@ def force_pair_coefficients(
         turning the ``1/r`` scaling into astronomically large garbage
         forces with no diagnostic.
     """
-    return _tier(tier).force_pair_coefficients(
+    return _tier(tier, "force_pair_coefficients").force_pair_coefficients(
         potential, r, fp_i, fp_j, pair_ids, min_separation
     )
 
@@ -184,7 +208,9 @@ def scatter_force_half(
 
     ``forces[i] += f_pair; forces[j] -= f_pair`` per component.
     """
-    _tier(tier).scatter_force_half(forces, i_idx, j_idx, pair_forces)
+    _tier(tier, "scatter_force_half").scatter_force_half(
+        forces, i_idx, j_idx, pair_forces
+    )
 
 
 def scatter_force_owned(
@@ -195,7 +221,9 @@ def scatter_force_owned(
     tier: "Optional[kernels.KernelTier]" = None,
 ) -> None:
     """Full-list force accumulation into owned rows only (RC strategy)."""
-    _tier(tier).scatter_force_owned(forces, i_idx, pair_forces, n_atoms)
+    _tier(tier, "scatter_force_owned").scatter_force_owned(
+        forces, i_idx, pair_forces, n_atoms
+    )
 
 
 # --------------------------------------------------------------------------
@@ -234,7 +262,7 @@ def eam_density_and_pair_energy_phase(
     saves a third ``pair_arrays``/``pair_geometry`` pass over every pair.
     Returns ``(rho, pair_energy)``; the energy is 0.0 when not requested.
     """
-    return _tier(tier).density_and_pair_energy_phase(
+    return _tier(tier, "density_phase").density_and_pair_energy_phase(
         potential, positions, box, nlist, counter, want_pair_energy
     )
 
@@ -266,7 +294,7 @@ def eam_force_phase(
     tier: "Optional[kernels.KernelTier]" = None,
 ) -> np.ndarray:
     """Phase 3: forces from the cached embedding derivatives."""
-    return _tier(tier).force_phase(
+    return _tier(tier, "force_phase").force_phase(
         potential, positions, box, nlist, fp, counter
     )
 

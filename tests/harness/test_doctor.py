@@ -1,0 +1,205 @@
+"""`repro doctor` self-check: healthy pass, fault injection, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.doctor import FAULTS, DoctorReport, Finding, run_doctor
+from repro.kernels import KernelTierWarning
+from repro.obs.recorder import read_health_jsonl
+
+
+@pytest.fixture(autouse=True)
+def _clean_tier_registry():
+    """Doctor fault injection poisons the global tier registry."""
+    from repro import kernels
+
+    kernels.reset()
+    yield
+    kernels.reset()
+
+
+class TestHealthyDoctor:
+    def test_exit_zero_with_all_checks_ok(self, tmp_path):
+        report = run_doctor(
+            case="tiny", steps=2, n_workers=2, output_dir=str(tmp_path)
+        )
+        assert report.exit_code == 0
+        assert report.worst_status == "ok"
+        by_name = {f.check: f for f in report.findings}
+        assert set(by_name) == {
+            "environment",
+            "kernel-tier",
+            "physics",
+            "process-engine",
+            "recorder",
+        }
+        for finding in report.findings:
+            assert finding.status in ("ok", "skip"), finding
+
+    def test_health_artifact_validates_and_brackets_the_run(self, tmp_path):
+        report = run_doctor(case="tiny", steps=2, output_dir=str(tmp_path))
+        assert report.health_path == os.path.join(
+            str(tmp_path), "health.jsonl"
+        )
+        meta, events = read_health_jsonl(report.health_path)
+        names = [e["event"] for e in events]
+        assert names[0] == "doctor-start"
+        assert names[-1] == "doctor-end"
+        assert events[-1]["exit_code"] == 0
+
+    def test_snapshot_covers_invariants(self, tmp_path):
+        report = run_doctor(case="tiny", steps=2, output_dir=str(tmp_path))
+        assert report.snapshot["worst_invariant_status"] == "ok"
+        assert "energy_drift" in report.snapshot["invariants"]
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="inject"):
+            run_doctor(inject="meteor-strike")
+        with pytest.raises(ValueError, match="steps"):
+            run_doctor(steps=0)
+        assert FAULTS == ("none", "tier-degradation", "worker-kill")
+
+
+class TestTierDegradationInjection:
+    def test_exit_one_with_fallback_event_in_artifact(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", KernelTierWarning)
+            report = run_doctor(
+                case="tiny",
+                steps=2,
+                inject="tier-degradation",
+                output_dir=str(tmp_path),
+            )
+        assert report.exit_code == 1
+        by_name = {f.check: f for f in report.findings}
+        assert by_name["kernel-tier"].status == "critical"
+        assert "degraded to numpy" in by_name["kernel-tier"].detail
+        _, events = read_health_jsonl(report.health_path)
+        names = {e["event"] for e in events}
+        assert "numba-poisoned" in names
+        assert "tier-fallback" in names
+        critical_findings = [
+            e for e in events
+            if e["event"] == "finding" and e["severity"] == "critical"
+        ]
+        assert any(
+            f["check"] == "kernel-tier" for f in critical_findings
+        )
+
+    def test_poison_is_undone_after_the_doctor_returns(self, tmp_path):
+        from repro import kernels
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", KernelTierWarning)
+            run_doctor(
+                case="tiny", steps=2, inject="tier-degradation",
+                output_dir=str(tmp_path),
+            )
+        assert kernels.tier_status()["numba_error"] is None
+
+
+@pytest.mark.linux
+class TestWorkerKillInjection:
+    def test_exit_one_with_restart_events_in_artifact(self, tmp_path):
+        report = run_doctor(
+            case="tiny",
+            steps=2,
+            inject="worker-kill",
+            output_dir=str(tmp_path),
+        )
+        assert report.exit_code == 1
+        by_name = {f.check: f for f in report.findings}
+        assert by_name["process-engine"].status == "critical"
+        assert "pool restarted" in by_name["process-engine"].detail
+        _, events = read_health_jsonl(report.health_path)
+        names = {e["event"] for e in events}
+        assert "worker-death" in names
+        assert "pool-restart" in names
+
+
+class TestReportRendering:
+    def test_render_is_a_table_with_verdict(self):
+        report = DoctorReport(
+            findings=[
+                Finding("environment", "ok", "python 3"),
+                Finding("kernel-tier", "critical", "degraded"),
+            ],
+            snapshot={},
+            inject="tier-degradation",
+        )
+        text = report.render()
+        lines = text.splitlines()
+        assert lines[0].split() == ["check", "status", "detail"]
+        assert any("kernel-tier" in line for line in lines)
+        assert lines[-1] == "verdict: critical (inject=tier-degradation)"
+
+    def test_worst_status_orders_skip_below_ok(self):
+        report = DoctorReport(
+            findings=[Finding("process-engine", "skip", "no fork")],
+            snapshot={},
+        )
+        assert report.worst_status == "skip"
+        assert report.exit_code == 0
+
+
+class TestCliWiring:
+    def test_doctor_parser_defaults(self):
+        args = build_parser().parse_args(["doctor"])
+        assert args.case == "tiny"
+        assert args.steps == 3
+        assert args.inject == "none"
+
+    def test_doctor_rejects_unknown_inject(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["doctor", "--inject", "gremlins"])
+
+    def test_doctor_healthy_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "doctor",
+                "--case", "tiny",
+                "--steps", "2",
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: ok" in out
+        assert "health.jsonl" in out
+
+    def test_health_verb_reads_doctor_artifact(self, tmp_path, capsys):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", KernelTierWarning)
+            assert (
+                main(
+                    [
+                        "doctor",
+                        "--case", "tiny",
+                        "--steps", "2",
+                        "--inject", "tier-degradation",
+                        "--output-dir", str(tmp_path),
+                    ]
+                )
+                == 1
+            )
+        capsys.readouterr()
+        code = main(["health", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tier-fallback" in out
+        # --strict turns any warning+ event into exit 1
+        assert main(["health", str(tmp_path), "--strict"]) == 1
+
+    def test_health_verb_missing_artifact_exits_two(self, tmp_path, capsys):
+        assert main(["health", str(tmp_path / "nope")]) == 2
+
+    def test_health_verb_rejects_corrupt_artifact(self, tmp_path, capsys):
+        path = tmp_path / "health.jsonl"
+        path.write_text(json.dumps({"kind": "health"}) + "\n")
+        assert main(["health", str(path)]) == 2

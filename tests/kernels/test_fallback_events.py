@@ -1,0 +1,161 @@
+"""Kernel-tier degradation must be *visible* in the flight recorder.
+
+The fallback contract (DESIGN.md) lets a missing or broken JIT degrade
+to the numpy tier instead of crashing — but a degradation that only
+prints a warning is invisible to a run whose stderr was filtered or
+redirected.  Every fallback path must therefore also land a structured
+``kernel``-category event carrying the reason:
+
+* explicit ``get("numba")`` without numba  -> warning event (warned path)
+* ``get("auto")`` without numba            -> info event, ``silent=True``
+* a compiled kernel raising mid-run        -> warning event (broken JIT)
+* ``poison_numba``                         -> info event (fault injection)
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.obs.recorder import FlightRecorder, set_recorder
+
+
+@pytest.fixture(autouse=True)
+def recorder():
+    """A fresh global flight recorder around every test."""
+    ring = FlightRecorder()
+    previous = set_recorder(ring)
+    yield ring
+    set_recorder(previous)
+
+
+def _fallbacks(ring):
+    return [
+        e for e in ring.events(category="kernel")
+        if e.event == "tier-fallback"
+    ]
+
+
+class TestExplicitRequestFallback:
+    def test_missing_numba_records_warning_event_with_reason(
+        self, no_numba, recorder
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", kernels.KernelTierWarning)
+            tier = kernels.get("numba")
+        assert tier.name == "numpy"
+        events = _fallbacks(recorder)
+        assert len(events) == 1
+        event = events[0]
+        assert event.severity == "warning"
+        assert event.fields["key"] == "numba-unavailable"
+        assert "falling back to the numpy tier" in event.fields["reason"]
+
+    def test_repeat_requests_warn_once_but_count_every_resolution(
+        self, no_numba, recorder
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", kernels.KernelTierWarning)
+            kernels.get("numba")
+            kernels.get("numba")
+            kernels.get("numba")
+        # one structured event (warn-once), but the counters attribute
+        # every degraded resolution so a long run still shows the scale
+        assert len(_fallbacks(recorder)) == 1
+        counts = recorder.counts()
+        assert counts["kernel_degraded_resolve/numba"] == 3
+        assert counts["kernel_resolve/numpy"] == 3
+
+
+class TestAutoSilentFallback:
+    def test_auto_degradation_records_info_event(self, no_numba, recorder):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            tier = kernels.get("auto")
+        assert tier.name == "numpy"
+        # silent for the console...
+        assert not [
+            w for w in caught
+            if issubclass(w.category, kernels.KernelTierWarning)
+        ]
+        # ...but not for the health plane
+        events = _fallbacks(recorder)
+        assert len(events) == 1
+        event = events[0]
+        assert event.severity == "info"
+        assert event.fields["silent"] is True
+        assert event.fields["requested"] == "auto"
+        assert "import" in event.fields["reason"].lower()
+
+
+class TestBrokenJitFallback:
+    def test_mid_run_kernel_failure_records_warning_event(
+        self, stub_numba, recorder, potential, small_atoms, small_nlist,
+        monkeypatch,
+    ):
+        tier = kernels.get("numba")
+        assert tier.compiled
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("typing failure")
+
+        monkeypatch.setattr(tier._kernels, "force_phase", boom)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", kernels.KernelTierWarning)
+            forces = tier.force_phase(
+                potential,
+                small_atoms.positions,
+                small_atoms.box,
+                small_nlist,
+                np.zeros(small_atoms.n_atoms),
+            )
+            tier.force_phase(  # degraded instance: no second event
+                potential,
+                small_atoms.positions,
+                small_atoms.box,
+                small_nlist,
+                np.zeros(small_atoms.n_atoms),
+            )
+        assert np.all(np.isfinite(forces))
+        events = _fallbacks(recorder)
+        assert len(events) == 1
+        event = events[0]
+        assert event.severity == "warning"
+        assert event.fields["key"] == f"numba-broken-{id(tier)}"
+        assert "typing failure" in event.fields["reason"]
+
+    def test_successful_build_records_jit_compile_event(
+        self, stub_numba, recorder
+    ):
+        tier = kernels.get("numba-parallel")
+        compiles = [
+            e for e in recorder.events(category="kernel")
+            if e.event == "jit-compile"
+        ]
+        assert len(compiles) == 1
+        assert compiles[0].fields["variant"] == tier.name
+        assert compiles[0].fields["parallel"] is True
+        assert compiles[0].fields["compile_seconds"] >= 0
+
+
+class TestPoisonFaultInjection:
+    def test_poison_records_event_and_forces_visible_fallback(
+        self, stub_numba, recorder
+    ):
+        assert kernels.get("numba").compiled
+        kernels.poison_numba("doctor fault injection")
+        poisons = [
+            e for e in recorder.events(category="kernel")
+            if e.event == "numba-poisoned"
+        ]
+        assert len(poisons) == 1
+        assert poisons[0].fields["reason"] == "doctor fault injection"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", kernels.KernelTierWarning)
+            assert kernels.get("numba").name == "numpy"
+        events = _fallbacks(recorder)
+        assert len(events) == 1
+        assert "poisoned: doctor fault injection" in events[0].fields["reason"]

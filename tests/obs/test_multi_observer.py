@@ -3,13 +3,34 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.analysis.events import EventLog
 from repro.core.strategies.sdc import SDCStrategy
+from repro.obs.recorder import FlightRecorder, set_recorder
 from repro.obs.tracer import CAT_TASK, Tracer, TracingObserver
 from repro.parallel.backends.base import MultiObserver, PhaseObserver
 from repro.parallel.backends.serial import SerialBackend
 from repro.parallel.backends.threads import ThreadBackend
+
+
+class _Broken(PhaseObserver):
+    """An observer whose every hook raises."""
+
+    def __init__(self, exc=RuntimeError("observer exploded")):
+        self.exc = exc
+
+    def on_phase_begin(self, phase, n_tasks):
+        raise self.exc
+
+    def on_task_begin(self, phase, task):
+        raise self.exc
+
+    def on_task_end(self, phase, task):
+        raise self.exc
+
+    def on_phase_end(self, phase):
+        raise self.exc
 
 
 class _Recorder(PhaseObserver):
@@ -53,6 +74,87 @@ class TestMultiObserver:
         assert multi.observers == [b]
         multi.remove(a)  # absent: no-op
         assert multi.observers == [b]
+
+
+class TestExceptionIsolation:
+    """A raising child must neither abort the phase nor starve siblings."""
+
+    @pytest.fixture()
+    def recorder(self):
+        recorder = FlightRecorder()
+        previous = set_recorder(recorder)
+        yield recorder
+        set_recorder(previous)
+
+    def test_broken_child_does_not_starve_siblings(self, recorder):
+        healthy = _Recorder()
+        multi = MultiObserver(_Broken(), healthy)
+        backend = SerialBackend()
+        backend.attach_observer(multi)
+        backend.run_phase([lambda: None])
+        # the healthy sibling saw the full hook sequence
+        assert [c[0] for c in healthy.calls] == [
+            "phase-begin",
+            "task-begin",
+            "task-end",
+            "phase-end",
+        ]
+
+    def test_failure_recorded_once_per_hook_with_repeat_counter(
+        self, recorder
+    ):
+        multi = MultiObserver(_Broken())
+        multi.on_phase_begin(0, 1)
+        multi.on_phase_begin(1, 1)
+        multi.on_phase_begin(2, 1)
+        events = recorder.events(category="observer")
+        assert len(events) == 1
+        event = events[0]
+        assert event.event == "observer-failed"
+        assert event.severity == "warning"
+        assert event.fields["observer"] == "_Broken"
+        assert event.fields["hook"] == "on_phase_begin"
+        assert "observer exploded" in event.fields["error"]
+        assert recorder.counts()["observer_failures"] == 3
+
+    def test_each_hook_reported_separately(self, recorder):
+        multi = MultiObserver(_Broken())
+        multi.on_phase_begin(0, 1)
+        multi.on_task_begin(0, 0)
+        multi.on_task_end(0, 0)
+        multi.on_phase_end(0)
+        hooks = {
+            e.fields["hook"] for e in recorder.events(category="observer")
+        }
+        assert hooks == {
+            "on_phase_begin",
+            "on_task_begin",
+            "on_task_end",
+            "on_phase_end",
+        }
+
+    def test_keyboard_interrupt_still_propagates(self, recorder):
+        multi = MultiObserver(_Broken(exc=KeyboardInterrupt()))
+        with pytest.raises(KeyboardInterrupt):
+            multi.on_phase_begin(0, 1)
+
+    def test_phase_result_unaffected_by_broken_observer(
+        self, recorder, potential, sdc_atoms, sdc_nlist
+    ):
+        strategy = SDCStrategy(dims=2, n_threads=2)
+        reference = strategy.compute(
+            potential, sdc_atoms.copy(), sdc_nlist
+        )
+        # co-attached with a healthy sibling -> MultiObserver isolation
+        strategy.backend.add_observer(_Recorder())
+        strategy.backend.add_observer(_Broken())
+        observed = strategy.compute(
+            potential, sdc_atoms.copy(), sdc_nlist
+        )
+        np.testing.assert_allclose(
+            observed.forces, reference.forces, atol=1e-12
+        )
+        assert recorder.events(category="observer")
 
 
 class TestAddObserverOnBackend:

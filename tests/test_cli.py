@@ -23,6 +23,8 @@ class TestParser:
             "trace",
             "compare",
             "report",
+            "doctor",
+            "health",
         }
 
     def test_command_required(self):
