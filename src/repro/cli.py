@@ -16,7 +16,14 @@ them without writing code:
   ``BENCH_reordering.json``).
 * ``trace``      — traced case × strategy × backend MD runs (writes
   Perfetto ``trace.json``, ``metrics.jsonl`` and ``run.jsonl``, and
-  prints the load-imbalance summary).
+  prints the load-imbalance summary).  ``--sample-resources`` co-runs
+  the /proc resource sampler and merges CPU/RSS/context-switch/shm
+  counter tracks into the trace.
+* ``scale``      — worker-count sweep of one (case, strategy, backend,
+  kernel-tier) cell: speedup / efficiency / Karp–Flatt per point plus
+  the loss attribution (serial, imbalance, barrier, resource pressure,
+  excess work), written as ``scaling.json`` + ``kind:"scaling"``
+  history records that ``repro report`` renders.
 * ``compare``    — regression-gate a candidate bench run against a
   baseline (median/IQR overlap + relative threshold; exit 1 on a hard
   regression).
@@ -490,6 +497,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
         store_path=args.store,
         kernel_tier=args.kernel_tier,
+        sample_resources=args.sample_resources,
     )
     print(report.render_summary(top=args.top))
     if report.trace_path is not None:
@@ -505,6 +513,55 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if report.store_path is not None:
         print(f"appended to history store {report.store_path}")
     return 0 if report.runs else 1
+
+
+def _parse_workers(text: str) -> list:
+    """``"1,2,4"`` -> ``[1, 2, 4]`` (argparse type for ``--workers``)."""
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid worker list {text!r} (expected e.g. 1,2,4)"
+        )
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"worker counts must be >= 1 (got {text!r})"
+        )
+    return values
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.harness.scaling import run_scale
+    from repro.obs.history import DEFAULT_STORE_PATH
+
+    store = args.store if args.store is not None else DEFAULT_STORE_PATH
+    report = run_scale(
+        case=args.case,
+        strategy=args.strategy,
+        backend=args.backend,
+        workers=args.workers,
+        steps=args.steps,
+        kernel_tier=args.kernel_tier,
+        output_dir=args.output_dir,
+        store_path=store or None,
+        sample_resources=args.sample_resources,
+        sample_interval_s=args.sample_interval,
+        on_skip=lambda msg: print(f"skip: {msg}", file=sys.stderr),
+    )
+    print(report.render_summary(top=args.top))
+    if report.trace_path is not None:
+        print(
+            f"\nwrote {report.trace_path}"
+            f"\nwrote {report.metrics_path}"
+            f"\nwrote {report.scaling_path}"
+            f"\nwrote {report.health_path}"
+        )
+        print(
+            "open the trace at https://ui.perfetto.dev or chrome://tracing"
+        )
+    if report.store_path is not None:
+        print(f"appended scaling records to history store {report.store_path}")
+    return 0 if report.points else 1
 
 
 def _cmd_doctor(args: argparse.Namespace) -> int:
@@ -776,7 +833,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel tier variant for the traced cells (default: the "
         "session's active tier)",
     )
+    trace.add_argument(
+        "--sample-resources",
+        action="store_true",
+        help="co-run the /proc resource sampler: CPU/RSS/context-switch/"
+        "shm counter tracks for the parent and every pool worker merge "
+        "into trace.json",
+    )
     trace.set_defaults(func=_cmd_trace)
+
+    scale = sub.add_parser(
+        "scale",
+        help="worker-count sweep: speedup/efficiency/Karp-Flatt + loss "
+        "attribution (writes scaling.json and kind:scaling history "
+        "records)",
+    )
+    scale.add_argument(
+        "--case", default="small", help="case key to sweep (default small)"
+    )
+    scale.add_argument(
+        "--strategy",
+        default="sdc",
+        help="strategy key for the swept cell (default sdc)",
+    )
+    scale.add_argument(
+        "--backend",
+        choices=["serial", "threads", "processes"],
+        default="processes",
+        help="backend to sweep (default processes, so per-worker "
+        "resource tracks appear in the trace)",
+    )
+    scale.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=[1, 2],
+        help="comma-separated worker counts to sweep (default 1,2; "
+        "include 1 so T(1) is measured rather than estimated)",
+    )
+    scale.add_argument("--steps", type=int, default=3)
+    scale.add_argument(
+        "--kernel-tier",
+        choices=list(TIER_NAMES),
+        default=None,
+        help="kernel tier variant for the swept cell (default: the "
+        "session's active tier)",
+    )
+    scale.add_argument(
+        "--output-dir",
+        default="scale-out",
+        help="directory for trace.json / metrics.jsonl / scaling.json / "
+        "health.jsonl",
+    )
+    scale.add_argument(
+        "--store",
+        default=None,
+        help="history store for the kind:scaling records (default "
+        ".repro/history.jsonl; pass an empty string to skip)",
+    )
+    scale.add_argument(
+        "--no-sample-resources",
+        dest="sample_resources",
+        action="store_false",
+        help="disable the /proc resource sampler (loss attribution then "
+        "has no resource-pressure component)",
+    )
+    scale.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.05,
+        help="resource-sampler period in seconds (default 0.05)",
+    )
+    scale.add_argument(
+        "--top", type=int, default=10, help="summary rows to print"
+    )
+    scale.set_defaults(func=_cmd_scale, sample_resources=True)
 
     comp = sub.add_parser(
         "compare",

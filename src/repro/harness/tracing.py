@@ -167,6 +167,8 @@ def _trace_one(
     registry: MetricsRegistry,
     run_log: Optional[RunLog],
     kernel_tier: Optional[str] = None,
+    sample_resources: bool = False,
+    sample_interval_s: float = 0.05,
 ) -> TracedRun:
     """Run one sweep cell under the tracer and record its metrics."""
     from repro.md.simulation import Simulation
@@ -179,10 +181,18 @@ def _trace_one(
     tier = kernels.get(kernel_tier) if kernel_tier is not None else None
     tier_name = (tier if tier is not None else kernels.active_tier()).name
     tracer = Tracer()
+    sampler = None
     try:
         attach = getattr(calculator, "attach_tracer", None)
         if attach is not None:
             attach(tracer)
+        if sample_resources:
+            from repro.obs.resources import ResourceSampler
+
+            sampler = ResourceSampler(
+                interval_s=sample_interval_s, calculator=calculator
+            )
+            sampler.start()
         atoms = case_by_key(case_key).build(temperature=50.0)
         health = HealthMonitor(calculator=calculator)
         sim = Simulation(
@@ -218,7 +228,15 @@ def _trace_one(
         elif nlist is not None:
             registry.count("pairs_processed", float(nlist.n_pairs), run=label)
         record_span_metrics(registry, tracer, run=label)
+        spans = tracer.spans
+        if sampler is not None:
+            sampler.stop()
+            spans = spans + sampler.counter_spans()
+            sampler.record_metrics(registry, run=label)
+            sampler.record_health_summary(run=label)
     finally:
+        if sampler is not None:
+            sampler.stop()
         detach = getattr(calculator, "detach_tracer", None)
         if detach is not None:
             detach()
@@ -230,7 +248,7 @@ def _trace_one(
         backend=backend_key,
         n_workers=n_workers,
         n_steps=steps,
-        spans=tracer.spans,
+        spans=spans,
         kernel_tier=tier_name,
     )
 
@@ -245,6 +263,8 @@ def run_trace(
     on_skip: Optional[Callable[[str], None]] = None,
     store_path: Optional[str] = None,
     kernel_tier: Optional[str] = None,
+    sample_resources: bool = False,
+    sample_interval_s: float = 0.05,
 ) -> TraceReport:
     """Trace the sweep; optionally write the three artifacts.
 
@@ -252,7 +272,10 @@ def run_trace(
     ``run.jsonl`` there (creating the directory) and records the paths on
     the returned report.  With ``store_path`` set, the metrics and run-log
     streams are also appended to that performance-history store
-    (:class:`~repro.obs.history.RunStore`).
+    (:class:`~repro.obs.history.RunStore`).  With ``sample_resources``,
+    a :class:`~repro.obs.resources.ResourceSampler` co-runs with every
+    cell and its CPU/RSS/context-switch/shm counter tracks merge into
+    ``trace.json`` (summaries into the metrics and health streams).
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
@@ -282,6 +305,8 @@ def run_trace(
                                 registry,
                                 run_log,
                                 kernel_tier=kernel_tier,
+                                sample_resources=sample_resources,
+                                sample_interval_s=sample_interval_s,
                             )
                         )
                     except BenchSkip as skip:

@@ -12,6 +12,10 @@ surface the analysis and profiling layers already use.  Four pieces:
   the worst-balanced-phase text summary;
 * :mod:`repro.obs.runlog` — JSONL structured run logs + the environment
   meta block;
+* :mod:`repro.obs.resources` — the /proc resource sampler: CPU/RSS/
+  context-switch/shm counter tracks for the parent and every pool
+  worker, merged into the trace timeline (``repro scale``,
+  ``--sample-resources``);
 * :mod:`repro.obs.recorder` / :mod:`repro.obs.health` — the runtime
   health plane: the always-on flight recorder every subsystem feeds,
   the physics invariant monitors, and the
@@ -83,6 +87,12 @@ from repro.obs.report import (
     render_text_summary,
     write_report,
 )
+from repro.obs.resources import (
+    ProcSample,
+    ResourceSampler,
+    read_proc_sample,
+    resources_supported,
+)
 from repro.obs.runlog import (
     RUNLOG_SCHEMA_VERSION,
     RunLog,
@@ -90,6 +100,7 @@ from repro.obs.runlog import (
     git_sha,
 )
 from repro.obs.tracer import (
+    CAT_COUNTER,
     Span,
     Tracer,
     TracingObserver,
@@ -125,6 +136,11 @@ __all__ = [
     "render_text_summary",
     "write_report",
     "RUNLOG_SCHEMA_VERSION",
+    "CAT_COUNTER",
+    "ProcSample",
+    "ResourceSampler",
+    "read_proc_sample",
+    "resources_supported",
     "Span",
     "Tracer",
     "TracingObserver",

@@ -75,6 +75,8 @@ class ReportData:
     reordering_records: List[Dict[str, object]] = field(default_factory=list)
     #: per-cell kernel-tier speedups (``repro bench --speedup-vs``)
     tier_speedup_records: List[Dict[str, object]] = field(default_factory=list)
+    #: worker-sweep efficiency records (``repro scale``)
+    scaling_records: List[Dict[str, object]] = field(default_factory=list)
     metrics_records: List[Dict[str, object]] = field(default_factory=list)
     runlog_records: List[Dict[str, object]] = field(default_factory=list)
     #: health.jsonl stream: the ``health-meta`` header + event records
@@ -200,6 +202,26 @@ class ReportData:
             if m.get("metric") == "halo_fraction"
         }
 
+    def scaling_groups(
+        self,
+    ) -> Dict[Tuple[str, str, str, str], List[Dict[str, object]]]:
+        """Scaling records per sweep: (case, strategy, backend, tier) ->
+        records sorted by worker count."""
+        out: Dict[Tuple[str, str, str, str], List[Dict[str, object]]] = {}
+        for r in self.scaling_records:
+            if "speedup" not in r or "n_workers" not in r:
+                continue
+            key = (
+                str(r.get("case", "?")),
+                str(r.get("strategy", "?")),
+                str(r.get("backend", "?")),
+                str(r.get("kernel_tier", "numpy")),
+            )
+            out.setdefault(key, []).append(r)
+        for records in out.values():
+            records.sort(key=lambda r: int(r["n_workers"]))
+        return out
+
     def health_meta(self) -> Dict[str, object]:
         """The ``health-meta`` header of the ingested health stream."""
         for r in self.health_records:
@@ -258,6 +280,13 @@ def load_report_source(
                 data.tier_speedup_records = list(
                     json.load(handle).get("records", [])
                 )
+        scaling_path = os.path.join(source, "scaling.json")
+        if os.path.exists(scaling_path):
+            with open(scaling_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            data.scaling_records = list(payload.get("records", []))
+            if not data.meta:
+                data.meta = dict(payload.get("meta", {}))
         for name, attr in (
             ("metrics.jsonl", "metrics_records"),
             ("run.jsonl", "runlog_records"),
@@ -292,6 +321,11 @@ def load_report_source(
         latest_tier = store.latest("tier-speedup")
         if latest_tier is not None:
             data.tier_speedup_records = latest_tier.records
+        latest_scaling = store.latest("scaling")
+        if latest_scaling is not None:
+            data.scaling_records = latest_scaling.records
+            if not data.meta:
+                data.meta = latest_scaling.meta
         latest_health = store.latest("health")
         if latest_health is not None:
             data.health_records = latest_health.records
@@ -615,6 +649,95 @@ def _tier_speedup_panel(data: ReportData) -> str:
         note="End-to-end phase medians of the same sweep cell on two "
         "kernel tiers (repro bench --kernel-tier X --speedup-vs Y); "
         "speedup > 1 means the candidate tier is faster.",
+    )
+
+
+#: loss mechanisms of the scaling records, display order = palette order
+_LOSS_LABELS = (
+    ("serial", "serial fraction"),
+    ("imbalance", "load imbalance"),
+    ("barrier", "barrier slack"),
+    ("resource_pressure", "resource pressure"),
+    ("excess_work", "excess work"),
+)
+
+
+def _scaling_panel(data: ReportData) -> str:
+    groups = data.scaling_groups()
+    if not groups:
+        return ""
+    charts = []
+    for key, records in sorted(groups.items()):
+        case, strategy, backend, tier = key
+        label = f"{case}/{strategy}/{backend}"
+        if tier != "numpy":
+            label += f"/{tier}"
+        measured = [
+            (float(int(r["n_workers"])), float(r["speedup"]))
+            for r in records
+        ]
+        ideal = [(x, x) for x, _ in measured]
+        chart = _svg_line_chart(
+            [("measured", measured), ("ideal", ideal)],
+            x_label="workers",
+            y_label="speedup",
+        )
+        table_rows = []
+        for r in records:
+            kf = r.get("karp_flatt")
+            table_rows.append(
+                (
+                    r.get("n_workers", "?"),
+                    f"{float(r.get('median_s', 0.0)):.4f} s",
+                    f"{float(r['speedup']):.2f}x",
+                    f"{float(r.get('efficiency', 0.0)):.1%}",
+                    f"{float(kf):.3f}" if kf is not None else "-",
+                    r.get("dominant_loss") or "-",
+                )
+            )
+        bar_rows: List[Tuple[str, float]] = []
+        color_idx: List[int] = []
+        for r in records:
+            p = r.get("n_workers", "?")
+            for ci, (loss_key, loss_label) in enumerate(_LOSS_LABELS):
+                value = float(r.get(f"loss_{loss_key}", 0.0) or 0.0)
+                if value > 0.005:
+                    bar_rows.append((f"w{p} {loss_label}", value * 100.0))
+                    color_idx.append(ci)
+        bars = (
+            _svg_hbar_chart(bar_rows, unit="%", color_indices=color_idx)
+            if bar_rows
+            else '<p class="muted">(no attributable losses)</p>'
+        )
+        charts.append(
+            f"<figure><figcaption>{_esc(label)}</figcaption>"
+            + chart
+            + _legend(["measured", "ideal"])
+            + "</figure>"
+            + f"<figure><figcaption>{_esc(label)}: lost core-seconds "
+            f"(% of p x T(p))</figcaption>" + bars + "</figure>"
+            + _table(
+                (
+                    "workers",
+                    "T(p)",
+                    "speedup",
+                    "efficiency",
+                    "Karp-Flatt",
+                    "dominant loss",
+                ),
+                table_rows,
+            )
+        )
+    return _panel(
+        "panel-scaling",
+        "Scaling efficiency and loss attribution",
+        "".join(charts),
+        note="From repro scale: speedup S(p)=T(1)/T(p), efficiency "
+        "E(p)=S(p)/p, and the Karp-Flatt experimentally-determined "
+        "serial fraction e(p)=(1/S-1/p)/(1-1/p). Lost core-seconds are "
+        "attributed to serial sections, task load imbalance, residual "
+        "barrier slack, resource pressure (sampled sub-100% worker "
+        "CPU), and excess work vs the 1-worker baseline.",
     )
 
 
@@ -1011,6 +1134,7 @@ def render_html(data: ReportData, title: str = "repro performance report") -> st
             _regression_panel(data),
             _speedup_panel(data),
             _tier_speedup_panel(data),
+            _scaling_panel(data),
             _strategy_panel(data),
             _amortization_panel(data),
             _imbalance_panel(data),
@@ -1060,6 +1184,31 @@ def render_text_summary(data: ReportData, top: int = 8) -> str:
                 f"/w{r.get('n_workers')}: {r.get('kernel_tier')} vs "
                 f"{r.get('reference_tier')} = {float(r['speedup']):.2f}x"
             )
+        lines.append("")
+    scaling = data.scaling_groups()
+    if scaling:
+        lines.append("## Scaling efficiency (repro scale)")
+        for key, records in sorted(scaling.items()):
+            case, strategy, backend, tier = key
+            tier_tag = f"/{tier}" if tier != "numpy" else ""
+            for r in records:
+                kf = r.get("karp_flatt")
+                kf_txt = f"{float(kf):.3f}" if kf is not None else "-"
+                dominant = r.get("dominant_loss")
+                loss_txt = ""
+                if dominant:
+                    frac = float(r.get(f"loss_{dominant}", 0.0) or 0.0)
+                    loss_txt = (
+                        f", dominant loss: {dominant} "
+                        f"({frac:.0%} of core-seconds)"
+                    )
+                lines.append(
+                    f"- {case}/{strategy}/{backend}{tier_tag}"
+                    f"/w{r.get('n_workers')}: speedup "
+                    f"{float(r['speedup']):.2f}x, efficiency "
+                    f"{float(r.get('efficiency', 0.0)):.1%}, "
+                    f"Karp-Flatt {kf_txt}{loss_txt}"
+                )
         lines.append("")
     amort = data.amortization_rows()
     if amort:

@@ -95,11 +95,21 @@ def collect_run_meta(
         kernel_tier = kernels.active_tier().name
     numba_module = sys.modules.get("numba")
 
+    # CPU affinity: constrained runners (CI containers, cgroup limits,
+    # taskset) expose fewer schedulable CPUs than os.cpu_count() — the
+    # scaling records need both to be interpretable
+    try:
+        affinity = sorted(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        affinity = None
+
     meta: Dict[str, object] = {
         "hostname": socket.gethostname(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "cpus_allowed": len(affinity) if affinity is not None else None,
+        "cpu_affinity": affinity,
         "python": platform.python_version(),
         "numpy": numpy_version,
         "numba": getattr(numba_module, "__version__", None),

@@ -21,6 +21,7 @@ class TestParser:
             "racecheck",
             "bench",
             "trace",
+            "scale",
             "compare",
             "report",
             "doctor",
@@ -150,6 +151,50 @@ class TestCommands:
             )
             == 1
         )
+
+    def test_scale(self, capsys, tmp_path):
+        out_dir = tmp_path / "scale-out"
+        store = tmp_path / "history.jsonl"
+        assert (
+            main(
+                [
+                    "scale",
+                    "--case",
+                    "tiny",
+                    "--backend",
+                    "threads",
+                    "--workers",
+                    "1,2",
+                    "--steps",
+                    "1",
+                    "--output-dir",
+                    str(out_dir),
+                    "--store",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "scaling sweep tiny/sdc/threads" in out
+        assert "Karp-Flatt" in out
+
+        import json
+
+        payload = json.loads((out_dir / "scaling.json").read_text())
+        assert payload["schema"] == "repro-scaling-v1"
+        assert [r["n_workers"] for r in payload["records"]] == [1, 2]
+
+        from repro.obs.history import RunStore
+
+        entry = RunStore(str(store)).latest("scaling")
+        assert entry is not None and len(entry.records) == 2
+
+    def test_scale_rejects_bad_worker_list(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scale", "--workers", "1,zero"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scale", "--workers", "0,2"])
 
     def test_racecheck_metrics_stream(self, capsys, tmp_path):
         path = tmp_path / "race-metrics.jsonl"
