@@ -739,7 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--backend",
         action="append",
-        choices=["serial", "threads", "processes"],
+        choices=["serial", "threads", "processes", "sharded"],
         help="backend to sweep (repeatable)",
     )
     bench.add_argument("--threads", type=int, default=2)
@@ -808,7 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--backend",
         action="append",
-        choices=["serial", "threads", "processes"],
+        choices=["serial", "threads", "processes", "sharded"],
         help="backend to trace (repeatable; default threads)",
     )
     trace.add_argument("--threads", type=int, default=2)
@@ -858,7 +858,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scale.add_argument(
         "--backend",
-        choices=["serial", "threads", "processes"],
+        choices=["serial", "threads", "processes", "sharded"],
         default="processes",
         help="backend to sweep (default processes, so per-worker "
         "resource tracks appear in the trace)",

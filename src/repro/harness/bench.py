@@ -50,7 +50,7 @@ KNOWN_STRATEGIES = (
     "atomic",
     "localwrite",
 )
-KNOWN_BACKENDS = ("serial", "threads", "processes")
+KNOWN_BACKENDS = ("serial", "threads", "processes", "sharded")
 
 
 @dataclass(frozen=True)
@@ -157,6 +157,24 @@ def _make_cell(
         dims = int(strategy_key[-2]) if strategy_key != "sdc" else 2
         calc = ProcessSDCCalculator(
             dims=dims, n_workers=n_workers, kernel_tier=kernel_tier
+        )
+        calc.attach_profiler(profiler)
+        profiler.kernel_tier = calc.kernel_tier
+
+        def cleanup() -> None:
+            calc.detach_profiler()
+            calc.close()
+
+        return lambda: calc.compute(potential, atoms, nlist), cleanup
+
+    if backend_key == "sharded":
+        if not strategy_key.startswith("sdc"):
+            raise BenchSkip("sharded backend only runs SDC")
+        from repro.parallel.backends.sharded import ShardedSDCCalculator
+
+        dims = int(strategy_key[-2]) if strategy_key != "sdc" else 2
+        calc = ShardedSDCCalculator(
+            n_shards=n_workers, dims=dims, kernel_tier=kernel_tier
         )
         calc.attach_profiler(profiler)
         profiler.kernel_tier = calc.kernel_tier

@@ -14,6 +14,9 @@ case and folds what the health plane observed into a diagnosis table:
   pressure sample;
 * **process-engine** — a real force computation through the persistent
   process pool, checked for agreement with the serial reference;
+* **sharded-engine** — a force computation through the sharded halo
+  exchange engine (DESIGN.md §7.4), checked against the same serial
+  reference, with the ghost/exchange snapshot in the finding's fields;
 * **recorder** — dump the flight-recorder ring and re-validate it
   through the reader (the artifact round-trip CI asserts).
 
@@ -276,6 +279,64 @@ def _check_process_engine(
     return Finding("process-engine", status, detail, fields=snapshot)
 
 
+def _check_sharded_engine(
+    case: str,
+    n_workers: int,
+    kernel_tier: Optional[str],
+) -> Finding:
+    """A sharded force evaluation checked against the serial reference.
+
+    Exercises the full exchange protocol — ghost construction, the three
+    halo reductions, per-shard SDC — on the doctor workload, and reports
+    the engine's health snapshot (ghost counts, exchange bytes, worker
+    state) as the finding's fields.
+    """
+    import numpy as np
+
+    from repro.core.strategies import STRATEGY_REGISTRY
+    from repro.md.neighbor.verlet import build_neighbor_list
+    from repro.harness.cases import case_by_key
+    from repro.parallel.backends.base import BackendError
+    from repro.parallel.backends.sharded import ShardedSDCCalculator
+    from repro.potentials import fe_potential
+
+    atoms = case_by_key(case).build(temperature=50.0)
+    potential = fe_potential()
+    nlist = build_neighbor_list(
+        atoms.positions, atoms.box, cutoff=potential.cutoff, half=True
+    )
+    reference = STRATEGY_REGISTRY["serial"]().compute(
+        potential, atoms, nlist
+    )
+    n_shards = max(2, n_workers)
+    calc = ShardedSDCCalculator(n_shards=n_shards, kernel_tier=kernel_tier)
+    try:
+        result = calc.compute(potential, atoms.copy(), nlist)
+        snapshot = calc.health_snapshot()
+    except BackendError as exc:
+        return Finding(
+            "sharded-engine",
+            "critical",
+            f"sharded engine did not recover: {exc}",
+        )
+    finally:
+        calc.close()
+    force_err = float(np.max(np.abs(result.forces - reference.forces)))
+    if force_err >= 1e-8:
+        status = "critical"
+        detail = (
+            f"sharded forces diverge from serial (max|dF| {force_err:.1e})"
+        )
+    else:
+        status = "ok"
+        detail = (
+            f"{n_shards} shards ({snapshot.get('shard_engine')}), "
+            f"{snapshot.get('n_ghosts')} ghosts, max|dF| vs serial "
+            f"{force_err:.1e}"
+        )
+    return Finding("sharded-engine", status, detail, fields=snapshot)
+
+
 def _check_recorder(
     recorder: FlightRecorder, health_path: Optional[str]
 ) -> Finding:
@@ -350,6 +411,9 @@ def run_doctor(
         findings.append(_check_physics(case, steps, monitor))
         findings.append(
             _check_process_engine(case, n_workers, kernel_tier, inject)
+        )
+        findings.append(
+            _check_sharded_engine(case, n_workers, kernel_tier)
         )
         for finding in findings:
             if finding.status in ("warning", "critical"):

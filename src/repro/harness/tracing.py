@@ -146,6 +146,18 @@ def _make_calculator(
         )
         return calc, calc.close
 
+    if backend_key == "sharded":
+        if base != "sdc":
+            raise BenchSkip("sharded backend only runs SDC")
+        from repro.parallel.backends.sharded import ShardedSDCCalculator
+
+        calc = ShardedSDCCalculator(
+            n_shards=n_workers,
+            dims=_strategy_dims(strategy_key),
+            kernel_tier=kernel_tier,
+        )
+        return calc, calc.close
+
     from repro.analysis.racecheck import make_backend, make_strategy
 
     backend = make_backend(backend_key, n_workers)
@@ -217,13 +229,21 @@ def _trace_one(
                 **health.summary_fields(),
             )
         nlist = sim.nlist
+        shard_items = getattr(calculator, "shard_schedule_items", None)
         pairs = getattr(calculator, "pair_partition", None) or getattr(
             calculator, "last_pairs", None
         )
         schedule = getattr(calculator, "schedule", None) or getattr(
             calculator, "last_schedule", None
         )
-        if pairs is not None and schedule is not None:
+        if shard_items is not None:
+            # one metric set per shard, labeled with the shard dimension
+            for shard, shard_pairs, shard_schedule in shard_items():
+                record_schedule_metrics(
+                    registry, shard_pairs, shard_schedule,
+                    shard=shard, run=label,
+                )
+        elif pairs is not None and schedule is not None:
             record_schedule_metrics(registry, pairs, schedule, run=label)
         elif nlist is not None:
             registry.count("pairs_processed", float(nlist.n_pairs), run=label)

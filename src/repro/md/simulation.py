@@ -216,6 +216,11 @@ class Simulation:
                 )
             except Exception:  # pragma: no cover - telemetry stays optional
                 pass
+            # distributed engines re-home atoms at every rebuild (atom
+            # migration); plain strategies simply don't expose the hook
+            rebuild_hook = getattr(self.calculator, "on_neighbor_rebuild", None)
+            if rebuild_hook is not None:
+                rebuild_hook(self.atoms, self.nlist)
         assert self.nlist is not None
         return self.nlist
 

@@ -196,11 +196,18 @@ class ReportData:
         return rows
 
     def halo_fractions(self) -> Dict[str, float]:
-        return {
-            str(m.get("run", "?")): float(m["value"])
-            for m in self.metrics_records
-            if m.get("metric") == "halo_fraction"
-        }
+        """Halo fraction per run — per shard when the records carry the
+        sharded engine's ``shard`` label (shardless rows keep the bare
+        run key, so pre-shard metric streams render unchanged)."""
+        out: Dict[str, float] = {}
+        for m in self.metrics_records:
+            if m.get("metric") != "halo_fraction":
+                continue
+            key = str(m.get("run", "?"))
+            if "shard" in m:
+                key = f"{key} [shard {m['shard']}]"
+            out[key] = float(m["value"])
+        return out
 
     def scaling_groups(
         self,

@@ -1,0 +1,218 @@
+"""Process execution backend: each phase runs in forked worker groups.
+
+Unlike the persistent task pool behind
+:class:`~repro.parallel.backends.processes.ProcessSDCCalculator`, this
+backend executes arbitrary *closures* — the
+:class:`~repro.parallel.backends.base.ExecutionBackend` contract — by
+forking its worker group at the start of every phase.  Forked children
+inherit the closures (and everything they capture) by address-space copy,
+so nothing is pickled on the way in; only per-task completion status
+travels back over a pipe.
+
+Two consequences the caller must understand:
+
+* **Task side effects are process-local** unless the arrays the closures
+  write live in shared memory (an anonymous shared ``mmap`` or a
+  ``multiprocessing.shared_memory`` segment created before the phase).
+  The sharded engine (:mod:`repro.parallel.backends.sharded`) allocates
+  its accumulators exactly that way; generic callers writing plain NumPy
+  arrays will see no writes.
+* **Observer task hooks are replayed on the caller** after the phase
+  barrier (a child cannot call back into the parent's observer).  The
+  ordering guarantees of :class:`~repro.parallel.backends.base.PhaseObserver`
+  still hold — ``on_phase_begin`` strictly before the first
+  ``on_task_begin``, ``on_phase_end`` after the last ``on_task_end`` —
+  but task hooks do not run on the worker itself.
+
+Exception semantics match the repo-wide contract: a closure raising
+propagates the task's own exception after all submitted work settled; a
+worker *dying* (signal, ``os._exit``) raises
+:class:`~repro.parallel.backends.base.BackendError` instead, and the
+backend remains usable for the next phase.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+from typing import List, Optional, Sequence, Tuple
+
+from repro.parallel.backends.base import (
+    BackendError,
+    ExecutionBackend,
+    TaskClosure,
+)
+
+#: generous per-phase barrier timeout; a phase exceeding it is treated as
+#: a lost worker group (BackendError), not silently waited on forever
+DEFAULT_PHASE_TIMEOUT_S = 120.0
+
+
+def portable_exception(exc: BaseException) -> BaseException:
+    """An exception object that survives a pickle round-trip.
+
+    Returns ``exc`` itself when it pickles cleanly; otherwise a
+    ``RuntimeError`` carrying the original type name and message, so the
+    parent still gets *an* exception describing the failure.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _group_main(conn, tasks: Sequence[Tuple[int, TaskClosure]]) -> None:
+    """Child entry point: run the group's tasks in order, report status.
+
+    Runs every assigned task even when an earlier one raised — the phase
+    barrier contract says exceptions surface only after all submitted
+    work has settled.
+    """
+    results: List[Tuple[int, Optional[BaseException]]] = []
+    for index, closure in tasks:
+        try:
+            closure()
+            results.append((index, None))
+        except BaseException as exc:  # noqa: BLE001 - status channel
+            results.append((index, portable_exception(exc)))
+    try:
+        conn.send(results)
+    except Exception:
+        # a result refused to serialize; report bare indices so the
+        # parent can at least distinguish "ran" from "worker died"
+        conn.send([(index, None) for index, _ in tasks])
+    conn.close()
+
+
+class ForkPhaseBackend(ExecutionBackend):
+    """Run each phase's closures in ``n_workers`` forked child processes.
+
+    Tasks are dealt round-robin: task ``k`` runs in group ``k %
+    n_workers``, in ascending ``k`` order within the group.  Requires a
+    platform with the ``fork`` start method (Linux).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        timeout_s: float = DEFAULT_PHASE_TIMEOUT_S,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError("ForkPhaseBackend requires fork support")
+        self.n_workers = n_workers
+        self.timeout_s = timeout_s
+        self._closed = False
+        self._phases_survived_death = 0
+
+    # --- grouping ---------------------------------------------------------
+
+    def _groups(
+        self, closures: Sequence[TaskClosure]
+    ) -> List[List[Tuple[int, TaskClosure]]]:
+        """Round-robin task assignment; only non-empty groups fork."""
+        groups: List[List[Tuple[int, TaskClosure]]] = [
+            [] for _ in range(min(self.n_workers, len(closures)))
+        ]
+        for index, closure in enumerate(closures):
+            groups[index % len(groups)].append((index, closure))
+        return groups
+
+    # --- execution --------------------------------------------------------
+
+    def run_phase(self, closures: Sequence[TaskClosure]) -> None:
+        if self._closed:
+            raise RuntimeError("backend already closed")
+        tasks = list(closures)
+        observer = self._observer
+        phase = self._phase_counter
+        if observer is not None:
+            self._phase_counter += 1
+            observer.on_phase_begin(phase, len(tasks))
+        try:
+            if not tasks:
+                return
+            failures = self._run_groups(self._groups(tasks))
+            if observer is not None:
+                # replay on the caller, preserving the ordering contract
+                # (task hooks fire between phase begin and phase end, and
+                # on_task_end fires also for tasks that raised)
+                for index in range(len(tasks)):
+                    observer.on_task_begin(phase, index)
+                    observer.on_task_end(phase, index)
+            if failures:
+                raise failures[min(failures)]
+        finally:
+            if observer is not None:
+                observer.on_phase_end(phase)
+
+    def _run_groups(
+        self, groups: Sequence[Sequence[Tuple[int, TaskClosure]]]
+    ) -> dict:
+        """Fork one child per group; barrier on all; map task failures.
+
+        Raises :class:`BackendError` when any child died without
+        reporting — after reaping every other child, so the barrier
+        guarantee ("no partially-settled phase is handed back") holds.
+        """
+        ctx = mp.get_context("fork")
+        children = []
+        for tasks in groups:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_group_main, args=(child_conn, list(tasks)), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            children.append((process, parent_conn))
+        failures: dict = {}
+        dead: List[int] = []
+        for process, conn in children:
+            payload = None
+            try:
+                if conn.poll(self.timeout_s):
+                    payload = conn.recv()
+            except (EOFError, OSError):
+                payload = None
+            finally:
+                conn.close()
+            process.join(5.0)
+            if process.is_alive():  # pragma: no cover - watchdog path
+                process.terminate()
+                process.join(5.0)
+            if payload is None or process.exitcode != 0:
+                dead.append(process.pid or -1)
+                continue
+            for index, exc in payload:
+                if exc is not None:
+                    failures[index] = exc
+        if dead:
+            self._phases_survived_death += 1
+            raise BackendError(
+                f"{len(dead)} forked worker group(s) died mid-phase "
+                f"(pids {dead}); the phase barrier was still honored"
+            )
+        return failures
+
+    # --- lifecycle --------------------------------------------------------
+
+    def health_snapshot(self) -> dict:
+        snapshot = super().health_snapshot()
+        snapshot.update(
+            {
+                "n_workers": self.n_workers,
+                "closed": self._closed,
+                "phases_survived_worker_death": self._phases_survived_death,
+                "pid": os.getpid(),
+            }
+        )
+        return snapshot
+
+    def close(self) -> None:
+        """Mark the backend closed (idempotent; no persistent workers)."""
+        self._closed = True

@@ -17,10 +17,33 @@ from repro.parallel.backends.base import ExecutionBackend, TaskClosure
 class SerialBackend(ExecutionBackend):
     """Run every closure in the calling thread, in order."""
 
+    _closed = False
+
     def run_phase(self, closures: Sequence[TaskClosure]) -> None:
+        if self._closed:
+            raise RuntimeError("backend already closed")
         closures, end_phase = self._begin_phase(closures)
+        first_error: Exception | None = None
         try:
             for closure in closures:
-                closure()
+                try:
+                    closure()
+                except Exception as exc:
+                    # the contract says exceptions surface only after all
+                    # submitted work settled — parallel backends cannot
+                    # un-submit the rest of the phase, so serial must not
+                    # abort it either
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
         finally:
             end_phase()
+
+    def close(self) -> None:
+        """Mark the backend closed (idempotent; no resources to free).
+
+        Closing still rejects further phases so every backend honors the
+        same lifecycle contract (the conformance suite relies on it).
+        """
+        self._closed = True

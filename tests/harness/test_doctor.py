@@ -38,6 +38,7 @@ class TestHealthyDoctor:
             "physics",
             "process-engine",
             "recorder",
+            "sharded-engine",
         }
         for finding in report.findings:
             assert finding.status in ("ok", "skip"), finding

@@ -1,0 +1,78 @@
+"""The shard dimension on schedule metrics — and its absence.
+
+``record_schedule_metrics`` grew a ``shard`` parameter for the sharded
+engine.  The regression half of this suite pins the compatibility
+contract: with the default ``shard=None`` the emitted records are
+*byte-identical* to the pre-shard shape (same JSONL serialization), so
+history rows written before the shard dimension existed keep parsing and
+comparing cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.coloring import lattice_coloring
+from repro.core.domain import decompose_balanced
+from repro.core.partition import build_pair_partition, build_partition
+from repro.core.schedule import build_schedule
+from repro.obs.metrics import MetricsRegistry, record_schedule_metrics
+
+
+@pytest.fixture(scope="module")
+def pairs_and_schedule(potential, sdc_atoms, sdc_nlist):
+    reach = sdc_nlist.cutoff + sdc_nlist.skin
+    grid = decompose_balanced(sdc_atoms.box, reach, 2, 2)
+    partition = build_partition(
+        sdc_atoms.box.wrap(sdc_atoms.positions), grid
+    )
+    pairs = build_pair_partition(partition, sdc_nlist)
+    schedule = build_schedule(lattice_coloring(grid))
+    return pairs, schedule
+
+
+class TestShardDimension:
+    def test_default_shape_is_byte_identical(self, pairs_and_schedule):
+        """shard=None emits the exact pre-shard record stream."""
+        pairs, schedule = pairs_and_schedule
+        legacy = MetricsRegistry()
+        record_schedule_metrics(legacy, pairs, schedule, run="cell")
+        current = MetricsRegistry()
+        record_schedule_metrics(
+            current, pairs, schedule, shard=None, run="cell"
+        )
+        assert current.to_jsonl() == legacy.to_jsonl()
+        for line in legacy.to_jsonl().splitlines():
+            assert "shard" not in json.loads(line)
+
+    def test_shard_label_lands_on_every_record(self, pairs_and_schedule):
+        pairs, schedule = pairs_and_schedule
+        registry = MetricsRegistry()
+        record_schedule_metrics(registry, pairs, schedule, shard=3, run="cell")
+        records = registry.records()
+        assert records, "schedule metrics must emit records"
+        for record in records:
+            assert record.labels["shard"] == "3"
+            assert record.labels["run"] == "cell"
+
+    def test_shard_zero_is_labeled(self, pairs_and_schedule):
+        """shard=0 is a real shard id, not a falsy omission."""
+        pairs, schedule = pairs_and_schedule
+        registry = MetricsRegistry()
+        record_schedule_metrics(registry, pairs, schedule, shard=0)
+        for record in registry.records():
+            assert record.labels["shard"] == "0"
+
+    def test_per_shard_streams_stay_distinguishable(self, pairs_and_schedule):
+        """Two shards' metric sets coexist under distinct label keys."""
+        pairs, schedule = pairs_and_schedule
+        registry = MetricsRegistry()
+        record_schedule_metrics(registry, pairs, schedule, shard=0, run="r")
+        record_schedule_metrics(registry, pairs, schedule, shard=1, run="r")
+        v0 = registry.value("n_subdomains", shard="0", run="r")
+        v1 = registry.value("n_subdomains", shard="1", run="r")
+        assert v0 is not None and v0 == v1
+        # the unlabeled query does not accidentally match shard streams
+        assert registry.value("n_subdomains", run="r") is None

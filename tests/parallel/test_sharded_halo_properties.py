@@ -1,0 +1,198 @@
+"""Hypothesis properties of the sharded halo construction.
+
+Randomized exploration of the three invariants the exchange protocol
+rests on:
+
+* **ghost selection is exact** — ``build_halo`` returns precisely the
+  set of ``(atom, periodic image)`` pairs whose shifted position lies
+  within ``reach = cutoff + skin`` of a shard's region, checked against
+  an independent scalar oracle;
+* **force accumulation is globally Newton-correct** — owner + ghost
+  reductions leave the total force at zero and reproduce the serial
+  kernels on random gas configurations;
+* **migration is a permutation** — ownership after random drift still
+  assigns every atom to exactly one shard (no atom lost or duplicated).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.md import Atoms, build_neighbor_list
+from repro.parallel.backends.sharded import (
+    ShardedSDCCalculator,
+    build_halo,
+    make_shard_grid,
+)
+from repro.potentials import compute_eam_forces_serial, fe_potential
+from repro.utils.rng import default_rng
+
+
+def random_gas(n_atoms, lengths, seed):
+    rng = default_rng(seed)
+    box = Box(lengths)
+    positions = rng.uniform(0, 1, size=(n_atoms, 3)) * box.lengths
+    return positions, box
+
+
+def oracle_ghosts(positions, grid, reach, shard):
+    """Scalar re-derivation of one shard's ghost set: every (atom, image
+    shift) whose shifted position is within ``reach`` of the region."""
+    box = grid.box
+    wrapped = box.wrap(positions)
+    shard_of = grid.shard_of_positions(wrapped)
+    lo, hi = grid.bounds_of(shard)
+    ghosts = set()
+    shifts = [
+        np.array([nx, ny, nz], dtype=float) * box.lengths
+        for nx in ((-1, 0, 1) if box.periodic[0] else (0,))
+        for ny in ((-1, 0, 1) if box.periodic[1] else (0,))
+        for nz in ((-1, 0, 1) if box.periodic[2] else (0,))
+    ]
+    for atom in range(len(wrapped)):
+        for shift in shifts:
+            if not shift.any() and shard_of[atom] == shard:
+                continue  # the identity image of an owned atom
+            p = wrapped[atom] + shift
+            if np.all(p >= lo - reach) and np.all(p <= hi + reach):
+                ghosts.add((atom, tuple(np.round(shift, 9))))
+    return ghosts
+
+
+class TestGhostSelectionExact:
+    @given(
+        seed=st.integers(0, 10**6),
+        n_atoms=st.integers(20, 120),
+        n_shards=st.sampled_from([1, 2, 3, 4, 6, 8]),
+        reach=st.floats(1.0, 4.0),
+        lx=st.floats(12.0, 30.0),
+        ly=st.floats(12.0, 30.0),
+        lz=st.floats(12.0, 30.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_halo_matches_scalar_oracle(
+        self, seed, n_atoms, n_shards, reach, lx, ly, lz
+    ):
+        positions, box = random_gas(n_atoms, (lx, ly, lz), seed)
+        grid = make_shard_grid(box, n_shards)
+        halos = build_halo(positions, grid, reach)
+        assert len(halos) == grid.n_shards
+        for shard, halo in enumerate(halos):
+            got = {
+                (int(atom), tuple(np.round(shift, 9)))
+                for atom, shift in zip(halo.source_ids, halo.shifts)
+            }
+            assert len(got) == halo.n_ghosts  # distinct images, no dups
+            assert got == oracle_ghosts(positions, grid, reach, shard)
+
+    @given(
+        seed=st.integers(0, 10**6),
+        n_shards=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_open_boundaries_have_no_periodic_ghosts(self, seed, n_shards):
+        """With all axes open, ghosts carry only the identity shift."""
+        rng = default_rng(seed)
+        box = Box((20.0, 20.0, 20.0), periodic=(False, False, False))
+        positions = rng.uniform(0, 1, size=(60, 3)) * box.lengths
+        grid = make_shard_grid(box, n_shards)
+        for halo in build_halo(positions, grid, 2.5):
+            assert np.all(halo.shifts == 0.0)
+
+
+class TestForceAccumulationNewton:
+    @given(
+        seed=st.integers(0, 10**6),
+        n_shards=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_global_newton_third_law_and_serial_match(self, seed, n_shards):
+        """Owner+ghost force reduction sums to zero and matches serial."""
+        potential = fe_potential()
+        rng = default_rng(seed)
+        box = Box((14.0, 14.0, 14.0))
+        positions = rng.uniform(0, 1, size=(80, 3)) * box.lengths
+        atoms = Atoms(box=box, positions=positions)
+        nlist = build_neighbor_list(
+            positions, box, cutoff=potential.cutoff, skin=0.3, half=True
+        )
+        reference = compute_eam_forces_serial(
+            potential, atoms.copy(), nlist
+        )
+        calc = ShardedSDCCalculator(n_shards=n_shards, engine="inline")
+        try:
+            result = calc.compute(potential, atoms, nlist)
+        finally:
+            calc.close()
+        # Newton's third law globally: pair forces cancel in the sum
+        assert np.max(np.abs(result.forces.sum(axis=0))) < 1e-9
+        assert np.allclose(result.forces, reference.forces, atol=1e-9)
+        assert np.allclose(result.rho, reference.rho, atol=1e-9)
+
+
+class TestMigrationPermutation:
+    @given(
+        seed=st.integers(0, 10**6),
+        n_shards=st.sampled_from([1, 2, 4, 6, 8]),
+        n_atoms=st.integers(10, 200),
+        drift=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ownership_is_a_partition_under_drift(
+        self, seed, n_shards, n_atoms, drift
+    ):
+        """After random drift (including across periodic faces and shard
+        boundaries), every atom is owned by exactly one shard."""
+        rng = default_rng(seed)
+        positions, box = random_gas(n_atoms, (17.0, 13.0, 19.0), seed)
+        grid = make_shard_grid(box, n_shards)
+
+        def owned_sets(p):
+            shard_of = grid.shard_of_positions(p)
+            owned = [
+                np.flatnonzero(shard_of == s) for s in range(grid.n_shards)
+            ]
+            combined = np.sort(np.concatenate(owned))
+            return owned, combined
+
+        _, before = owned_sets(positions)
+        assert np.array_equal(before, np.arange(n_atoms))
+
+        moved = positions + rng.normal(0.0, drift, size=positions.shape)
+        owned_after, after = owned_sets(moved)
+        # migration re-homed atoms but neither lost nor duplicated any
+        assert np.array_equal(after, np.arange(n_atoms))
+        assert sum(len(o) for o in owned_after) == n_atoms
+
+    def test_migration_counter_tracks_rehoming(self):
+        """The engine's migration accounting sees exactly the atoms whose
+        shard changed between two neighbor lists."""
+        potential = fe_potential()
+        positions, box = random_gas(100, (16.0, 16.0, 16.0), seed=3)
+        atoms = Atoms(box=box, positions=positions)
+        nlist = build_neighbor_list(
+            positions, box, cutoff=potential.cutoff, skin=0.3, half=True
+        )
+        calc = ShardedSDCCalculator(n_shards=4, engine="inline")
+        try:
+            calc.compute(potential, atoms, nlist)
+            grid = calc.shard_grid
+            before = grid.shard_of_positions(nlist.reference_positions)
+            rng = default_rng(9)
+            atoms.positions = box.wrap(
+                atoms.positions + rng.normal(0.0, 1.2, size=(100, 3))
+            )
+            nlist2 = build_neighbor_list(
+                atoms.positions, box, cutoff=potential.cutoff, skin=0.3,
+                half=True,
+            )
+            calc.on_neighbor_rebuild(atoms, nlist2)
+            after = grid.shard_of_positions(nlist2.reference_positions)
+            expected = int(np.count_nonzero(before != after))
+            assert calc.health_snapshot()["n_migrated_total"] == expected
+        finally:
+            calc.close()
